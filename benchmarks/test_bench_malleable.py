@@ -1,0 +1,124 @@
+"""Experiment thm71 — Section 7: malleable vs. coarse-grain scheduling.
+
+Compares the malleable scheduler (greedy parallelization family, no CG_f
+restriction) against OPERATORSCHEDULE with the coarse-grain degree rule on
+random independent-operator instances, prints the comparison, verifies the
+Theorem 7.1 guarantee, and benchmarks the full malleable pipeline
+(family generation + selection + list scheduling).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConvexCombinationOverlap,
+    OperatorSpec,
+    PAPER_PARAMETERS,
+    WorkVector,
+    malleable_schedule,
+    operator_schedule,
+)
+
+from _helpers import publish
+
+COMM = PAPER_PARAMETERS.communication_model()
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def random_specs(rng, m):
+    return [
+        OperatorSpec(
+            name=f"op{i}",
+            work=WorkVector(
+                [float(rng.uniform(0.1, 40.0)), float(rng.uniform(0.0, 40.0)), 0.0]
+            ),
+            data_volume=float(rng.uniform(0.0, 1e7)),
+        )
+        for i in range(m)
+    ]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rng = np.random.default_rng(7_1)
+    rows = []
+    for _ in range(30):
+        m = int(rng.integers(2, 10))
+        p = int(rng.integers(2, 24))
+        specs = random_specs(rng, m)
+        mall = malleable_schedule(specs, p=p, comm=COMM, overlap=OVERLAP)
+        mall_ms = malleable_schedule(
+            specs, p=p, comm=COMM, overlap=OVERLAP, selection="makespan"
+        )
+        cg = operator_schedule(specs, p=p, comm=COMM, overlap=OVERLAP, f=0.7)
+        rows.append((m, p, mall, mall_ms, cg))
+    return rows
+
+
+def test_bench_thm71_regenerate(comparison, benchmark):
+    """Print the malleable-vs-CG_f comparison; benchmark the pipeline."""
+    def mean(xs):
+        xs = list(xs)
+        return math.fsum(xs) / len(xs)
+
+    lb_ratio = mean(m1.makespan / cg.makespan for _, _, m1, _, cg in comparison)
+    ms_ratio = mean(m2.makespan / cg.makespan for _, _, _, m2, cg in comparison)
+    bound_worst = max(
+        m1.makespan / m1.lower_bound
+        for _, _, m1, _, _ in comparison
+        if m1.lower_bound > 0
+    )
+    family = mean(m1.candidates_examined for _, _, m1, _, _ in comparison)
+    lines = [
+        "== thm71: malleable scheduling (Section 7) ==",
+        f"instances: {len(comparison)}",
+        f"makespan vs CG_0.7 — LB selection (paper):     mean {lb_ratio:.3f}x",
+        f"makespan vs CG_0.7 — makespan selection (ext): mean {ms_ratio:.3f}x",
+        f"makespan/LB (Theorem 7.1 guarantee 7): worst={bound_worst:.3f}",
+        f"family size examined: mean={family:.1f} (bound 1+M(P-1))",
+        "note: selecting the family member by LB (the analyzed rule) is",
+        "cheap but can trail the A4-capped CG rule on makespan; evaluating",
+        "the whole family (same guarantee) closes the gap.",
+    ]
+    publish("thm71", "\n".join(lines))
+
+    rng = np.random.default_rng(88)
+    specs = random_specs(rng, 10)
+    benchmark(lambda: malleable_schedule(specs, p=24, comm=COMM, overlap=OVERLAP))
+
+
+def test_thm71_guarantee_holds(comparison):
+    for _, _, m1, m2, _ in comparison:
+        for mall in (m1, m2):
+            if mall.lower_bound > 0:
+                assert mall.makespan <= mall.guarantee * mall.lower_bound * (1 + 1e-9)
+
+
+def test_thm71_family_size_within_bound(comparison):
+    for m, p, m1, m2, _ in comparison:
+        assert m1.candidates_examined <= 1 + m * (p - 1)
+        assert m2.candidates_examined <= 1 + m * (p - 1)
+
+
+def test_thm71_makespan_selection_dominates_lb_selection(comparison):
+    for _, _, m1, m2, _ in comparison:
+        assert m2.makespan <= m1.makespan * (1 + 1e-9)
+
+
+def test_thm71_makespan_selection_competitive_with_coarse_grain(comparison):
+    """Evaluating the whole family should come close to the fixed-f rule.
+
+    The greedy family only grows the currently slowest operator, so the
+    per-operator-optimal degrees the A4-capped CG rule picks need not be
+    members; a modest residual gap is expected and recorded in
+    EXPERIMENTS.md.  Assert the gap stays within 15% on average and that
+    the exhaustive selection meaningfully improves on the LB selection.
+    """
+    ms = [m2.makespan / cg.makespan for _, _, _, m2, cg in comparison]
+    lb = [m1.makespan / cg.makespan for _, _, m1, _, cg in comparison]
+    assert sum(ms) / len(ms) <= 1.15
+    assert sum(ms) / len(ms) < sum(lb) / len(lb)

@@ -1,0 +1,105 @@
+"""Experiment abl-pack — vector-packing rule ablation (Section 5.5).
+
+Section 5.5 argues the list-scheduling rule's strength is per-resource
+load balancing and cites [KLMS84] for why simple vector-packing rules do
+well on average.  This ablation runs the full grid of sort keys x
+placement rules on random clone sets, prints the average makespan of each
+combination relative to the paper's rule, and benchmarks the paper's rule
+itself.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    CloneItem,
+    ConvexCombinationOverlap,
+    PlacementRule,
+    SortKey,
+    WorkVector,
+    pack_vectors,
+)
+
+from _helpers import publish
+
+OVERLAP = ConvexCombinationOverlap(0.5)
+P = 12
+
+
+def random_items(rng, n):
+    items = []
+    for i in range(n):
+        kind = rng.integers(0, 3)
+        cpu = float(rng.uniform(0.1, 10.0)) if kind != 1 else float(rng.uniform(0.0, 1.0))
+        disk = float(rng.uniform(0.1, 10.0)) if kind != 0 else float(rng.uniform(0.0, 1.0))
+        items.append(
+            CloneItem(
+                operator=f"op{i}", clone_index=0, work=WorkVector([cpu, disk, 0.0])
+            )
+        )
+    return items
+
+
+GRID = [
+    (SortKey.MAX_COMPONENT, PlacementRule.LEAST_LOADED_LENGTH),  # the paper
+    (SortKey.MAX_COMPONENT, PlacementRule.MIN_RESULTING_LENGTH),
+    (SortKey.TOTAL, PlacementRule.LEAST_LOADED_LENGTH),
+    (SortKey.INPUT_ORDER, PlacementRule.FIRST_FIT),
+    (SortKey.INPUT_ORDER, PlacementRule.ROUND_ROBIN),
+    (SortKey.RANDOM, PlacementRule.RANDOM),
+]
+
+
+@pytest.fixture(scope="module")
+def grid_results():
+    rng = np.random.default_rng(55)
+    instances = [random_items(rng, int(rng.integers(12, 40))) for _ in range(25)]
+    results = {}
+    for sort, rule in GRID:
+        spans = []
+        for k, items in enumerate(instances):
+            schedule = pack_vectors(
+                items, p=P, overlap=OVERLAP, sort=sort, rule=rule,
+                rng=random.Random(k),
+            )
+            spans.append(schedule.makespan())
+        results[(sort, rule)] = math.fsum(spans) / len(spans)
+    return results
+
+
+def test_bench_ablpack_regenerate(grid_results, benchmark):
+    """Print the packing-rule grid; benchmark the paper's rule."""
+    paper = grid_results[(SortKey.MAX_COMPONENT, PlacementRule.LEAST_LOADED_LENGTH)]
+    lines = [
+        "== abl-pack: packing-rule ablation (Section 5.5) ==",
+        f"{P} sites, random mixed-resource clone sets; mean makespan",
+        f"{'sort':14s} {'placement':22s} {'mean':>8s} {'vs paper':>9s}",
+    ]
+    for (sort, rule), span in grid_results.items():
+        lines.append(
+            f"{sort.value:14s} {rule.value:22s} {span:8.3f} {span / paper:8.3f}x"
+        )
+    publish("abl_pack", "\n".join(lines))
+
+    rng = np.random.default_rng(77)
+    items = random_items(rng, 40)
+    benchmark(lambda: pack_vectors(items, p=P, overlap=OVERLAP))
+
+
+def test_ablpack_paper_rule_beats_naive_rules(grid_results):
+    paper = grid_results[(SortKey.MAX_COMPONENT, PlacementRule.LEAST_LOADED_LENGTH)]
+    naive_ff = grid_results[(SortKey.INPUT_ORDER, PlacementRule.FIRST_FIT)]
+    rand = grid_results[(SortKey.RANDOM, PlacementRule.RANDOM)]
+    assert paper < naive_ff
+    assert paper < rand
+
+
+def test_ablpack_paper_rule_near_best_of_grid(grid_results):
+    paper = grid_results[(SortKey.MAX_COMPONENT, PlacementRule.LEAST_LOADED_LENGTH)]
+    best = min(grid_results.values())
+    assert paper <= best * 1.1

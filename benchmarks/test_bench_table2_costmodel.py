@@ -1,0 +1,43 @@
+"""Experiment table2 — Table 2: parameter settings and cost-model primitives.
+
+Prints the Table 2 configuration exactly as the paper tabulates it and
+micro-benchmarks the cost-model annotation of a full 50-join operator
+tree (the largest workload in the paper's sweep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PAPER_PARAMETERS, annotate_plan, generate_query
+from repro.experiments import render_parameters
+
+from _helpers import publish
+
+
+@pytest.fixture(scope="module")
+def big_query():
+    return generate_query(50, np.random.default_rng(19960604))
+
+
+def test_bench_table2_regenerate(big_query, benchmark):
+    """Print Table 2 and benchmark full-plan cost annotation."""
+    publish("table2", render_parameters(PAPER_PARAMETERS))
+    benchmark(lambda: annotate_plan(big_query.operator_tree, PAPER_PARAMETERS))
+
+
+def test_table2_balanced_system(big_query):
+    """Footnote 4: parameters were chosen so the system is relatively
+    balanced — aggregate CPU and disk demand of a random workload are the
+    same order of magnitude."""
+    annotate_plan(big_query.operator_tree, PAPER_PARAMETERS)
+    cpu = sum(op.spec.work[0] for op in big_query.operator_tree.operators)
+    disk = sum(op.spec.work[1] for op in big_query.operator_tree.operators)
+    assert 0.1 < disk / cpu < 10.0
+
+
+def test_table2_communication_parameters_flow_through(big_query):
+    comm = PAPER_PARAMETERS.communication_model()
+    assert comm.alpha == 0.015
+    assert comm.beta == 0.6e-6

@@ -1,0 +1,53 @@
+"""Regenerate all four evaluation figures of the paper at reduced scale.
+
+Equivalent to ``repro-experiments all --quick`` but shown as library
+calls, so it doubles as an example of driving the experiment harness
+programmatically (custom sweeps, custom rendering).
+
+Run:  python examples/paper_experiments.py
+(The paper-scale sweep is `repro-experiments all`; it takes minutes.)
+"""
+
+import time
+
+from repro.experiments import (
+    figure5a,
+    figure5b,
+    figure6a,
+    figure6b,
+    improvement_summary,
+    quick_config,
+    render_figure,
+    render_parameters,
+)
+
+
+def main() -> None:
+    config = quick_config(n_queries=3, site_counts=(10, 40, 80, 140))
+    print(render_parameters(config.params))
+    print()
+
+    for builder, kwargs in (
+        (figure5a, {"n_joins": 20, "epsilon": 0.3}),
+        (figure5b, {"n_joins": 20}),
+        (figure6a, {"p_values": (20, 80)}),
+        (figure6b, {"query_sizes": (10, 20)}),
+    ):
+        start = time.perf_counter()
+        figure = builder(config, **kwargs)
+        elapsed = time.perf_counter() - start
+        print(render_figure(figure))
+        if figure.figure_id == "fig5a":
+            print(
+                improvement_summary(
+                    figure,
+                    better=f"TreeSchedule f={config.f_values[-1]:g}",
+                    worse="Synchronous",
+                )
+            )
+        print(f"(regenerated in {elapsed:.1f} s)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

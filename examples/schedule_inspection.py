@@ -1,0 +1,75 @@
+"""Inspecting workloads and schedules: stats, site tables, load bars.
+
+Shows the library's introspection surface: per-plan structural statistics
+(:func:`repro.describe_query`), the aggregate resource mix of a workload
+(:func:`repro.resource_mix` — the footnote 4 "balanced system" check),
+and ASCII renderings of a schedule (per-site tables, load bars, per-phase
+summary) from :mod:`repro.render`.
+
+Run:  python examples/schedule_inspection.py
+"""
+
+import numpy as np
+
+from repro import (
+    PAPER_PARAMETERS,
+    ConvexCombinationOverlap,
+    annotate_plan,
+    describe_query,
+    generate_query,
+    resource_mix,
+    tree_schedule,
+)
+from repro.render import render_load_bars, render_phased, render_schedule
+
+
+def main() -> None:
+    query = generate_query(9, np.random.default_rng(5))
+    annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+
+    stats = describe_query(query)
+    print("Workload statistics:")
+    print(f"  joins={stats.num_joins}  operators={stats.num_operators}  "
+          f"tasks={stats.num_tasks}")
+    print(f"  plan height={stats.plan_height}  "
+          f"bushiness={stats.bushiness:.2f}  "
+          f"phases={len(stats.phase_widths)} (widths {list(stats.phase_widths)})")
+    print(f"  base tuples={stats.total_base_tuples:,}  "
+          f"largest intermediate={stats.largest_intermediate_tuples:,}")
+    print()
+
+    mix = resource_mix(query.operator_tree)
+    print("Resource mix (zero-communication work, seconds):")
+    for kind in ("scan", "build", "probe", "total"):
+        w = mix[kind]
+        print(f"  {kind:6s} cpu={w[0]:8.2f}  disk={w[1]:8.2f}  net={w[2]:8.2f}")
+    balance = mix["total"][1] / mix["total"][0]
+    print(f"  disk/cpu balance ratio: {balance:.2f}  (footnote 4: 'relatively balanced')")
+    print()
+
+    result = tree_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=10,
+        comm=PAPER_PARAMETERS.communication_model(),
+        overlap=ConvexCombinationOverlap(0.4),
+        f=0.7,
+    )
+
+    print("Per-phase summary:")
+    print(render_phased(result.phased_schedule))
+    print()
+
+    busiest = max(
+        range(result.num_phases),
+        key=lambda i: result.phased_schedule.phases[i].makespan(),
+    )
+    schedule = result.phased_schedule.phases[busiest]
+    print(f"Busiest phase ({busiest}) placement:")
+    print(render_schedule(schedule))
+    print()
+    print(render_load_bars(schedule, width=30))
+
+
+if __name__ == "__main__":
+    main()

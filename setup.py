@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package remains installable in offline environments that lack the ``wheel``
+package (where PEP 517/660 builds cannot produce editable wheels and pip
+falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

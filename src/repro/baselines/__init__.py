@@ -1,0 +1,32 @@
+"""Comparators: the SYNCHRONOUS 1-D adversary, OPTBOUND, scalar baselines.
+
+Everything the Section 6 evaluation compares TREESCHEDULE against:
+
+* :func:`synchronous_schedule` — synchronous-execution-time allocation
+  [HCY94] + two-phase minimax pipeline splitting [LCRY93], extended with
+  shared-nothing redistribution costs;
+* :func:`opt_bound` — the lower bound on the optimal ``CG_f`` execution;
+* :func:`scalar_list_schedule` — a pure scalar-metric list scheduler
+  isolating the value of multi-dimensional packing;
+* :func:`minimax_allocation` — the exact integer minimax water-filling
+  primitive.
+"""
+
+from repro.baselines.hong import HongResult, hong_schedule
+from repro.baselines.minimax import minimax_allocation, minimax_time
+from repro.baselines.one_dimensional import scalar_list_schedule
+from repro.baselines.opt_bound import congestion_bound, critical_path_time, opt_bound
+from repro.baselines.synchronous import SynchronousResult, synchronous_schedule
+
+__all__ = [
+    "HongResult",
+    "hong_schedule",
+    "minimax_allocation",
+    "minimax_time",
+    "scalar_list_schedule",
+    "opt_bound",
+    "congestion_bound",
+    "critical_path_time",
+    "SynchronousResult",
+    "synchronous_schedule",
+]

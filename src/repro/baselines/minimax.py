@@ -1,0 +1,97 @@
+"""Two-phase minimax processor allocation (Lo, Chen, Ravishankar, Yu [LCRY93]).
+
+Lo et al. give optimal schemes for distributing processors across the
+stages of a pipeline of hash joins so as to minimize the execution time of
+the slowest stage.  Under the one-dimensional cost model in which stage
+``i`` with scalar work ``w_i`` on ``n_i`` processors takes time
+``w_i / n_i``, the integer minimax allocation
+
+    ``minimize max_i w_i / n_i   subject to  sum_i n_i = N,  n_i >= 1``
+
+is solved exactly by water-filling: start every stage at one processor and
+repeatedly hand the next processor to the currently slowest stage.  (The
+greedy exchange argument: any allocation that skips the slowest stage can
+be improved or matched by redirecting a processor to it.)
+
+``caps`` support the shared-nothing extension used by the SYNCHRONOUS
+adversary (Section 6.1): a stage is never allotted processors beyond its
+response-time-optimal degree, where startup overhead would cause a
+speed-down; capped-out leftovers stay idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["minimax_allocation", "minimax_time"]
+
+
+def minimax_allocation(
+    works: Sequence[float],
+    n: int,
+    caps: Sequence[int] | None = None,
+) -> list[int]:
+    """Allocate ``n`` processors among stages, minimizing the max stage time.
+
+    Parameters
+    ----------
+    works:
+        Scalar work of each stage (non-negative).
+    n:
+        Total processors; must be at least ``len(works)`` (every stage
+        needs one processor to run at all).
+    caps:
+        Optional per-stage maximum allocation (each ``>= 1``).  When all
+        stages are capped out, remaining processors are left unassigned.
+
+    Returns
+    -------
+    list[int]
+        Processors per stage; sums to ``n`` unless caps bind.
+    """
+    m = len(works)
+    if m == 0:
+        raise SchedulingError("minimax_allocation needs at least one stage")
+    if n < m:
+        raise SchedulingError(
+            f"minimax_allocation needs n >= #stages, got n={n} for {m} stages"
+        )
+    for i, w in enumerate(works):
+        if w < 0:
+            raise SchedulingError(f"stage {i} has negative work {w}")
+    if caps is not None:
+        if len(caps) != m:
+            raise SchedulingError("caps must match the number of stages")
+        for i, c in enumerate(caps):
+            if c < 1:
+                raise SchedulingError(f"stage {i} cap must be >= 1, got {c}")
+
+    alloc = [1] * m
+    remaining = n - m
+    # Max-heap on current stage time; ties broken by stage index so the
+    # allocation is deterministic.
+    heap = [(-works[i], i) for i in range(m)]
+    heapq.heapify(heap)
+    while remaining > 0 and heap:
+        neg_t, i = heapq.heappop(heap)
+        if caps is not None and alloc[i] >= caps[i]:
+            continue  # capped out; drop from consideration
+        alloc[i] += 1
+        remaining -= 1
+        heapq.heappush(heap, (-(works[i] / alloc[i]), i))
+    return alloc
+
+
+def minimax_time(works: Sequence[float], alloc: Sequence[int]) -> float:
+    """Return ``max_i w_i / n_i`` for an allocation (the pipeline's time)."""
+    if len(works) != len(alloc):
+        raise SchedulingError("works and alloc must have equal length")
+    worst = 0.0
+    for i, (w, a) in enumerate(zip(works, alloc)):
+        if a < 1:
+            raise SchedulingError(f"stage {i} allocated {a} processors")
+        worst = max(worst, w / a)
+    return worst

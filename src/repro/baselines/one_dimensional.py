@@ -1,0 +1,107 @@
+"""A scalar-work list scheduler (1-D ablation baseline, Section 1's critique).
+
+Previous approaches "hide the multi-dimensionality of query operators
+under a scalar cost metric like 'work' or 'time'".  This baseline makes
+that critique testable in isolation from the SYNCHRONOUS policy details:
+it runs the *same* pipeline as OPERATORSCHEDULE — same degree selection,
+same clone vectors, same Equation (3) evaluation — but sorts and packs
+clones by their scalar total work onto the site with the least scalar
+load, blind to which resources the load sits on.
+
+Any gap between this scheduler and OPERATORSCHEDULE on the same input is
+therefore attributable purely to multi-dimensional (per-resource) load
+balancing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import InfeasibleScheduleError, SchedulingError
+from repro.core.cloning import (
+    DEFAULT_COORDINATOR_POLICY,
+    CoordinatorPolicy,
+    OperatorSpec,
+    clone_work_vectors,
+    coarse_grain_degree,
+)
+from repro.core.granularity import CommunicationModel
+from repro.core.operator_schedule import OperatorScheduleResult
+from repro.core.resource_model import OverlapModel
+from repro.core.schedule import Schedule
+from repro.core.site import PlacedClone
+
+__all__ = ["scalar_list_schedule"]
+
+
+def scalar_list_schedule(
+    floating: Sequence[OperatorSpec],
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    f: float = 0.7,
+    degrees: Mapping[str, int] | None = None,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> OperatorScheduleResult:
+    """Schedule independent operators by scalar-work list scheduling.
+
+    Identical inputs and outputs to
+    :func:`repro.core.operator_schedule.operator_schedule` (floating
+    operators only), but clones are ordered by non-increasing *total*
+    work and each is packed onto the allowable site with minimal total
+    scalar load — the classical LPT/Graham rule applied to the scalar
+    metric.
+    """
+    if not floating:
+        raise SchedulingError("nothing to schedule")
+    d = floating[0].d
+    for spec in floating:
+        if spec.d != d:
+            raise SchedulingError(f"operator {spec.name!r} has d={spec.d}; expected {d}")
+    names = [spec.name for spec in floating]
+    if len(set(names)) != len(names):
+        raise SchedulingError("duplicate operator names")
+
+    schedule = Schedule(p, d)
+    chosen: dict[str, int] = {}
+    pending = []
+    for spec in floating:
+        if degrees is not None and spec.name in degrees:
+            n = degrees[spec.name]
+            if not 1 <= n <= p:
+                raise InfeasibleScheduleError(
+                    f"operator {spec.name!r}: degree {n} outside 1..{p}"
+                )
+        else:
+            n = coarse_grain_degree(spec, p, f, comm, overlap, policy)
+        chosen[spec.name] = n
+        for k, work in enumerate(clone_work_vectors(spec, n, comm, policy)):
+            pending.append((work.total(), spec.name, k, work))
+    pending.sort(key=lambda item: (-item[0], item[1], item[2]))
+
+    scalar_load = [0.0] * p
+    for total, op_name, k, work in pending:
+        best = None
+        best_load = None
+        for site in schedule.sites:
+            if site.hosts_operator(op_name):
+                continue
+            if best is None or scalar_load[site.index] < best_load:
+                best = site
+                best_load = scalar_load[site.index]
+        if best is None:
+            raise InfeasibleScheduleError(
+                f"no allowable site left for clone {k} of {op_name!r}"
+            )
+        schedule.place(
+            best.index,
+            PlacedClone(
+                operator=op_name, clone_index=k, work=work, t_seq=overlap.t_seq(work)
+            ),
+        )
+        scalar_load[best.index] += total
+
+    return OperatorScheduleResult(
+        schedule=schedule, degrees=chosen, makespan=schedule.makespan()
+    )

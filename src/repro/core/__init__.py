@@ -1,0 +1,153 @@
+"""Core scheduling model and algorithms of the SIGMOD'96 paper.
+
+This subpackage is self-contained (no dependency on the query-plan or
+cost-model substrates): it implements work vectors (Section 4.1/5.1), the
+preemptable-resource usage model, coarse-grain parallelization
+(Section 4), the OPERATORSCHEDULE list-scheduling heuristic (Section 5.3),
+suboptimality bounds (Theorem 5.1), the malleable extension (Section 7),
+an exact solver for small instances, and a vector-packing ablation grid.
+
+The phase-based TREESCHEDULE algorithm (Section 5.4) lives in
+:mod:`repro.core.tree_schedule` but is *not* imported here because it
+depends on the plan substrate; import it via :mod:`repro` or directly.
+"""
+
+from repro.core.bounds import (
+    BoundCertificate,
+    certify,
+    lower_bound,
+    slowest_operator_time,
+    theorem51_coarse_grain_bound,
+    theorem51_fixed_degree_bound,
+)
+from repro.core.cloning import (
+    DEFAULT_COORDINATOR_POLICY,
+    CoordinatorPolicy,
+    OperatorSpec,
+    clone_work_vectors,
+    coarse_grain_degree,
+    parallel_time,
+    response_optimal_degree,
+    total_work_vector,
+)
+from repro.core.granularity import (
+    CommunicationModel,
+    granularity_ratio,
+    is_coarse_grain,
+    processing_area,
+)
+from repro.core.malleable import (
+    MalleableResult,
+    ParallelizationCandidate,
+    candidate_parallelizations,
+    malleable_schedule,
+    select_parallelization,
+)
+from repro.core.operator_schedule import (
+    OperatorScheduleResult,
+    RootedPlacement,
+    operator_schedule,
+)
+from repro.core.optimal import (
+    OptimalResult,
+    optimal_malleable_makespan,
+    optimal_schedule,
+)
+from repro.core.resource_model import (
+    PERFECT_OVERLAP,
+    ZERO_OVERLAP,
+    ConvexCombinationOverlap,
+    OverlapModel,
+    ResourceUsage,
+    validate_sequential_time,
+)
+from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
+from repro.core.site import PlacedClone, Site
+from repro.core.skew import (
+    skewed_clone_work_vectors,
+    skewed_makespan,
+    skewed_response_time,
+    zipf_weights,
+)
+from repro.core.vector_packing import (
+    CloneItem,
+    PlacementRule,
+    SortKey,
+    pack_vectors,
+)
+from repro.core.work_vector import (
+    DEFAULT_DIMENSIONALITY,
+    Resource,
+    WorkVector,
+    dominates,
+    set_length,
+    vector_sum,
+)
+
+__all__ = [
+    # work_vector
+    "WorkVector",
+    "Resource",
+    "DEFAULT_DIMENSIONALITY",
+    "vector_sum",
+    "set_length",
+    "dominates",
+    # resource_model
+    "OverlapModel",
+    "ConvexCombinationOverlap",
+    "PERFECT_OVERLAP",
+    "ZERO_OVERLAP",
+    "ResourceUsage",
+    "validate_sequential_time",
+    # granularity
+    "CommunicationModel",
+    "processing_area",
+    "granularity_ratio",
+    "is_coarse_grain",
+    # cloning
+    "OperatorSpec",
+    "CoordinatorPolicy",
+    "DEFAULT_COORDINATOR_POLICY",
+    "clone_work_vectors",
+    "total_work_vector",
+    "parallel_time",
+    "response_optimal_degree",
+    "coarse_grain_degree",
+    # site / schedule
+    "Site",
+    "PlacedClone",
+    "Schedule",
+    "PhasedSchedule",
+    "OperatorHome",
+    # operator_schedule
+    "RootedPlacement",
+    "OperatorScheduleResult",
+    "operator_schedule",
+    # bounds
+    "BoundCertificate",
+    "certify",
+    "lower_bound",
+    "slowest_operator_time",
+    "theorem51_fixed_degree_bound",
+    "theorem51_coarse_grain_bound",
+    # malleable
+    "ParallelizationCandidate",
+    "candidate_parallelizations",
+    "select_parallelization",
+    "malleable_schedule",
+    "MalleableResult",
+    # optimal
+    "OptimalResult",
+    "optimal_schedule",
+    "optimal_malleable_makespan",
+    # vector_packing
+    "SortKey",
+    "PlacementRule",
+    "CloneItem",
+    "pack_vectors",
+    # skew (EA1 relaxation)
+    "zipf_weights",
+    "skewed_clone_work_vectors",
+    "skewed_makespan",
+    "skewed_response_time",
+]

@@ -1,0 +1,268 @@
+"""Malleable operator scheduling (Section 7).
+
+In the *malleable* problem the degree of parallelism of each floating
+operator is no longer fixed by the coarse-granularity condition: the
+scheduler is free to choose any parallelization ``N̄`` with the objective
+of minimizing response time over **all** possible parallel schedules.
+
+The paper adapts the greedy-family (GF) construction of Turek, Wolf and Yu
+[TWY92], exploiting that in the work-vector model the total work vector of
+an operator is componentwise non-decreasing in its degree of parallelism:
+
+1. the first candidate is the minimum-total-work parallelization
+   ``N̄¹ = (1, 1, ..., 1)``;
+2. candidate ``k`` is obtained from candidate ``k - 1`` by finding the
+   operator whose parallel time equals ``h(N̄^{k-1})`` (the slowest one)
+   and increasing its degree by one;
+3. the construction stops when no more sites can be allotted to the
+   slowest operator (its degree has reached ``P``).
+
+Lemma 7.2 guarantees the family contains a parallelization ``N̄`` with
+``LB(N̄) <= LB(N̄*)`` for the optimal parallelization ``N̄*``; by
+Lemma 7.1, list-scheduling that candidate yields a schedule within
+``2d + 1`` of the global optimum (Theorem 7.1).  The family has at most
+``1 + M(P - 1)`` members, so the preprocessing step costs
+``O(M P log M)`` and does not change the scheduler's asymptotic
+complexity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import SchedulingError
+from repro.core.bounds import theorem51_fixed_degree_bound
+from repro.core.cloning import (
+    DEFAULT_COORDINATOR_POLICY,
+    CoordinatorPolicy,
+    OperatorSpec,
+    parallel_time,
+    total_work_vector,
+)
+from repro.core.granularity import CommunicationModel
+from repro.core.operator_schedule import OperatorScheduleResult, operator_schedule
+from repro.core.resource_model import OverlapModel
+
+__all__ = [
+    "ParallelizationCandidate",
+    "candidate_parallelizations",
+    "select_parallelization",
+    "malleable_schedule",
+    "MalleableResult",
+]
+
+
+@dataclass(frozen=True)
+class ParallelizationCandidate:
+    """One member of the greedy family of parallelizations.
+
+    Attributes
+    ----------
+    degrees:
+        Degree of parallelism per operator name.
+    h:
+        ``h(N̄) = max_i T_par(op_i, N_i)``, the slowest operator's time.
+    congestion:
+        ``l(S(N̄)) / P``, the per-site share of the most loaded resource.
+    """
+
+    degrees: dict[str, int]
+    h: float
+    congestion: float
+
+    @property
+    def lower_bound(self) -> float:
+        """``LB(N̄) = max{ l(S(N̄))/P, h(N̄) }``."""
+        return max(self.h, self.congestion)
+
+
+def candidate_parallelizations(
+    specs: Sequence[OperatorSpec],
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> Iterator[ParallelizationCandidate]:
+    """Generate the greedy family of Section 7 lazily, cheapest first.
+
+    Implementation notes: the slowest operator is tracked with a max-heap
+    keyed by ``(-T_par, name)`` (names break ties deterministically);
+    ``l(S(N̄))`` is maintained incrementally — increasing one operator's
+    degree adds exactly one startup quantum ``alpha`` (split by the
+    coordinator policy) to the total-work sum, so each step costs
+    ``O(log M + d)``.
+    """
+    if p < 1:
+        raise SchedulingError(f"number of sites must be >= 1, got {p}")
+    if not specs:
+        return
+    d = specs[0].d
+    degrees = {spec.name: 1 for spec in specs}
+    by_name = {spec.name: spec for spec in specs}
+    if len(by_name) != len(specs):
+        raise SchedulingError("duplicate operator names in malleable problem")
+
+    load = [0.0] * d
+    heap: list[tuple[float, str]] = []
+    for spec in specs:
+        t = parallel_time(spec, 1, comm, overlap, policy)
+        heapq.heappush(heap, (-t, spec.name))
+        for i, c in enumerate(total_work_vector(spec, 1, comm, policy).components):
+            load[i] += c
+
+    while True:
+        neg_h, slowest = heap[0]
+        yield ParallelizationCandidate(
+            degrees=dict(degrees), h=-neg_h, congestion=max(load) / p
+        )
+        # Step 2/3: increase the slowest operator's degree, or stop when no
+        # more sites can be allotted to it.
+        if degrees[slowest] >= p:
+            return
+        heapq.heappop(heap)
+        degrees[slowest] += 1
+        n = degrees[slowest]
+        spec = by_name[slowest]
+        t = parallel_time(spec, n, comm, overlap, policy)
+        heapq.heappush(heap, (-t, slowest))
+        startup_delta = policy.startup_vector(d, comm.startup_cost(1))
+        for i, c in enumerate(startup_delta.components):
+            load[i] += c
+
+
+def select_parallelization(
+    specs: Sequence[OperatorSpec],
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> tuple[ParallelizationCandidate, int]:
+    """Return the family member minimizing ``LB(N̄)`` and the family size.
+
+    By Theorem 7.1 the selected candidate, fed to the list-scheduling
+    rule, yields a schedule within ``2d + 1`` of the optimal parallel
+    schedule length.  Ties prefer the earlier (lower-total-work)
+    candidate.
+    """
+    best: ParallelizationCandidate | None = None
+    examined = 0
+    for candidate in candidate_parallelizations(specs, p, comm, overlap, policy):
+        examined += 1
+        if best is None or candidate.lower_bound < best.lower_bound * (1.0 - 1e-12):
+            best = candidate
+    if best is None:
+        raise SchedulingError("no operators to parallelize")
+    return best, examined
+
+
+@dataclass(frozen=True)
+class MalleableResult:
+    """Outcome of the malleable scheduler.
+
+    Attributes
+    ----------
+    schedule_result:
+        The list-scheduling outcome for the selected parallelization.
+    candidate:
+        The selected parallelization (degrees, ``h``, congestion).
+    candidates_examined:
+        Size of the greedy family that was enumerated
+        (at most ``1 + M(P-1)``).
+    guarantee:
+        The Theorem 7.1 worst-case ratio ``2d + 1``.
+    """
+
+    schedule_result: OperatorScheduleResult
+    candidate: ParallelizationCandidate
+    candidates_examined: int
+    guarantee: float
+
+    @property
+    def makespan(self) -> float:
+        """Response time of the produced schedule."""
+        return self.schedule_result.makespan
+
+    @property
+    def lower_bound(self) -> float:
+        """``LB`` of the selected parallelization — also a lower bound on
+        the globally optimal malleable schedule (Lemma 7.2)."""
+        return self.candidate.lower_bound
+
+
+def malleable_schedule(
+    specs: Sequence[OperatorSpec],
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    selection: str = "lower_bound",
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> MalleableResult:
+    """Schedule independent floating operators without the CG_f restriction.
+
+    Runs the greedy-family generation, selects one candidate
+    parallelization, and applies the Figure 3 list scheduling rule with
+    its degrees.  The result is provably within ``2d + 1`` of the optimum
+    over all possible parallel schedules (Theorem 7.1) — note this
+    requires neither assumption A4 nor any particular communication-cost
+    model, only non-decreasing work vectors.
+
+    Parameters
+    ----------
+    selection:
+        ``"lower_bound"`` (the paper's rule): pick the family member with
+        minimal ``LB(N̄)`` and list-schedule it — cheapest, and the form
+        Theorem 7.1 analyzes.  ``"makespan"`` (extension): list-schedule
+        *every* family member and keep the shortest schedule.  Since the
+        LB-minimal candidate is among those evaluated, the Theorem 7.1
+        guarantee carries over, and the result can only improve; the
+        price is an extra factor of ``O(MP)`` scheduler invocations.
+    """
+    if not specs:
+        raise SchedulingError("malleable_schedule requires at least one operator")
+    guarantee = theorem51_fixed_degree_bound(specs[0].d)
+    if selection == "lower_bound":
+        candidate, examined = select_parallelization(specs, p, comm, overlap, policy)
+        result = operator_schedule(
+            specs,
+            (),
+            p=p,
+            comm=comm,
+            overlap=overlap,
+            degrees=candidate.degrees,
+            policy=policy,
+        )
+        return MalleableResult(
+            schedule_result=result,
+            candidate=candidate,
+            candidates_examined=examined,
+            guarantee=guarantee,
+        )
+    if selection == "makespan":
+        best: tuple[OperatorScheduleResult, ParallelizationCandidate] | None = None
+        examined = 0
+        for candidate in candidate_parallelizations(specs, p, comm, overlap, policy):
+            examined += 1
+            result = operator_schedule(
+                specs,
+                (),
+                p=p,
+                comm=comm,
+                overlap=overlap,
+                degrees=candidate.degrees,
+                policy=policy,
+            )
+            if best is None or result.makespan < best[0].makespan * (1.0 - 1e-12):
+                best = (result, candidate)
+        assert best is not None  # specs is non-empty, family has >= 1 member
+        return MalleableResult(
+            schedule_result=best[0],
+            candidate=best[1],
+            candidates_examined=examined,
+            guarantee=guarantee,
+        )
+    raise SchedulingError(
+        f"unknown selection {selection!r}; expected 'lower_bound' or 'makespan'"
+    )

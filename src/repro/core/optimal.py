@@ -1,0 +1,222 @@
+"""Exact (exponential-time) optimal scheduling for small instances.
+
+The bin-design problem underlying OPERATORSCHEDULE is NP-hard, so no
+polynomial exact algorithm is expected; this module provides a
+branch-and-bound solver for *small* instances, used to
+
+* verify experimentally that the list-scheduling heuristic's performance
+  ratio stays far inside the Theorem 5.1 guarantee, and
+* exercise the heuristic against the true optimum in the test-suite
+  (rather than only against the ``LB`` lower bound).
+
+The search assigns clone work vectors to sites depth-first, pruning
+branches whose partial Equation (3) makespan already reaches the
+incumbent.  Site-symmetry is broken by allowing a clone into at most one
+currently-empty site.  Complexity is ``O(P^N)`` in the worst case; callers
+should keep ``N`` (total clones) below ~12.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import SchedulingError
+from repro.core.cloning import (
+    DEFAULT_COORDINATOR_POLICY,
+    CoordinatorPolicy,
+    OperatorSpec,
+    clone_work_vectors,
+    coarse_grain_degree,
+)
+from repro.core.granularity import CommunicationModel
+from repro.core.operator_schedule import operator_schedule
+from repro.core.resource_model import OverlapModel
+from repro.core.schedule import Schedule
+from repro.core.site import PlacedClone
+from repro.core.work_vector import WorkVector
+
+__all__ = ["OptimalResult", "optimal_schedule", "optimal_malleable_makespan"]
+
+#: Safety cap on the number of clones the exact solver will accept.
+MAX_EXACT_CLONES = 16
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Outcome of the exact solver.
+
+    Attributes
+    ----------
+    schedule:
+        An optimal clone-to-site mapping.
+    degrees:
+        The degrees of parallelism that were searched (fixed inputs).
+    makespan:
+        The optimal Equation (3) response time.
+    nodes_explored:
+        Size of the explored search tree (diagnostics).
+    """
+
+    schedule: Schedule
+    degrees: dict[str, int]
+    makespan: float
+    nodes_explored: int
+
+
+def _clone_list(
+    specs: Sequence[OperatorSpec],
+    degrees: Mapping[str, int],
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    policy: CoordinatorPolicy,
+) -> list[tuple[str, int, WorkVector, float]]:
+    clones: list[tuple[str, int, WorkVector, float]] = []
+    for spec in specs:
+        n = degrees[spec.name]
+        for k, work in enumerate(clone_work_vectors(spec, n, comm, policy)):
+            clones.append((spec.name, k, work, overlap.t_seq(work)))
+    # Largest-first ordering makes the branch-and-bound prune dramatically
+    # earlier (the same intuition as LPT list scheduling).
+    clones.sort(key=lambda c: (-c[2].length(), c[0], c[1]))
+    return clones
+
+
+def optimal_schedule(
+    specs: Sequence[OperatorSpec],
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    degrees: Mapping[str, int] | None = None,
+    f: float = 0.7,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> OptimalResult:
+    """Find an optimal schedule for fixed degrees of parallelism.
+
+    ``degrees`` defaults to the coarse-grain degrees (Proposition 4.1 with
+    A4 enforcement) — i.e. the same parallelization OPERATORSCHEDULE would
+    use — so heuristic-vs-optimal comparisons are apples-to-apples
+    (Theorem 5.1(a)'s setting).
+
+    Raises
+    ------
+    SchedulingError
+        If the instance exceeds :data:`MAX_EXACT_CLONES` clones.
+    """
+    if not specs:
+        raise SchedulingError("optimal_schedule requires at least one operator")
+    if degrees is None:
+        degrees = {
+            spec.name: coarse_grain_degree(spec, p, f, comm, overlap, policy)
+            for spec in specs
+        }
+    clones = _clone_list(specs, degrees, comm, overlap, policy)
+    if len(clones) > MAX_EXACT_CLONES:
+        raise SchedulingError(
+            f"exact solver limited to {MAX_EXACT_CLONES} clones, got {len(clones)}"
+        )
+    d = specs[0].d
+
+    # Incumbent: the heuristic solution (a valid upper bound that also
+    # guarantees the solver returns a schedule even if pruning is tight).
+    heuristic = operator_schedule(
+        specs, (), p=p, comm=comm, overlap=overlap, degrees=degrees, policy=policy
+    )
+    best_makespan = heuristic.makespan
+    best_assignment: list[int] | None = [
+        heuristic.schedule.home(name).site_indices[k] for name, k, _, _ in clones
+    ]
+
+    # The max stand-alone clone time is a floor for every completion.
+    t_floor = max(t for _, _, _, t in clones)
+
+    loads = [[0.0] * d for _ in range(p)]
+    site_ops: list[set[str]] = [set() for _ in range(p)]
+    assignment = [-1] * len(clones)
+    nodes = 0
+
+    def partial_makespan() -> float:
+        return max(max(load) for load in loads)
+
+    def dfs(idx: int, used_sites: int) -> None:
+        nonlocal best_makespan, best_assignment, nodes
+        nodes += 1
+        if idx == len(clones):
+            span = max(t_floor, partial_makespan())
+            if span < best_makespan - 1e-15:
+                best_makespan = span
+                best_assignment = list(assignment)
+            return
+        name, _, work, t_seq = clones[idx]
+        tried_empty = False
+        for j in range(p):
+            empty = not site_ops[j] and all(c == 0.0 for c in loads[j])
+            if empty:
+                if tried_empty:
+                    continue  # site symmetry: one empty site suffices
+                tried_empty = True
+            if name in site_ops[j]:
+                continue
+            # Tentatively place and prune on the partial bound.
+            for i, c in enumerate(work.components):
+                loads[j][i] += c
+            new_len = max(loads[j])
+            if max(t_seq, t_floor, new_len) < best_makespan - 1e-15:
+                site_ops[j].add(name)
+                assignment[idx] = j
+                dfs(idx + 1, used_sites + (1 if empty else 0))
+                assignment[idx] = -1
+                site_ops[j].discard(name)
+            for i, c in enumerate(work.components):
+                loads[j][i] -= c
+        return
+
+    dfs(0, 0)
+
+    schedule = Schedule(p, d)
+    assert best_assignment is not None
+    for (name, k, work, t_seq), j in zip(clones, best_assignment):
+        schedule.place(
+            j, PlacedClone(operator=name, clone_index=k, work=work, t_seq=t_seq)
+        )
+    return OptimalResult(
+        schedule=schedule,
+        degrees=dict(degrees),
+        makespan=schedule.makespan(),
+        nodes_explored=nodes,
+    )
+
+
+def optimal_malleable_makespan(
+    specs: Sequence[OperatorSpec],
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    max_degree: int | None = None,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> float:
+    """Brute-force the optimum over *all* parallelizations (tiny instances).
+
+    Enumerates every degree vector in ``{1..max_degree}^M`` (``max_degree``
+    defaults to ``P``) and solves each resulting fixed-degree problem
+    exactly.  Used by tests to validate the Theorem 7.1 guarantee of the
+    malleable scheduler.  Exponential in ``M``; keep ``M <= 3`` and
+    ``P <= 4``.
+    """
+    if not specs:
+        raise SchedulingError("need at least one operator")
+    cap = max_degree if max_degree is not None else p
+    cap = min(cap, p)
+    best = float("inf")
+    for combo in itertools.product(range(1, cap + 1), repeat=len(specs)):
+        degrees = {spec.name: n for spec, n in zip(specs, combo)}
+        if sum(combo) > MAX_EXACT_CLONES:
+            continue
+        result = optimal_schedule(
+            specs, p=p, comm=comm, overlap=overlap, degrees=degrees, policy=policy
+        )
+        best = min(best, result.makespan)
+    return best

@@ -1,0 +1,313 @@
+"""Schedules and their response times (Definition 5.1, Equation 3).
+
+A *schedule* maps the ``sum_i N_i`` operator clones of a set of concurrent
+operators to the ``P`` available sites so that no two clones of the same
+operator land on the same site (Definition 5.1).  Its response time is
+determined by the most heavily loaded site:
+
+    ``T_par(SCHED, P) = max_j T_site(s_j)
+                      = max{ max_i T_par(op_i, N_i),  max_j l(work(s_j)) }``
+
+(Equation 3) — the larger of the slowest executing operator and the load at
+the most congested resource in the system.
+
+:class:`Schedule` represents the outcome of scheduling one synchronized
+phase; :class:`PhasedSchedule` strings phases together for a full bushy
+plan (Section 5.4), whose response time is the sum of the per-phase
+makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.core.site import PlacedClone, Site
+from repro.core.work_vector import WorkVector
+
+__all__ = ["Schedule", "PhasedSchedule", "OperatorHome"]
+
+
+@dataclass(frozen=True)
+class OperatorHome:
+    """The *home* of an operator: the sites allotted to its execution.
+
+    Section 3.1: an operator is *rooted* when its home is fixed by data
+    placement constraints, *floating* when the scheduler is free to choose
+    it.  Homes produced while scheduling one phase become rooting
+    constraints for dependent operators in later phases (e.g. a hash
+    join's probe must execute at the home of its build).
+
+    Attributes
+    ----------
+    operator:
+        Operator name.
+    site_indices:
+        Site index of each clone, ordered by clone index (entry 0 is the
+        coordinator's site).
+    """
+
+    operator: str
+    site_indices: tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        """The operator's degree of partitioned parallelism."""
+        return len(self.site_indices)
+
+    def __post_init__(self) -> None:
+        if not self.site_indices:
+            raise SchedulingError(f"home of {self.operator!r} must be non-empty")
+        if len(set(self.site_indices)) != len(self.site_indices):
+            raise SchedulingError(
+                f"home of {self.operator!r} repeats a site: {self.site_indices} "
+                "(constraint (A) of Section 5.3)"
+            )
+
+
+class Schedule:
+    """A clone-to-site mapping for one set of concurrent operators.
+
+    Construct an empty schedule over ``p`` fresh ``d``-dimensional sites,
+    then :meth:`place` clones (typically via the scheduling algorithms);
+    or adopt pre-built sites with :meth:`from_sites`.
+    """
+
+    def __init__(self, p: int, d: int):
+        if p < 1:
+            raise SchedulingError(f"number of sites must be >= 1, got {p}")
+        self._sites = [Site(j, d) for j in range(p)]
+        self._d = d
+        self._homes: dict[str, list[tuple[int, int]]] = {}
+
+    @classmethod
+    def from_sites(cls, sites: list[Site]) -> "Schedule":
+        """Wrap an existing list of sites (indices must be ``0..P-1``)."""
+        if not sites:
+            raise SchedulingError("a schedule needs at least one site")
+        d = sites[0].d
+        sched = cls(len(sites), d)
+        sched._sites = list(sites)
+        for j, site in enumerate(sites):
+            if site.index != j:
+                raise SchedulingError(
+                    f"site at position {j} has index {site.index}; expected {j}"
+                )
+            if site.d != d:
+                raise SchedulingError("all sites must share one dimensionality")
+            for clone in site.clones:
+                sched._homes.setdefault(clone.operator, []).append(
+                    (clone.clone_index, j)
+                )
+        return sched
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of system sites ``P``."""
+        return len(self._sites)
+
+    @property
+    def d(self) -> int:
+        """Site dimensionality (number of resources per site)."""
+        return self._d
+
+    @property
+    def sites(self) -> tuple[Site, ...]:
+        """The sites of the system, by index."""
+        return tuple(self._sites)
+
+    def site(self, index: int) -> Site:
+        """Return site ``index``."""
+        return self._sites[index]
+
+    @property
+    def operators(self) -> frozenset[str]:
+        """Names of all operators with at least one placed clone."""
+        return frozenset(self._homes)
+
+    def clone_count(self) -> int:
+        """Total number of placed clones ``N = sum_i N_i``."""
+        return sum(len(s) for s in self._sites)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def place(self, site_index: int, clone: PlacedClone) -> None:
+        """Place ``clone`` on site ``site_index`` (enforces constraint (A))."""
+        if not 0 <= site_index < len(self._sites):
+            raise SchedulingError(
+                f"site index {site_index} out of range 0..{len(self._sites) - 1}"
+            )
+        self._sites[site_index].place(clone)
+        self._homes.setdefault(clone.operator, []).append(
+            (clone.clone_index, site_index)
+        )
+
+    # ------------------------------------------------------------------
+    # Homes
+    # ------------------------------------------------------------------
+    def home(self, operator: str) -> OperatorHome:
+        """Return the home (clone-ordered site indices) of ``operator``."""
+        try:
+            pairs = self._homes[operator]
+        except KeyError:
+            raise SchedulingError(f"operator {operator!r} has no placed clones") from None
+        ordered = tuple(site for _, site in sorted(pairs))
+        return OperatorHome(operator=operator, site_indices=ordered)
+
+    def homes(self) -> dict[str, OperatorHome]:
+        """Return the home of every placed operator."""
+        return {op: self.home(op) for op in self._homes}
+
+    # ------------------------------------------------------------------
+    # Response-time metrics (Equation 3)
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Equation (3): ``max_j T_site(s_j)`` over all sites."""
+        return max((s.t_site() for s in self._sites), default=0.0)
+
+    def max_parallel_time(self) -> float:
+        """The left input of Equation (3)'s max: ``max_i T_par(op_i, N_i)``.
+
+        Computed as the maximum stand-alone clone time across all sites,
+        which equals ``max_i T_par`` because every operator's parallel
+        time is the maximum of its clones' sequential times (Equation 1).
+        """
+        return max((s.max_t_seq() for s in self._sites), default=0.0)
+
+    def max_site_length(self) -> float:
+        """The right input of Equation (3)'s max: ``max_j l(work(s_j))``."""
+        return max(
+            (s.length() for s in self._sites if not s.is_empty()), default=0.0
+        )
+
+    def bottleneck_site(self) -> Site:
+        """Return the site attaining the makespan."""
+        return max(self._sites, key=lambda s: s.t_site())
+
+    def is_congestion_bound(self) -> bool:
+        """True when the makespan is set by resource congestion.
+
+        i.e. ``max_j l(work(s_j)) >= max_i T_par(op_i, N_i)``: the most
+        congested resource, not the slowest operator, limits the schedule.
+        """
+        return self.max_site_length() >= self.max_parallel_time()
+
+    def total_work(self) -> WorkVector:
+        """Componentwise total work over the whole system."""
+        acc = [0.0] * self._d
+        for site in self._sites:
+            for i, c in enumerate(site.load_vector().components):
+                acc[i] += c
+        return WorkVector(acc)
+
+    def average_utilization(self) -> tuple[float, ...]:
+        """System-wide per-resource utilization at the makespan horizon."""
+        t = self.makespan()
+        if t <= 0.0:
+            return (0.0,) * self._d
+        total = self.total_work()
+        return tuple(c / (t * len(self._sites)) for c in total.components)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, degrees: dict[str, int] | None = None) -> None:
+        """Check Definition 5.1's structural constraints.
+
+        * constraint (A): no two clones of one operator on one site — this
+          is enforced on placement, but re-verified here for safety;
+        * clone indices of each operator are ``0..N_i-1`` with no gaps;
+        * when ``degrees`` is given, each operator has exactly its
+          prescribed number of clones.
+
+        Raises
+        ------
+        SchedulingError
+            On any violation.
+        """
+        for site in self._sites:
+            seen: set[str] = set()
+            for clone in site.clones:
+                if clone.operator in seen:
+                    raise SchedulingError(
+                        f"site {site.index} hosts two clones of {clone.operator!r}"
+                    )
+                seen.add(clone.operator)
+        for op, pairs in self._homes.items():
+            indices = sorted(idx for idx, _ in pairs)
+            if indices != list(range(len(indices))):
+                raise SchedulingError(
+                    f"operator {op!r} has clone indices {indices}; expected "
+                    f"0..{len(indices) - 1}"
+                )
+            if degrees is not None and op in degrees and len(indices) != degrees[op]:
+                raise SchedulingError(
+                    f"operator {op!r} has {len(indices)} clones; expected {degrees[op]}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(P={self.p}, d={self.d}, operators={len(self._homes)}, "
+            f"clones={self.clone_count()}, makespan={self.makespan():.6g})"
+        )
+
+
+@dataclass
+class PhasedSchedule:
+    """A sequence of synchronized phases for a bushy plan (Section 5.4).
+
+    Each phase contains independent tasks executed concurrently after the
+    completion of all tasks in the previous phase; the plan's response
+    time is therefore the sum of the per-phase makespans.
+
+    Attributes
+    ----------
+    phases:
+        Per-phase schedules, in execution order (deepest task-tree level
+        first).
+    labels:
+        Optional per-phase labels (e.g. the task names of that phase).
+    """
+
+    phases: list[Schedule] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    def append(self, schedule: Schedule, label: str = "") -> None:
+        """Add the next phase."""
+        self.phases.append(schedule)
+        self.labels.append(label or f"phase-{len(self.phases) - 1}")
+
+    @property
+    def num_phases(self) -> int:
+        """Number of synchronized phases (the height of the task tree)."""
+        return len(self.phases)
+
+    def response_time(self) -> float:
+        """Total response time: the sum of per-phase makespans."""
+        return sum(s.makespan() for s in self.phases)
+
+    def phase_makespans(self) -> list[float]:
+        """Per-phase makespans in execution order."""
+        return [s.makespan() for s in self.phases]
+
+    def validate(self) -> None:
+        """Validate every phase's structural constraints."""
+        for schedule in self.phases:
+            schedule.validate()
+
+    def home(self, operator: str) -> OperatorHome:
+        """Return the home of ``operator``, searching phases in order."""
+        for schedule in self.phases:
+            if operator in schedule.operators:
+                return schedule.home(operator)
+        raise SchedulingError(f"operator {operator!r} not found in any phase")
+
+    def __repr__(self) -> str:
+        return (
+            f"PhasedSchedule(phases={self.num_phases}, "
+            f"response_time={self.response_time():.6g})"
+        )

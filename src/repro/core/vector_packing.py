@@ -1,0 +1,190 @@
+"""Generic d-dimensional bin-design heuristics (ablation of Section 5.5).
+
+OPERATORSCHEDULE instantiates one point in a family of vector-packing
+heuristics: *sort by maximum component, place on the least-filled
+allowable site*.  Section 5.5 argues (citing the probabilistic analysis of
+Karp, Luby and Marchetti-Spaccamela [KLMS84]) that even simple
+vector-packing rules waste little bin capacity on average.  This module
+implements the surrounding design space so the claim can be tested:
+
+* **sort keys** — non-increasing maximum component (the paper's choice),
+  non-increasing component sum, input order, random order;
+* **placement rules** — least filled by current length ``l(work(s))``
+  (the paper's choice), minimal *resulting* length after placement,
+  round-robin, first fit, random allowable site.
+
+All rules respect constraint (A) (no two clones of one operator on a
+site), so every produced packing is a feasible Definition 5.1 schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import InfeasibleScheduleError, SchedulingError
+from repro.core.resource_model import OverlapModel
+from repro.core.schedule import Schedule
+from repro.core.site import PlacedClone
+from repro.core.work_vector import WorkVector
+
+__all__ = ["SortKey", "PlacementRule", "CloneItem", "pack_vectors"]
+
+
+class SortKey(Enum):
+    """Order in which clone work vectors are considered."""
+
+    #: Non-increasing ``l(w̄)`` — the Figure 3 rule.
+    MAX_COMPONENT = "max_component"
+    #: Non-increasing component sum (scalar-work LPT).
+    TOTAL = "total"
+    #: The caller-provided order.
+    INPUT_ORDER = "input_order"
+    #: A uniformly random permutation (requires ``rng``).
+    RANDOM = "random"
+
+
+class PlacementRule(Enum):
+    """How the target site is chosen among the allowable ones."""
+
+    #: Minimal current ``l(work(s))`` — the Figure 3 rule.
+    LEAST_LOADED_LENGTH = "least_loaded_length"
+    #: Minimal ``l(work(s) ∪ {w̄})`` after the tentative placement.
+    MIN_RESULTING_LENGTH = "min_resulting_length"
+    #: Cycle through sites in index order.
+    ROUND_ROBIN = "round_robin"
+    #: Lowest-indexed allowable site.
+    FIRST_FIT = "first_fit"
+    #: Uniformly random allowable site (requires ``rng``).
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class CloneItem:
+    """One clone work vector to pack.
+
+    Attributes
+    ----------
+    operator:
+        Owning operator's name (constraint (A) key).
+    clone_index:
+        Clone index within the operator.
+    work:
+        The clone's work vector.
+    """
+
+    operator: str
+    clone_index: int
+    work: WorkVector
+
+
+def _sorted_items(
+    items: Sequence[CloneItem], sort: SortKey, rng: random.Random | None
+) -> list[CloneItem]:
+    if sort is SortKey.MAX_COMPONENT:
+        return sorted(
+            items, key=lambda c: (-c.work.length(), c.operator, c.clone_index)
+        )
+    if sort is SortKey.TOTAL:
+        return sorted(
+            items, key=lambda c: (-c.work.total(), c.operator, c.clone_index)
+        )
+    if sort is SortKey.INPUT_ORDER:
+        return list(items)
+    if sort is SortKey.RANDOM:
+        if rng is None:
+            raise SchedulingError("SortKey.RANDOM requires an rng")
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        return shuffled
+    raise SchedulingError(f"unknown sort key {sort!r}")
+
+
+def _choose_site(
+    schedule: Schedule,
+    item: CloneItem,
+    rule: PlacementRule,
+    rng: random.Random | None,
+    rr_state: list[int],
+) -> int:
+    allowable = [
+        site for site in schedule.sites if not site.hosts_operator(item.operator)
+    ]
+    if not allowable:
+        raise InfeasibleScheduleError(
+            f"no allowable site for clone {item.clone_index} of {item.operator!r}"
+        )
+    if rule is PlacementRule.LEAST_LOADED_LENGTH:
+        return min(
+            allowable,
+            key=lambda s: ((s.length() if not s.is_empty() else 0.0), s.index),
+        ).index
+    if rule is PlacementRule.MIN_RESULTING_LENGTH:
+        def resulting(site) -> float:
+            load = site.load_vector()
+            return max(
+                a + b for a, b in zip(load.components, item.work.components)
+            )
+        return min(allowable, key=lambda s: (resulting(s), s.index)).index
+    if rule is PlacementRule.ROUND_ROBIN:
+        p = schedule.p
+        for offset in range(p):
+            j = (rr_state[0] + offset) % p
+            if not schedule.site(j).hosts_operator(item.operator):
+                rr_state[0] = (j + 1) % p
+                return j
+        raise InfeasibleScheduleError(
+            f"no allowable site for clone {item.clone_index} of {item.operator!r}"
+        )
+    if rule is PlacementRule.FIRST_FIT:
+        return min(allowable, key=lambda s: s.index).index
+    if rule is PlacementRule.RANDOM:
+        if rng is None:
+            raise SchedulingError("PlacementRule.RANDOM requires an rng")
+        return rng.choice(allowable).index
+    raise SchedulingError(f"unknown placement rule {rule!r}")
+
+
+def pack_vectors(
+    items: Sequence[CloneItem],
+    *,
+    p: int,
+    overlap: OverlapModel,
+    sort: SortKey = SortKey.MAX_COMPONENT,
+    rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH,
+    rng: random.Random | None = None,
+) -> Schedule:
+    """Pack clone work vectors into ``p`` sites under the chosen heuristic.
+
+    ``sort=MAX_COMPONENT, rule=LEAST_LOADED_LENGTH`` reproduces the core
+    packing step of OPERATORSCHEDULE exactly (given the same clone
+    vectors); other combinations populate the ablation grid of the
+    ``abl-pack`` benchmark.
+
+    Returns the resulting :class:`Schedule`, whose :meth:`Schedule.makespan`
+    is the Equation (3) response time of the packing.
+    """
+    if not items:
+        raise SchedulingError("pack_vectors requires at least one clone item")
+    d = items[0].work.d
+    for item in items:
+        if item.work.d != d:
+            raise SchedulingError(
+                f"clone of {item.operator!r} has d={item.work.d}; expected {d}"
+            )
+    schedule = Schedule(p, d)
+    rr_state = [0]
+    for item in _sorted_items(items, sort, rng):
+        j = _choose_site(schedule, item, rule, rng, rr_state)
+        schedule.place(
+            j,
+            PlacedClone(
+                operator=item.operator,
+                clone_index=item.clone_index,
+                work=item.work,
+                t_seq=overlap.t_seq(item.work),
+            ),
+        )
+    return schedule

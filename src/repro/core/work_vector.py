@@ -1,0 +1,329 @@
+"""Multi-dimensional work vectors (Section 4.1 / 5.1 of the paper).
+
+A *work vector* describes the resource requirements of a query operator (or
+operator clone) on a site comprising ``d`` preemptable resources: component
+``i`` is the effective time for which resource ``i`` is kept busy.  The
+paper's notation and this module's vocabulary:
+
+* ``l(W)`` — the *length* of a vector, its maximum component
+  (:meth:`WorkVector.length`).
+* ``l(S)`` — the length of a *set* of vectors, the maximum component of
+  their vector sum (:func:`set_length`).
+* *processing area* ``W_p(op)`` — the sum of the components
+  (:meth:`WorkVector.total`), i.e. the total work performed on a single
+  site with all operands locally resident.
+
+Vectors are immutable value objects; all arithmetic returns new instances.
+Components are plain floats (seconds, in the experimental cost model), and
+negative components are rejected, matching the "positive d-dimensional
+vectors" of the vector-packing formulation in Section 5.3.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from enum import IntEnum
+
+from repro.exceptions import InvalidWorkVectorError
+
+__all__ = [
+    "Resource",
+    "DEFAULT_DIMENSIONALITY",
+    "WorkVector",
+    "vector_sum",
+    "set_length",
+    "dominates",
+]
+
+
+class Resource(IntEnum):
+    """Fixed numbering of the resources of a site (Section 4.1).
+
+    The paper assumes "a fixed numbering of system resources for all
+    sites".  The experimental testbed of Section 6 uses three-dimensional
+    sites with one CPU, one disk unit, and one network interface; this
+    enumeration fixes that layout.  Higher-dimensional sites are supported
+    by the rest of the library (any ``d >= 1``), in which case indices
+    beyond :attr:`NETWORK` are anonymous.
+    """
+
+    CPU = 0
+    DISK = 1
+    NETWORK = 2
+
+
+#: Dimensionality of the experimental testbed of Section 6 (CPU, disk,
+#: network interface).
+DEFAULT_DIMENSIONALITY = 3
+
+
+class WorkVector:
+    """An immutable ``d``-dimensional vector of non-negative work amounts.
+
+    Parameters
+    ----------
+    components:
+        The per-resource work amounts.  Must be non-empty, finite and
+        non-negative.
+
+    Examples
+    --------
+    >>> w = WorkVector([10.0, 15.0, 0.0])
+    >>> w.length()          # l(W), the maximum component
+    15.0
+    >>> w.total()           # the processing area, sum of components
+    25.0
+    >>> (w + w).components
+    (20.0, 30.0, 0.0)
+    >>> (w / 2).components
+    (5.0, 7.5, 0.0)
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[float]):
+        comps = tuple(float(c) for c in components)
+        if not comps:
+            raise InvalidWorkVectorError("work vector must have at least one component")
+        for i, c in enumerate(comps):
+            if not math.isfinite(c):
+                raise InvalidWorkVectorError(
+                    f"work vector component {i} is not finite: {c!r}"
+                )
+            if c < 0.0:
+                raise InvalidWorkVectorError(
+                    f"work vector component {i} is negative: {c!r}"
+                )
+        self._components = comps
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, d: int) -> "WorkVector":
+        """Return the ``d``-dimensional zero vector."""
+        if d < 1:
+            raise InvalidWorkVectorError(f"dimensionality must be >= 1, got {d}")
+        return cls((0.0,) * d)
+
+    @classmethod
+    def unit(cls, d: int, axis: int, value: float = 1.0) -> "WorkVector":
+        """Return a ``d``-dimensional vector with ``value`` on one axis.
+
+        Parameters
+        ----------
+        d:
+            Dimensionality of the vector.
+        axis:
+            Index of the only non-zero component; accepts a plain ``int``
+            or a :class:`Resource` member.
+        value:
+            Amount of work on ``axis``.
+        """
+        if d < 1:
+            raise InvalidWorkVectorError(f"dimensionality must be >= 1, got {d}")
+        if not 0 <= axis < d:
+            raise InvalidWorkVectorError(
+                f"axis {axis} out of range for dimensionality {d}"
+            )
+        comps = [0.0] * d
+        comps[axis] = value
+        return cls(comps)
+
+    @classmethod
+    def of(cls, *components: float) -> "WorkVector":
+        """Convenience constructor: ``WorkVector.of(1.0, 2.0, 0.5)``."""
+        return cls(components)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> tuple[float, ...]:
+        """The per-resource work amounts as an immutable tuple."""
+        return self._components
+
+    @property
+    def d(self) -> int:
+        """Dimensionality of the vector (number of resources per site)."""
+        return len(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __getitem__(self, index: int) -> float:
+        return self._components[index]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._components)
+
+    # ------------------------------------------------------------------
+    # Paper metrics
+    # ------------------------------------------------------------------
+    def length(self) -> float:
+        """Return ``l(W)``, the maximum component (Section 5.1)."""
+        return max(self._components)
+
+    def total(self) -> float:
+        """Return the sum of the components.
+
+        For a full (zero-communication) operator work vector this is the
+        *processing area* ``W_p(op)`` of Section 4.2.
+        """
+        return math.fsum(self._components)
+
+    def argmax(self) -> int:
+        """Return the index of the maximum component (ties: lowest index)."""
+        comps = self._components
+        best = 0
+        for i in range(1, len(comps)):
+            if comps[i] > comps[best]:
+                best = i
+        return best
+
+    def is_zero(self, tolerance: float = 0.0) -> bool:
+        """Return ``True`` when every component is ``<= tolerance``."""
+        return all(c <= tolerance for c in self._components)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "WorkVector") -> None:
+        if not isinstance(other, WorkVector):
+            raise TypeError(f"expected WorkVector, got {type(other).__name__}")
+        if other.d != self.d:
+            raise InvalidWorkVectorError(
+                f"dimensionality mismatch: {self.d} vs {other.d}"
+            )
+
+    def __add__(self, other: "WorkVector") -> "WorkVector":
+        self._check_compatible(other)
+        return WorkVector(a + b for a, b in zip(self._components, other._components))
+
+    def __sub__(self, other: "WorkVector") -> "WorkVector":
+        """Componentwise difference; clamps tiny negative round-off to zero.
+
+        A genuinely negative result (beyond floating-point noise) raises
+        :class:`InvalidWorkVectorError`, since work vectors are positive by
+        definition.
+        """
+        self._check_compatible(other)
+        out = []
+        for i, (a, b) in enumerate(zip(self._components, other._components)):
+            c = a - b
+            if c < 0.0:
+                if c < -1e-9 * max(1.0, abs(a), abs(b)):
+                    raise InvalidWorkVectorError(
+                        f"subtraction yields negative component {i}: {a} - {b}"
+                    )
+                c = 0.0
+            out.append(c)
+        return WorkVector(out)
+
+    def __mul__(self, scalar: float) -> "WorkVector":
+        scalar = float(scalar)
+        if scalar < 0.0:
+            raise InvalidWorkVectorError(f"cannot scale by negative factor {scalar}")
+        return WorkVector(c * scalar for c in self._components)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "WorkVector":
+        scalar = float(scalar)
+        if scalar <= 0.0:
+            raise InvalidWorkVectorError(f"cannot divide by non-positive {scalar}")
+        return WorkVector(c / scalar for c in self._components)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def dominates(self, other: "WorkVector") -> bool:
+        """Componentwise ``>=`` (the paper's ``other <=_d self``).
+
+        Used by the malleable-scheduling extension of Section 7, whose only
+        requirement on the communication model is that work vectors are
+        non-decreasing in the degree of parallelism.
+        """
+        self._check_compatible(other)
+        return all(a >= b for a, b in zip(self._components, other._components))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkVector):
+            return NotImplemented
+        return self._components == other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def isclose(self, other: "WorkVector", rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+        """Componentwise :func:`math.isclose` comparison."""
+        self._check_compatible(other)
+        return all(
+            math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+            for a, b in zip(self._components, other._components)
+        )
+
+    def __repr__(self) -> str:
+        comps = ", ".join(f"{c:g}" for c in self._components)
+        return f"WorkVector([{comps}])"
+
+
+def vector_sum(vectors: Iterable[WorkVector], d: int | None = None) -> WorkVector:
+    """Return the componentwise sum of ``vectors``.
+
+    Parameters
+    ----------
+    vectors:
+        The vectors to add.  All must share the same dimensionality.
+    d:
+        Dimensionality to assume when ``vectors`` is empty.  Required in
+        that case; ignored otherwise.
+    """
+    acc: list[float] | None = None
+    for w in vectors:
+        if acc is None:
+            acc = list(w.components)
+        else:
+            if len(acc) != w.d:
+                raise InvalidWorkVectorError(
+                    f"dimensionality mismatch in vector_sum: {len(acc)} vs {w.d}"
+                )
+            for i, c in enumerate(w.components):
+                acc[i] += c
+    if acc is None:
+        if d is None:
+            raise InvalidWorkVectorError(
+                "vector_sum of an empty collection requires explicit dimensionality"
+            )
+        return WorkVector.zeros(d)
+    return WorkVector(acc)
+
+
+def set_length(vectors: Iterable[WorkVector], d: int | None = None) -> float:
+    """Return ``l(S)``: the maximum component of the sum of ``vectors``.
+
+    This is the paper's length of a set of work vectors (Section 5.1) and
+    the quantity the bin-design formulation of Section 5.3 minimizes (the
+    required common bin capacity).
+    """
+    vectors = list(vectors)
+    if not vectors:
+        if d is None:
+            raise InvalidWorkVectorError(
+                "set_length of an empty collection requires explicit dimensionality"
+            )
+        return 0.0
+    return vector_sum(vectors).length()
+
+
+def dominates(a: WorkVector, b: WorkVector) -> bool:
+    """Return ``True`` when ``a`` componentwise dominates ``b``."""
+    return a.dominates(b)
+
+
+def as_work_vector(value: WorkVector | Sequence[float]) -> WorkVector:
+    """Coerce a sequence of floats into a :class:`WorkVector`."""
+    if isinstance(value, WorkVector):
+        return value
+    return WorkVector(value)

@@ -1,0 +1,73 @@
+"""Cost annotation: attach an :class:`OperatorSpec` to every operator.
+
+Step 2 of the paper's scheduling pipeline (Section 3.2): "For each
+operator, determine its individual resource requirements using hardware
+parameters, DBMS statistics, and conventional optimizer cost models."
+:func:`annotate_plan` walks a macro-expanded operator tree, derives each
+operator's zero-communication work vector (the [HCY94]-style model of
+:mod:`repro.cost.cost_model`) and its interconnect data volume ``D``
+(:mod:`repro.cost.communication`), and stores the resulting
+:class:`~repro.core.cloning.OperatorSpec` on the operator node.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PlanStructureError
+from repro.core.cloning import OperatorSpec
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.physical_ops import OperatorKind, PhysicalOperator
+from repro.cost.communication import operator_data_volume
+from repro.cost.cost_model import (
+    build_work_vector,
+    merge_work_vector,
+    probe_work_vector,
+    rescan_work_vector,
+    scan_work_vector,
+    sort_work_vector,
+    store_work_vector,
+)
+from repro.cost.params import SystemParameters
+
+__all__ = ["annotate_operator", "annotate_plan"]
+
+
+def annotate_operator(
+    op: PhysicalOperator, op_tree: OperatorTree, params: SystemParameters
+) -> OperatorSpec:
+    """Compute (and attach) the :class:`OperatorSpec` for one operator."""
+    if op.kind is OperatorKind.SCAN:
+        work = scan_work_vector(op.output_tuples, params)
+    elif op.kind is OperatorKind.BUILD:
+        work = build_work_vector(op.input_tuples, params)
+    elif op.kind is OperatorKind.PROBE:
+        work = probe_work_vector(op.input_tuples, op.output_tuples, params)
+    elif op.kind is OperatorKind.SORT:
+        work = sort_work_vector(op.input_tuples, params)
+    elif op.kind is OperatorKind.MERGE:
+        # input_tuples records both sorted streams combined; split is
+        # immaterial to the cost (both sides cost extract per tuple).
+        work = merge_work_vector(op.input_tuples, 0, op.output_tuples, params)
+    elif op.kind is OperatorKind.STORE:
+        work = store_work_vector(op.input_tuples, params)
+    elif op.kind is OperatorKind.RESCAN:
+        work = rescan_work_vector(op.output_tuples, params)
+    else:
+        raise PlanStructureError(f"unknown operator kind {op.kind!r}")
+    spec = OperatorSpec(
+        name=op.name,
+        work=work,
+        data_volume=operator_data_volume(op, op_tree, params),
+    )
+    op.spec = spec
+    return spec
+
+
+def annotate_plan(op_tree: OperatorTree, params: SystemParameters) -> OperatorTree:
+    """Annotate every operator of ``op_tree`` in place; returns the tree.
+
+    Idempotent: re-annotating with different parameters simply replaces
+    the attached specs.
+    """
+    for op in op_tree.operators:
+        annotate_operator(op, op_tree, params)
+    return op_tree

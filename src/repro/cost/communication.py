@@ -1,0 +1,78 @@
+"""Per-operator interconnect data volumes (``D`` of Section 4.3).
+
+The communication model ``W_c(op, N) = alpha*N + beta*D`` needs, per
+operator, the total size ``D`` (bytes) of the operator's input and output
+data sets transferred over the interconnect.  Under assumption **A5
+(dynamically repartitioned pipelined outputs)** every pipeline edge
+crosses the interconnect: the producer's output stream is repartitioned to
+serve as the consumer's input, costing network-interface time ``beta`` per
+byte at *both* endpoints.  Consequently, for the hash-join operator
+vocabulary:
+
+* ``scan(R)`` — sends its output downstream: ``D = bytes(|R|)``;
+* ``build(J)`` — receives its inner input stream: ``D = bytes(|inner|)``
+  (the hash table itself stays local, A1);
+* ``probe(J)`` — receives the outer stream and, unless it is the plan
+  root, sends its result stream: ``D = bytes(|outer|) + bytes(|result|)``
+  (a root probe delivers results to the client without repartitioning:
+  ``D = bytes(|outer|)``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PlanStructureError
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.physical_ops import OperatorKind, PhysicalOperator
+from repro.cost.params import SystemParameters
+
+__all__ = ["operator_data_volume"]
+
+
+def operator_data_volume(
+    op: PhysicalOperator, op_tree: OperatorTree, params: SystemParameters
+) -> float:
+    """Return ``D`` (bytes over the interconnect) for one operator.
+
+    Parameters
+    ----------
+    op:
+        The physical operator.
+    op_tree:
+        The containing operator tree (determines whether the operator's
+        output is pipelined to a consumer or delivered to the client).
+    params:
+        Supplies the tuple size.
+    """
+    if op not in op_tree:
+        raise PlanStructureError(f"operator {op.name!r} not in the given tree")
+    has_pipeline_consumer = op_tree.pipeline_consumer(op) is not None
+    if op.kind is OperatorKind.SCAN:
+        return float(params.bytes_of(op.output_tuples)) if has_pipeline_consumer else 0.0
+    if op.kind is OperatorKind.BUILD:
+        return float(params.bytes_of(op.input_tuples))
+    if op.kind is OperatorKind.PROBE:
+        volume = float(params.bytes_of(op.input_tuples))
+        if has_pipeline_consumer:
+            volume += float(params.bytes_of(op.output_tuples))
+        return volume
+    if op.kind is OperatorKind.SORT:
+        # Receives its repartitioned input and, after completion, ships
+        # the sorted stream to the merge (a blocking consumer, so the
+        # pipeline-consumer check does not apply).
+        return float(
+            params.bytes_of(op.input_tuples) + params.bytes_of(op.output_tuples)
+        )
+    if op.kind is OperatorKind.MERGE:
+        volume = float(params.bytes_of(op.input_tuples))  # both sorted streams
+        if has_pipeline_consumer:
+            volume += float(params.bytes_of(op.output_tuples))
+        return volume
+    if op.kind is OperatorKind.STORE:
+        # Receives the repartitioned result stream; the pages stay local.
+        return float(params.bytes_of(op.input_tuples))
+    if op.kind is OperatorKind.RESCAN:
+        # Reads locally (rooted at the store); ships to its consumer.
+        return (
+            float(params.bytes_of(op.output_tuples)) if has_pipeline_consumer else 0.0
+        )
+    raise PlanStructureError(f"unknown operator kind {op.kind!r}")

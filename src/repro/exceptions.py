@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The subclasses map
+to the major layers of the system:
+
+* model-level validation (:class:`InvalidWorkVectorError`,
+  :class:`ModelValidationError`),
+* plan construction (:class:`PlanStructureError`),
+* scheduling (:class:`SchedulingError`, :class:`InfeasibleScheduleError`),
+* configuration of experiments and cost models
+  (:class:`ConfigurationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class ModelValidationError(ReproError, ValueError):
+    """A model object (resource usage, overlap parameter, ...) is invalid.
+
+    Raised, for instance, when a sequential execution time violates the
+    fundamental bound ``max_i W[i] <= T_seq <= sum_i W[i]`` of Section 4.1,
+    or when an overlap parameter falls outside ``[0, 1]``.
+    """
+
+
+class InvalidWorkVectorError(ModelValidationError):
+    """A work vector has an invalid shape or negative components."""
+
+
+class PlanStructureError(ReproError, ValueError):
+    """A query graph, join tree, operator tree, or task tree is malformed.
+
+    Examples: a query graph that is not a tree, an operator tree with a
+    cycle, or a task tree whose blocking edges do not form a tree.
+    """
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduling algorithm was invoked with inconsistent inputs.
+
+    Examples: duplicate operator identifiers, a rooted operator placed on a
+    site index outside ``0..P-1``, or two clones of the same operator rooted
+    at the same site (violating constraint (A) of Section 5.3).
+    """
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No feasible schedule exists for the given constraints.
+
+    The canonical case is an operator whose degree of parallelism exceeds
+    the number of sites that are allowed to host it.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or cost-model configuration parameter is invalid."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The execution simulator detected an inconsistency.
+
+    Raised when a simulated schedule violates a per-resource capacity
+    constraint or when a sharing policy produces a non-physical rate.
+    """

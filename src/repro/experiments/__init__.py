@@ -1,0 +1,59 @@
+"""Reproduction harness for the Section 6 experimental evaluation.
+
+Builders for every figure of the paper, the experiment runner and
+configuration, and ASCII rendering.  See ``repro-experiments --help`` for
+the command-line interface.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG, quick_config
+from repro.experiments.figures import (
+    FIGURES,
+    FigureData,
+    Series,
+    figure5a,
+    figure5b,
+    figure6a,
+    figure6b,
+)
+from repro.experiments.report import (
+    improvement_summary,
+    render_figure,
+    render_parameters,
+)
+from repro.experiments.runner import (
+    ALGORITHMS,
+    average_response_time,
+    prepare_workload,
+    response_time,
+)
+from repro.experiments.plan_selection import (
+    PlanCandidate,
+    PlanSelectionResult,
+    select_best_plan,
+)
+from repro.experiments.sensitivity import SWEEPABLE_FIELDS, parameter_sensitivity
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "quick_config",
+    "Series",
+    "FigureData",
+    "figure5a",
+    "figure5b",
+    "figure6a",
+    "figure6b",
+    "FIGURES",
+    "render_figure",
+    "render_parameters",
+    "improvement_summary",
+    "ALGORITHMS",
+    "prepare_workload",
+    "response_time",
+    "average_response_time",
+    "SWEEPABLE_FIELDS",
+    "parameter_sensitivity",
+    "PlanCandidate",
+    "PlanSelectionResult",
+    "select_best_plan",
+]

@@ -1,0 +1,133 @@
+"""Command-line entry point: ``repro-experiments <figure> [options]``.
+
+Examples
+--------
+Regenerate Figure 5(a) with the reduced (quick) sweep::
+
+    repro-experiments fig5a --quick
+
+Regenerate every figure with the paper's full sweep and save the report::
+
+    repro-experiments all > experiments.txt
+
+Print the Table 2 configuration::
+
+    repro-experiments table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments.config import PAPER_CONFIG, quick_config
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import render_figure, render_parameters
+from repro.experiments.sensitivity import parameter_sensitivity
+
+__all__ = ["build_parser", "main"]
+
+#: Sensitivity sweep targets: name -> (field, multipliers).
+SENSITIVITY_TARGETS = {
+    "sens-cpu": ("cpu_mips", (0.1, 0.5, 1.0, 2.0, 10.0)),
+    "sens-disk": ("disk_seconds_per_page", (0.1, 0.5, 1.0, 2.0, 10.0)),
+    "sens-startup": ("alpha_startup_seconds", (0.1, 0.5, 1.0, 2.0, 10.0)),
+    "sens-network": ("beta_seconds_per_byte", (0.1, 0.5, 1.0, 2.0, 10.0)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of 'Multi-dimensional Resource "
+            "Scheduling for Parallel Queries' (SIGMOD 1996)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        choices=[*FIGURES, *SENSITIVITY_TARGETS, "all", "table2"],
+        help=(
+            "figure to regenerate, a sensitivity sweep (sens-*), 'all' for "
+            "every figure, or 'table2' for the configuration"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced sweep (fewer queries/sites; same shapes)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="override the number of random queries per size",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    parser.add_argument(
+        "--sites",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="override the swept site counts",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the series as JSON instead of ASCII tables",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = quick_config() if args.quick else PAPER_CONFIG
+    overrides = {}
+    if args.queries is not None:
+        overrides["n_queries"] = args.queries
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.sites is not None:
+        overrides["site_counts"] = tuple(args.sites)
+    if overrides:
+        config = config.with_overrides(**overrides)
+
+    if args.target == "table2":
+        print(render_parameters(config.params))
+        return 0
+
+    def emit(figure, elapsed: float) -> None:
+        if args.json:
+            from repro.serialization import figure_to_dict
+
+            print(json.dumps(figure_to_dict(figure), indent=2))
+        else:
+            print(render_figure(figure))
+            print(f"(regenerated in {elapsed:.1f}s)")
+            print()
+
+    if args.target in SENSITIVITY_TARGETS:
+        field, multipliers = SENSITIVITY_TARGETS[args.target]
+        start = time.perf_counter()
+        figure = parameter_sensitivity(field, multipliers, config)
+        emit(figure, time.perf_counter() - start)
+        return 0
+
+    targets = list(FIGURES) if args.target == "all" else [args.target]
+    for name in targets:
+        start = time.perf_counter()
+        figure = FIGURES[name](config)
+        emit(figure, time.perf_counter() - start)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Experiment configuration (the Section 6.1 methodology, parameterized).
+
+:data:`PAPER_CONFIG` mirrors the paper's full sweep: twenty random queries
+per size, 10-140 sites, overlap 0.1-0.7, granularity 0.3-0.9.
+:func:`quick_config` shrinks the sweep for CI/benchmark runs while keeping
+every qualitative shape intact (same workload distribution, same
+parameter ranges, fewer samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+from repro.cost.params import PAPER_PARAMETERS, SystemParameters
+
+__all__ = ["ExperimentConfig", "PAPER_CONFIG", "quick_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one experiment sweep.
+
+    Attributes
+    ----------
+    site_counts:
+        System sizes ``P`` to sweep (paper: 10 to 140).
+    query_sizes:
+        Join counts to sweep (paper: 10, 20, 30, 40, 50).
+    n_queries:
+        Random queries per size; results are averaged (paper: 20).
+    seed:
+        Workload RNG seed (fixed for byte-reproducible series).
+    params:
+        The Table 2 system parameters.
+    f_values:
+        Granularity parameters swept in Figure 5(a) (paper: 0.3-0.9; we
+        include 0.1 to show the over-restrictive end).
+    epsilon_values:
+        Resource-overlap parameters swept in Figure 5(b)
+        (paper: 10%-70%).
+    default_f:
+        Granularity used when f is held constant (paper: 0.7).
+    default_epsilon:
+        Overlap used when epsilon is held constant (paper: 0.5).
+    """
+
+    site_counts: tuple[int, ...] = (10, 20, 40, 60, 80, 100, 120, 140)
+    query_sizes: tuple[int, ...] = (10, 20, 30, 40, 50)
+    n_queries: int = 20
+    seed: int = 19_960_604  # SIGMOD 1996, Montreal, June
+    params: SystemParameters = field(default_factory=lambda: PAPER_PARAMETERS)
+    f_values: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    epsilon_values: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7)
+    default_f: float = 0.7
+    default_epsilon: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.site_counts or any(p < 1 for p in self.site_counts):
+            raise ConfigurationError("site_counts must be non-empty positive ints")
+        if not self.query_sizes or any(j < 1 for j in self.query_sizes):
+            raise ConfigurationError("query_sizes must be non-empty positive ints")
+        if self.n_queries < 1:
+            raise ConfigurationError(f"n_queries must be >= 1, got {self.n_queries}")
+        if any(not 0.0 < f for f in self.f_values) or self.default_f <= 0.0:
+            raise ConfigurationError("granularity parameters must be > 0")
+        for eps in (*self.epsilon_values, self.default_epsilon):
+            if not 0.0 <= eps <= 1.0:
+                raise ConfigurationError(f"overlap parameter {eps} outside [0, 1]")
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's full sweep.
+PAPER_CONFIG = ExperimentConfig()
+
+
+def quick_config(
+    n_queries: int = 5,
+    site_counts: tuple[int, ...] = (10, 40, 80, 140),
+    query_sizes: tuple[int, ...] = (10, 20, 40),
+) -> ExperimentConfig:
+    """A reduced sweep for CI and ``pytest-benchmark`` runs.
+
+    Keeps the paper's parameter values but samples fewer queries, system
+    sizes, and query sizes, so a full figure regenerates in seconds.
+    """
+    return PAPER_CONFIG.with_overrides(
+        n_queries=n_queries,
+        site_counts=site_counts,
+        query_sizes=query_sizes,
+        f_values=(0.1, 0.3, 0.7),
+        epsilon_values=(0.1, 0.3, 0.7),
+    )

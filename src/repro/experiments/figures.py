@@ -1,0 +1,221 @@
+"""Series builders for every figure of the paper's evaluation (Section 6.2).
+
+Each ``figure*`` function regenerates the data behind one paper figure as
+a :class:`FigureData` bundle of labelled series; rendering (ASCII tables)
+lives in :mod:`repro.experiments.report`.
+
+* :func:`figure5a` — effect of the granularity parameter ``f``
+  (40-join queries, ``epsilon = 0.3``): TREESCHEDULE for each ``f`` plus
+  SYNCHRONOUS, versus the number of sites.
+* :func:`figure5b` — effect of the resource-overlap parameter
+  ``epsilon`` (40-join queries, ``f`` fixed): both algorithms for each
+  ``epsilon``, versus the number of sites.
+* :func:`figure6a` — effect of query size (``epsilon = 0.5``,
+  ``f = 0.7``): both algorithms at 20 and 80 sites, versus join count.
+* :func:`figure6b` — TREESCHEDULE versus the OPTBOUND lower bound
+  (20- and 40-join queries, ``f = 0.7``, ``epsilon = 0.5``), versus the
+  number of sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.runner import average_response_time, prepare_workload
+
+__all__ = ["Series", "FigureData", "figure5a", "figure5b", "figure6a", "figure6b", "FIGURES"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: parallel ``xs`` and ``ys`` arrays."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(f"series {self.label!r}: xs and ys length mismatch")
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """All series of one regenerated figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: tuple[str, ...] = field(default=())
+
+    def series_by_label(self, label: str) -> Series:
+        """Look a series up by its exact label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in {self.figure_id}")
+
+
+def figure5a(
+    config: ExperimentConfig = PAPER_CONFIG, *, n_joins: int = 40, epsilon: float = 0.3
+) -> FigureData:
+    """Figure 5(a): effect of the granularity parameter ``f``."""
+    queries = prepare_workload(n_joins, config.n_queries, config.seed, config.params)
+    series: list[Series] = []
+    for f in config.f_values:
+        ys = tuple(
+            average_response_time(
+                "treeschedule", queries, p=p, f=f, epsilon=epsilon, params=config.params
+            )
+            for p in config.site_counts
+        )
+        series.append(Series(label=f"TreeSchedule f={f:g}", xs=tuple(config.site_counts), ys=ys))
+    sync_ys = tuple(
+        average_response_time(
+            "synchronous",
+            queries,
+            p=p,
+            f=config.default_f,
+            epsilon=epsilon,
+            params=config.params,
+        )
+        for p in config.site_counts
+    )
+    series.append(Series(label="Synchronous", xs=tuple(config.site_counts), ys=sync_ys))
+    return FigureData(
+        figure_id="fig5a",
+        title=f"Effect of granularity parameter f ({n_joins} joins, eps={epsilon:g})",
+        x_label="number of sites",
+        y_label="avg response time (s)",
+        series=tuple(series),
+        notes=(
+            "Paper shape: response time falls as f grows until the parallelism cap; "
+            "large-f TreeSchedule beats Synchronous at every system size.",
+        ),
+    )
+
+
+def figure5b(
+    config: ExperimentConfig = PAPER_CONFIG, *, n_joins: int = 40, f: float | None = None
+) -> FigureData:
+    """Figure 5(b): effect of the resource-overlap parameter ``epsilon``."""
+    f = config.default_f if f is None else f
+    queries = prepare_workload(n_joins, config.n_queries, config.seed, config.params)
+    series: list[Series] = []
+    for eps in config.epsilon_values:
+        ts = tuple(
+            average_response_time(
+                "treeschedule", queries, p=p, f=f, epsilon=eps, params=config.params
+            )
+            for p in config.site_counts
+        )
+        series.append(Series(label=f"TreeSchedule eps={eps:g}", xs=tuple(config.site_counts), ys=ts))
+        sync = tuple(
+            average_response_time(
+                "synchronous", queries, p=p, f=f, epsilon=eps, params=config.params
+            )
+            for p in config.site_counts
+        )
+        series.append(Series(label=f"Synchronous eps={eps:g}", xs=tuple(config.site_counts), ys=sync))
+    return FigureData(
+        figure_id="fig5b",
+        title=f"Effect of resource overlap eps ({n_joins} joins, f={f:g})",
+        x_label="number of sites",
+        y_label="avg response time (s)",
+        series=tuple(series),
+        notes=(
+            "Paper shape: TreeSchedule wins for every eps; the advantage is "
+            "largest for small eps (long idle periods to share).",
+        ),
+    )
+
+
+def figure6a(
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    p_values: tuple[int, ...] = (20, 80),
+    epsilon: float | None = None,
+    f: float | None = None,
+) -> FigureData:
+    """Figure 6(a): effect of query size at two system sizes."""
+    epsilon = config.default_epsilon if epsilon is None else epsilon
+    f = config.default_f if f is None else f
+    series: list[Series] = []
+    cohorts = {
+        size: prepare_workload(size, config.n_queries, config.seed, config.params)
+        for size in config.query_sizes
+    }
+    for p in p_values:
+        for algorithm, label in (("treeschedule", "TreeSchedule"), ("synchronous", "Synchronous")):
+            ys = tuple(
+                average_response_time(
+                    algorithm, cohorts[size], p=p, f=f, epsilon=epsilon, params=config.params
+                )
+                for size in config.query_sizes
+            )
+            series.append(
+                Series(label=f"{label} P={p}", xs=tuple(float(s) for s in config.query_sizes), ys=ys)
+            )
+    return FigureData(
+        figure_id="fig6a",
+        title=f"Effect of query size (eps={epsilon:g}, f={f:g})",
+        x_label="number of joins",
+        y_label="avg response time (s)",
+        series=tuple(series),
+        notes=(
+            "Paper shape: at fixed P, TreeSchedule's relative improvement over "
+            "Synchronous grows monotonically with query size.",
+        ),
+    )
+
+
+def figure6b(
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    query_sizes: tuple[int, ...] = (20, 40),
+    epsilon: float | None = None,
+    f: float | None = None,
+) -> FigureData:
+    """Figure 6(b): TREESCHEDULE versus the OPTBOUND lower bound."""
+    epsilon = config.default_epsilon if epsilon is None else epsilon
+    f = config.default_f if f is None else f
+    series: list[Series] = []
+    for size in query_sizes:
+        queries = prepare_workload(size, config.n_queries, config.seed, config.params)
+        ts = tuple(
+            average_response_time(
+                "treeschedule", queries, p=p, f=f, epsilon=epsilon, params=config.params
+            )
+            for p in config.site_counts
+        )
+        series.append(Series(label=f"TreeSchedule {size} joins", xs=tuple(config.site_counts), ys=ts))
+        lb = tuple(
+            average_response_time(
+                "optbound", queries, p=p, f=f, epsilon=epsilon, params=config.params
+            )
+            for p in config.site_counts
+        )
+        series.append(Series(label=f"OptBound {size} joins", xs=tuple(config.site_counts), ys=lb))
+    return FigureData(
+        figure_id="fig6b",
+        title=f"TreeSchedule vs optimal lower bound (eps={epsilon:g}, f={f:g})",
+        x_label="number of sites",
+        y_label="avg response time (s)",
+        series=tuple(series),
+        notes=(
+            "Paper shape: average TreeSchedule response time stays much closer "
+            "to OPTBOUND than the worst-case Theorem 5.1 factor suggests.",
+        ),
+    )
+
+
+#: Figure registry for the CLI.
+FIGURES = {
+    "fig5a": figure5a,
+    "fig5b": figure5b,
+    "fig6a": figure6a,
+    "fig6b": figure6b,
+}

@@ -1,0 +1,133 @@
+"""Scheduling-aware plan selection: the scheduler as an optimizer cost model.
+
+The paper positions parallelization as a phase after conventional plan
+selection ("the plan is usually the result of an earlier phase of
+conventional centralized query optimization", §1).  But once a fast,
+provably near-optimal scheduler exists, it can *itself* serve as the cost
+model for choosing among candidate plans — a bushy shape that looks good
+under a scalar cost model may parallelize poorly (deep task chains, hot
+intermediate results), and vice versa.
+
+:func:`select_best_plan` samples ``k`` random bushy plans for one query
+graph, schedules each with TREESCHEDULE, and returns the plan with the
+smallest scheduled response time, together with the full ranking.  The
+``abl-plansel`` benchmark quantifies the gap between the best and the
+median random plan — i.e. how much response time a scheduling-blind
+optimizer leaves on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.granularity import CommunicationModel
+from repro.core.resource_model import OverlapModel
+from repro.core.tree_schedule import TreeScheduleResult, tree_schedule
+from repro.cost.annotate import annotate_plan
+from repro.cost.params import SystemParameters
+from repro.plans.join_tree import PlanNode, random_bushy_plan
+from repro.plans.operator_tree import expand_plan
+from repro.plans.query_graph import QueryGraph
+from repro.plans.relations import Catalog
+from repro.plans.task_tree import build_task_tree
+
+__all__ = ["PlanCandidate", "PlanSelectionResult", "select_best_plan"]
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One sampled plan together with its scheduled response time."""
+
+    plan: PlanNode
+    response_time: float
+    num_phases: int
+
+
+@dataclass(frozen=True)
+class PlanSelectionResult:
+    """Ranking of the sampled candidates (best first).
+
+    Attributes
+    ----------
+    candidates:
+        All sampled plans, sorted by scheduled response time.
+    """
+
+    candidates: tuple[PlanCandidate, ...]
+
+    @property
+    def best(self) -> PlanCandidate:
+        """The winning candidate."""
+        return self.candidates[0]
+
+    @property
+    def median_response_time(self) -> float:
+        """Response time of the median-ranked candidate."""
+        return self.candidates[len(self.candidates) // 2].response_time
+
+    @property
+    def selection_gain(self) -> float:
+        """Relative improvement of the best over the median candidate."""
+        median = self.median_response_time
+        if median <= 0:
+            return 0.0
+        return (median - self.best.response_time) / median
+
+
+def select_best_plan(
+    graph: QueryGraph,
+    catalog: Catalog,
+    *,
+    k: int,
+    seed: int,
+    p: int,
+    params: SystemParameters,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    f: float = 0.7,
+) -> tuple[PlanSelectionResult, TreeScheduleResult]:
+    """Sample ``k`` random bushy plans and keep the best-scheduling one.
+
+    Returns the full ranking plus the winning plan's schedule.
+
+    Parameters
+    ----------
+    graph, catalog:
+        The query.
+    k:
+        Number of random bushy plans to sample (``>= 1``).
+    seed:
+        RNG seed for plan sampling.
+    p, params, comm, overlap, f:
+        Scheduling context (as for
+        :func:`repro.core.tree_schedule.tree_schedule`).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    scored: list[tuple[PlanCandidate, TreeScheduleResult]] = []
+    for _ in range(k):
+        plan = random_bushy_plan(graph, catalog, rng)
+        op_tree = annotate_plan(expand_plan(plan), params)
+        task_tree = build_task_tree(op_tree)
+        result = tree_schedule(
+            op_tree, task_tree, p=p, comm=comm, overlap=overlap, f=f
+        )
+        scored.append(
+            (
+                PlanCandidate(
+                    plan=plan,
+                    response_time=result.response_time,
+                    num_phases=result.num_phases,
+                ),
+                result,
+            )
+        )
+    scored.sort(key=lambda item: item[0].response_time)
+    ranking = PlanSelectionResult(
+        candidates=tuple(candidate for candidate, _ in scored)
+    )
+    return ranking, scored[0][1]

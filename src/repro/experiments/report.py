@@ -1,0 +1,99 @@
+"""ASCII rendering of regenerated figures and the Table 2 configuration.
+
+The paper reports line plots; a terminal reproduction prints the same
+series as aligned tables (one row per x value, one column per series) plus
+derived improvement ratios, which is what the shape claims in
+EXPERIMENTS.md are checked against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.cost.params import SystemParameters
+from repro.experiments.figures import FigureData, Series
+
+__all__ = ["render_figure", "render_parameters", "improvement_summary"]
+
+
+def _format_cell(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    if value >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.4g}"
+
+
+def render_figure(figure: FigureData, max_label: int = 26) -> str:
+    """Render one figure's series as an aligned ASCII table."""
+    xs = figure.series[0].xs if figure.series else ()
+    for s in figure.series:
+        if s.xs != xs:
+            raise ValueError(
+                f"series {s.label!r} has a different x grid; cannot tabulate"
+            )
+    header = [figure.x_label[: max_label]]
+    header += [s.label[:max_label] for s in figure.series]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [_format_cell(float(x))]
+        row += [_format_cell(s.ys[i]) for s in figure.series]
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [f"== {figure.figure_id}: {figure.title} ==", f"({figure.y_label})"]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    for note in figure.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def improvement_summary(
+    figure: FigureData, better: str, worse: str
+) -> str:
+    """Summarize how much series ``better`` improves on series ``worse``.
+
+    Returns a one-line report of the min/mean/max percentage improvement
+    ``(worse - better) / worse`` across the shared x grid.
+    """
+    b = figure.series_by_label(better)
+    w = figure.series_by_label(worse)
+    if b.xs != w.xs:
+        raise ValueError("series are on different x grids")
+    gains = [
+        (wv - bv) / wv if wv > 0 else 0.0 for bv, wv in zip(b.ys, w.ys)
+    ]
+    return (
+        f"{better} vs {worse}: improvement "
+        f"min={min(gains) * 100:.1f}% "
+        f"mean={math.fsum(gains) / len(gains) * 100:.1f}% "
+        f"max={max(gains) * 100:.1f}%"
+    )
+
+
+def render_parameters(params: SystemParameters) -> str:
+    """Render the Table 2 configuration as an ASCII table."""
+    rows: Sequence[tuple[str, str]] = (
+        ("CPU Speed", f"{params.cpu_mips:g} MIPS"),
+        ("Effective Disk Service Time per page", f"{params.disk_seconds_per_page * 1e3:g} msec"),
+        ("Startup Cost per site (alpha)", f"{params.alpha_startup_seconds * 1e3:g} msec"),
+        ("Network Transfer Cost per byte (beta)", f"{params.beta_seconds_per_byte * 1e6:g} usec"),
+        ("Tuple Size", f"{params.tuple_bytes} bytes"),
+        ("Page Size", f"{params.tuples_per_page} tuples"),
+        ("Read Page from Disk", f"{params.instr_read_page} instr"),
+        ("Write Page to Disk", f"{params.instr_write_page} instr"),
+        ("Extract Tuple", f"{params.instr_extract_tuple} instr"),
+        ("Hash Tuple", f"{params.instr_hash_tuple} instr"),
+        ("Probe Hash Table", f"{params.instr_probe_table} instr"),
+    )
+    width = max(len(name) for name, _ in rows)
+    lines = ["== Table 2: Experiment Parameter Settings =="]
+    for name, value in rows:
+        lines.append(f"{name.ljust(width)}  {value}")
+    return "\n".join(lines)

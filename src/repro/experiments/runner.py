@@ -1,0 +1,139 @@
+"""Experiment runner: algorithms over seeded workloads, with averaging.
+
+The comparison metric throughout Section 6 is "the average response times
+of the schedules produced by the algorithms over all queries of the same
+size".  :func:`prepare_workload` draws and cost-annotates a query cohort;
+:func:`average_response_time` evaluates one algorithm at one sweep point.
+Workloads are cached per ``(n_joins, n_queries, seed)`` because every
+sweep point of a figure reuses the same twenty plans.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from functools import lru_cache
+
+from repro.exceptions import ConfigurationError
+from repro.core.resource_model import ConvexCombinationOverlap
+from repro.core.tree_schedule import tree_schedule
+from repro.baselines.hong import hong_schedule
+from repro.baselines.opt_bound import opt_bound
+from repro.baselines.synchronous import synchronous_schedule
+from repro.cost.annotate import annotate_plan
+from repro.cost.params import PAPER_PARAMETERS, SystemParameters
+from repro.plans.generator import GeneratedQuery, generate_workload
+
+__all__ = [
+    "ALGORITHMS",
+    "prepare_workload",
+    "response_time",
+    "average_response_time",
+]
+
+#: Algorithm names accepted by :func:`response_time`.
+ALGORITHMS = ("treeschedule", "synchronous", "hong", "optbound")
+
+
+@lru_cache(maxsize=64)
+def _cached_workload(
+    n_joins: int, n_queries: int, seed: int, params: SystemParameters
+) -> tuple[GeneratedQuery, ...]:
+    queries = generate_workload(n_joins, n_queries, seed)
+    for query in queries:
+        annotate_plan(query.operator_tree, params)
+    return tuple(queries)
+
+
+def prepare_workload(
+    n_joins: int,
+    n_queries: int,
+    seed: int,
+    params: SystemParameters = PAPER_PARAMETERS,
+) -> tuple[GeneratedQuery, ...]:
+    """Draw and cost-annotate a reproducible cohort of random queries.
+
+    Results are cached, so repeated sweep points share one workload
+    object (annotation attaches specs in place; all algorithms read the
+    same specs).
+    """
+    return _cached_workload(n_joins, n_queries, seed, params)
+
+
+def response_time(
+    algorithm: str,
+    query: GeneratedQuery,
+    *,
+    p: int,
+    f: float,
+    epsilon: float,
+    params: SystemParameters = PAPER_PARAMETERS,
+) -> float:
+    """Evaluate one algorithm on one annotated query.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"treeschedule"``, ``"synchronous"``, ``"hong"`` (the XPRS-style
+        pairing baseline), or ``"optbound"``.
+    query:
+        A cost-annotated :class:`~repro.plans.generator.GeneratedQuery`.
+    p:
+        Number of sites.
+    f:
+        Granularity parameter (ignored by ``synchronous``).
+    epsilon:
+        Resource-overlap parameter (EA2).
+    params:
+        Table 2 system parameters (supplies the communication model).
+    """
+    comm = params.communication_model()
+    overlap = ConvexCombinationOverlap(epsilon)
+    if algorithm == "treeschedule":
+        return tree_schedule(
+            query.operator_tree,
+            query.task_tree,
+            p=p,
+            comm=comm,
+            overlap=overlap,
+            f=f,
+        ).response_time
+    if algorithm == "synchronous":
+        return synchronous_schedule(
+            query.operator_tree, query.task_tree, p=p, comm=comm, overlap=overlap
+        ).response_time
+    if algorithm == "hong":
+        return hong_schedule(
+            query.operator_tree, query.task_tree, p=p, comm=comm, overlap=overlap, f=f
+        ).response_time
+    if algorithm == "optbound":
+        return opt_bound(
+            query.operator_tree,
+            query.task_tree,
+            p=p,
+            f=f,
+            comm=comm,
+            overlap=overlap,
+        )
+    raise ConfigurationError(
+        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    )
+
+
+def average_response_time(
+    algorithm: str,
+    queries: Sequence[GeneratedQuery],
+    *,
+    p: int,
+    f: float,
+    epsilon: float,
+    params: SystemParameters = PAPER_PARAMETERS,
+) -> float:
+    """Average :func:`response_time` over a query cohort."""
+    if not queries:
+        raise ConfigurationError("query cohort is empty")
+    times = [
+        response_time(algorithm, q, p=p, f=f, epsilon=epsilon, params=params)
+        for q in queries
+    ]
+    return math.fsum(times) / len(times)

@@ -1,0 +1,22 @@
+"""Memory-constrained scheduling: the paper's Section 8 open problem.
+
+Drops assumption A1 (no memory limitations): sites get buffer-memory
+capacities, hash tables occupy real bytes from build to probe, and the
+memory-aware TREESCHEDULE variant spreads or spills tables that do not
+fit, pricing the spill I/O with the Table 2 cost model.
+"""
+
+from repro.memory.model import MemoryLedger, MemoryModel, TableCommitment
+from repro.memory.scheduler import MemoryAwareResult, memory_aware_tree_schedule
+from repro.memory.spill import build_spill_work, probe_spill_work, spill_fraction
+
+__all__ = [
+    "MemoryModel",
+    "MemoryLedger",
+    "TableCommitment",
+    "spill_fraction",
+    "build_spill_work",
+    "probe_spill_work",
+    "MemoryAwareResult",
+    "memory_aware_tree_schedule",
+]

@@ -1,0 +1,165 @@
+"""Memory as a non-preemptable resource (the paper's first open problem).
+
+Section 8: *"Incorporating nonpreemptable resources such as memory
+requires an even richer model of parallelization and thus remains an open
+question."*  This subpackage implements the natural first step the paper
+gestures at — replacing assumption **A1 (no memory limitations)** with
+per-site memory capacities:
+
+* each site owns ``capacity_bytes`` of buffer memory;
+* the hash table of join ``J`` occupies memory at the build's home from
+  the build's phase until the probe's phase completes (the probe needs
+  the table resident, Section 5.5);
+* a build of degree ``N`` over ``T`` input tuples commits
+  ``overhead * T * tuple_bytes / N`` on each home site;
+* when a table cannot fit, a *hybrid-hash style spill* writes a fraction
+  of both join inputs to disk during the build phase and re-reads them
+  during the probe phase (:mod:`repro.memory.spill`).
+
+:class:`MemoryLedger` tracks live commitments per site across phases so a
+scheduler can (a) pick degrees that fit and (b) verify that no site ever
+over-commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError, SchedulingError
+
+__all__ = ["MemoryModel", "MemoryLedger", "TableCommitment"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-site buffer-memory configuration.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Buffer memory available to hash tables at each site.
+    hash_table_overhead:
+        Multiplicative space overhead of a hash table over its raw input
+        bytes (bucket headers, pointers, fill factor).  1.2 is a common
+        engineering estimate.
+    """
+
+    capacity_bytes: float
+    hash_table_overhead: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"memory capacity must be > 0, got {self.capacity_bytes}"
+            )
+        if self.hash_table_overhead < 1.0:
+            raise ConfigurationError(
+                f"hash table overhead must be >= 1, got {self.hash_table_overhead}"
+            )
+
+    def table_bytes(self, input_tuples: int, tuple_bytes: int) -> float:
+        """In-memory size of a hash table over ``input_tuples`` tuples."""
+        if input_tuples < 0:
+            raise ConfigurationError(f"tuple count must be >= 0, got {input_tuples}")
+        return self.hash_table_overhead * input_tuples * tuple_bytes
+
+
+@dataclass
+class TableCommitment:
+    """One hash table's residency interval and footprint.
+
+    Attributes
+    ----------
+    join_id:
+        The owning join.
+    site_indices:
+        The build's home (each site holds one partition).
+    bytes_per_site:
+        Resident bytes per home site (after any spill).
+    build_phase:
+        Phase index in which the table is built.
+    release_phase:
+        Phase index after which the table is dropped (the probe's phase).
+    """
+
+    join_id: str
+    site_indices: tuple[int, ...]
+    bytes_per_site: float
+    build_phase: int
+    release_phase: int
+
+
+class MemoryLedger:
+    """Tracks live hash-table commitments per site across phases."""
+
+    def __init__(self, p: int, model: MemoryModel):
+        if p < 1:
+            raise SchedulingError(f"number of sites must be >= 1, got {p}")
+        self._p = p
+        self._model = model
+        self._commitments: list[TableCommitment] = []
+
+    @property
+    def commitments(self) -> tuple[TableCommitment, ...]:
+        """All recorded commitments (including released ones)."""
+        return tuple(self._commitments)
+
+    def commit(self, commitment: TableCommitment) -> None:
+        """Record a table's residency; validates site indices and phases."""
+        for j in commitment.site_indices:
+            if not 0 <= j < self._p:
+                raise SchedulingError(
+                    f"table {commitment.join_id!r}: site {j} outside 0..{self._p - 1}"
+                )
+        if commitment.release_phase < commitment.build_phase:
+            raise SchedulingError(
+                f"table {commitment.join_id!r}: released before built"
+            )
+        if commitment.bytes_per_site < 0:
+            raise SchedulingError(
+                f"table {commitment.join_id!r}: negative footprint"
+            )
+        self._commitments.append(commitment)
+
+    def live_bytes(self, site: int, phase: int) -> float:
+        """Bytes resident on ``site`` during ``phase``."""
+        return sum(
+            c.bytes_per_site
+            for c in self._commitments
+            if site in c.site_indices and c.build_phase <= phase <= c.release_phase
+        )
+
+    def peak_live_bytes(self, phase: int) -> float:
+        """The most committed site's residency during ``phase``."""
+        return max(
+            (self.live_bytes(j, phase) for j in range(self._p)), default=0.0
+        )
+
+    def available(self, site: int, phase: int) -> float:
+        """Free capacity on ``site`` during ``phase`` (can be negative)."""
+        return self._model.capacity_bytes - self.live_bytes(site, phase)
+
+    def min_available(self, phase: int) -> float:
+        """The tightest site's free capacity during ``phase``.
+
+        Degree selection uses this conservative figure so that *any*
+        placement of the new table's partitions fits.
+        """
+        return min(self.available(j, phase) for j in range(self._p))
+
+    def validate(self, num_phases: int) -> None:
+        """Assert no site over-commits in any phase.
+
+        Raises
+        ------
+        SchedulingError
+            If some site's live bytes exceed capacity during some phase.
+        """
+        for phase in range(num_phases):
+            for j in range(self._p):
+                live = self.live_bytes(j, phase)
+                if live > self._model.capacity_bytes * (1 + 1e-9):
+                    raise SchedulingError(
+                        f"site {j} over-committed in phase {phase}: "
+                        f"{live:.0f} B > {self._model.capacity_bytes:.0f} B"
+                    )

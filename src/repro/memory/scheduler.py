@@ -1,0 +1,247 @@
+"""Memory-aware TREESCHEDULE: dropping assumption A1.
+
+This scheduler extends :func:`repro.core.tree_schedule.tree_schedule`
+with per-site memory capacities (the paper's Section 8 open problem).
+Memory is *non-preemptable*: a hash table occupies real bytes at its home
+from its build phase through its probe phase, so the scheduler must make
+residency decisions, not just time-sharing decisions.  The policy
+implemented here, per phase and per build operator:
+
+1. compute the coarse-grain join-stage degree exactly as TREESCHEDULE
+   does;
+2. compute the memory conservatively available per site over the table's
+   residency interval (all phases from build to probe), assuming the
+   worst case that every concurrently planned table could land on the
+   same site — this guarantees that *any* placement produced by the list
+   scheduler fits, so no re-scheduling pass is needed;
+3. if the table does not fit at the chosen degree, first *increase the
+   degree* (spreading the table thinner, up to ``P`` — more partitioned
+   parallelism is the cheap knob), then *spill* the remainder
+   hybrid-hash style (:mod:`repro.memory.spill`), adjusting the build's
+   and probe's work vectors with the extra I/O;
+4. record the residency in a :class:`~repro.memory.model.MemoryLedger`
+   once the phase is placed, and validate the whole ledger at the end.
+
+With ample capacity the result is identical to TREESCHEDULE (tested);
+as capacity shrinks, response time degrades monotonically through spill
+I/O — never through infeasibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InfeasibleScheduleError, SchedulingError
+from repro.core.cloning import (
+    DEFAULT_COORDINATOR_POLICY,
+    CoordinatorPolicy,
+    OperatorSpec,
+    coarse_grain_degree,
+)
+from repro.core.granularity import CommunicationModel
+from repro.core.operator_schedule import RootedPlacement, operator_schedule
+from repro.core.resource_model import OverlapModel
+from repro.core.schedule import OperatorHome, PhasedSchedule
+from repro.cost.params import SystemParameters
+from repro.memory.model import MemoryLedger, MemoryModel, TableCommitment
+from repro.memory.spill import build_spill_work, probe_spill_work, spill_fraction
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.phases import min_shelf_phases
+from repro.plans.physical_ops import OperatorKind, anchor_operator_name
+from repro.plans.task_tree import TaskTree
+
+__all__ = ["MemoryAwareResult", "memory_aware_tree_schedule"]
+
+
+@dataclass
+class MemoryAwareResult:
+    """Outcome of one memory-aware TREESCHEDULE run.
+
+    Attributes
+    ----------
+    phased_schedule:
+        Per-phase schedules (response time = sum of phase makespans).
+    homes, degrees:
+        As in ``TreeScheduleResult``.
+    ledger:
+        The validated memory ledger (inspect residency per site/phase).
+    spill_fractions:
+        Per-join hybrid-hash spill fraction ``q`` (0 = fully resident).
+    """
+
+    phased_schedule: PhasedSchedule
+    homes: dict[str, OperatorHome]
+    degrees: dict[str, int]
+    ledger: MemoryLedger
+    spill_fractions: dict[str, float]
+
+    @property
+    def response_time(self) -> float:
+        """The plan's total (summed-phase) response time."""
+        return self.phased_schedule.response_time()
+
+    @property
+    def total_spilled_joins(self) -> int:
+        """Number of joins with a non-zero spill fraction."""
+        return sum(1 for q in self.spill_fractions.values() if q > 0.0)
+
+
+def memory_aware_tree_schedule(
+    op_tree: OperatorTree,
+    task_tree: TaskTree,
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    memory: MemoryModel,
+    params: SystemParameters,
+    f: float = 0.7,
+    allow_spill: bool = True,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> MemoryAwareResult:
+    """Schedule an annotated bushy plan under per-site memory capacities.
+
+    Parameters mirror :func:`repro.core.tree_schedule.tree_schedule`
+    plus the :class:`MemoryModel` and the :class:`SystemParameters` used
+    to price spill I/O.
+
+    With ``allow_spill=False`` the scheduler refuses to spill: a hash
+    table that cannot be made resident even at the widest spread raises
+    :class:`~repro.exceptions.InfeasibleScheduleError`.  This models
+    executors without a hybrid-hash fallback and realizes the [HCY94]
+    regime where deep pipelines are "detrimental or even impossible"
+    and serialization (``repro.plans.transform.auto_materialize``)
+    becomes *necessary* rather than merely an I/O trade-off.
+    """
+    phases = min_shelf_phases(task_tree)
+    num_phases = len(phases)
+    phase_of_task = {
+        task: i for i, bucket in enumerate(phases) for task in bucket
+    }
+    ledger = MemoryLedger(p, memory)
+    phased = PhasedSchedule()
+    homes: dict[str, OperatorHome] = {}
+    degrees: dict[str, int] = {}
+    spills: dict[str, float] = {}
+    adjusted: dict[str, OperatorSpec] = {}
+
+    # Worst-case extra residency per phase from tables planned in the
+    # current pass but not yet placed (they could co-locate).
+    planned_overlap = [0.0] * num_phases
+
+    for phase_index, phase_tasks in enumerate(phases):
+        floating: list[OperatorSpec] = []
+        rooted: list[RootedPlacement] = []
+        forced: dict[str, int] = {}
+        pending_tables: list[tuple[str, float, int]] = []  # name, bytes/site, release
+
+        for task in phase_tasks:
+            for op in task.operators:
+                spec = adjusted.get(op.name, op.require_spec())
+                if op.kind is OperatorKind.BUILD:
+                    probe_op = op_tree.probe_of(op.join_id)
+                    probe_spec = adjusted.get(
+                        probe_op.name, probe_op.require_spec()
+                    )
+                    stage = OperatorSpec(
+                        name=f"stage({op.join_id})",
+                        work=spec.work + probe_spec.work,
+                        data_volume=spec.data_volume + probe_spec.data_volume,
+                    )
+                    n = coarse_grain_degree(stage, p, f, comm, overlap, policy)
+
+                    release = phase_of_task[task_tree.task_of(probe_op)]
+                    table = memory.table_bytes(op.input_tuples, params.tuple_bytes)
+                    avail = min(
+                        ledger.min_available(ph) - planned_overlap[ph]
+                        for ph in range(phase_index, release + 1)
+                    )
+                    # Spread the table thinner before spilling.
+                    if avail > 0 and table / n > avail:
+                        n = min(p, max(n, math.ceil(table / avail)))
+                    per_site_budget = max(avail, 0.0)
+                    q = spill_fraction(table / n, per_site_budget)
+                    if q > 0.0 and not allow_spill:
+                        raise InfeasibleScheduleError(
+                            f"hash table of {op.join_id} needs "
+                            f"{table / n:.0f} B/site at degree {n} but only "
+                            f"{per_site_budget:.0f} B/site are free, and "
+                            "spilling is disabled; serialize the plan "
+                            "(auto_materialize) or add memory"
+                        )
+                    spills[op.join_id] = q
+                    if q > 0.0:
+                        build_extra = build_spill_work(q, op.input_tuples, params)
+                        spec = OperatorSpec(
+                            name=spec.name,
+                            work=spec.work + build_extra,
+                            data_volume=spec.data_volume,
+                        )
+                        adjusted[spec.name] = spec
+                        probe_extra = probe_spill_work(
+                            q, op.input_tuples, probe_op.input_tuples, params
+                        )
+                        adjusted[probe_op.name] = OperatorSpec(
+                            name=probe_spec.name,
+                            work=probe_spec.work + probe_extra,
+                            data_volume=probe_spec.data_volume,
+                        )
+                    forced[spec.name] = n
+                    resident_per_site = (1.0 - q) * table / n
+                    pending_tables.append((spec.name, resident_per_site, release))
+                    for ph in range(phase_index, release + 1):
+                        planned_overlap[ph] += resident_per_site
+                    floating.append(spec)
+                elif (anchor := anchor_operator_name(op)) is not None:
+                    try:
+                        home = homes[anchor]
+                    except KeyError:
+                        raise SchedulingError(
+                            f"{op.name!r} scheduled before its anchor {anchor!r}"
+                        ) from None
+                    rooted.append(
+                        RootedPlacement(spec=spec, site_indices=home.site_indices)
+                    )
+                else:
+                    floating.append(spec)
+
+        result = operator_schedule(
+            floating,
+            rooted,
+            p=p,
+            comm=comm,
+            overlap=overlap,
+            f=f,
+            degrees=forced,
+            policy=policy,
+        )
+        label = ",".join(task.task_id for task in phase_tasks)
+        phased.append(result.schedule, label)
+        homes.update(result.schedule.homes())
+        degrees.update(result.degrees)
+
+        # Convert planned residencies into real ledger commitments.
+        for name, bytes_per_site, release in pending_tables:
+            home = result.schedule.home(name)
+            join_id = name[len("build(") : -1]
+            ledger.commit(
+                TableCommitment(
+                    join_id=join_id,
+                    site_indices=home.site_indices,
+                    bytes_per_site=bytes_per_site,
+                    build_phase=phase_index,
+                    release_phase=release,
+                )
+            )
+            for ph in range(phase_index, release + 1):
+                planned_overlap[ph] -= bytes_per_site
+
+    ledger.validate(num_phases)
+    return MemoryAwareResult(
+        phased_schedule=phased,
+        homes=homes,
+        degrees=degrees,
+        ledger=ledger,
+        spill_fractions=spills,
+    )

@@ -1,0 +1,90 @@
+"""Hybrid-hash spill costs for memory-constrained builds.
+
+When a join's hash table cannot fit in the memory available at its home,
+a hybrid-hash execution keeps a fraction ``1 - q`` of the table resident
+and *spills* the remaining fraction ``q`` of **both** join inputs to
+disk: spilled build tuples are written during the build phase and re-read
+(and re-built) during the probe phase; the matching fraction of probe
+tuples is likewise written on arrival and re-read when its partition's
+table is loaded.  (This is the classic Grace/hybrid hash-join recurrence
+[Sch90, DG92] specialized to one spill level.)
+
+The extra resource demands per operator, with page size and instruction
+costs from Table 2:
+
+* ``build(J)``: write ``q * pages(build_input)`` pages
+  (disk time + write-page CPU);
+* ``probe(J)``: write ``q * pages(probe_input)`` pages, then re-read
+  ``q * (pages(build_input) + pages(probe_input))`` pages and re-hash the
+  spilled build tuples (disk time + read/write-page CPU + hash CPU).
+
+These are returned as *additive work vectors* so the cost annotation of
+an unconstrained plan can be adjusted without re-deriving it.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.core.work_vector import DEFAULT_DIMENSIONALITY, Resource, WorkVector
+from repro.cost.params import SystemParameters
+
+__all__ = ["spill_fraction", "build_spill_work", "probe_spill_work"]
+
+
+def spill_fraction(table_bytes: float, resident_budget_bytes: float) -> float:
+    """Fraction of the table that must spill given a residency budget.
+
+    ``q = max(0, 1 - budget / table)``, clamped to ``[0, 1]``; a
+    non-positive budget spills everything.
+    """
+    if table_bytes < 0:
+        raise ConfigurationError(f"table size must be >= 0, got {table_bytes}")
+    if table_bytes == 0:
+        return 0.0
+    if resident_budget_bytes <= 0:
+        return 1.0
+    return min(1.0, max(0.0, 1.0 - resident_budget_bytes / table_bytes))
+
+
+def _io_vector(pages: float, params: SystemParameters, instr_per_page: float) -> WorkVector:
+    comps = [0.0] * DEFAULT_DIMENSIONALITY
+    comps[Resource.CPU] = params.cpu_seconds(pages * instr_per_page)
+    comps[Resource.DISK] = pages * params.disk_seconds_per_page
+    return WorkVector(comps)
+
+
+def build_spill_work(
+    q: float, build_input_tuples: int, params: SystemParameters
+) -> WorkVector:
+    """Additional work for ``build(J)`` when fraction ``q`` spills."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"spill fraction must lie in [0, 1], got {q}")
+    if build_input_tuples < 0:
+        raise ConfigurationError("tuple count must be >= 0")
+    write_pages = q * params.pages(build_input_tuples)
+    return _io_vector(write_pages, params, params.instr_write_page)
+
+
+def probe_spill_work(
+    q: float,
+    build_input_tuples: int,
+    probe_input_tuples: int,
+    params: SystemParameters,
+) -> WorkVector:
+    """Additional work for ``probe(J)`` when fraction ``q`` spills.
+
+    Writes the spilled probe partitions, re-reads both spilled inputs,
+    and re-hashes the spilled build tuples.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"spill fraction must lie in [0, 1], got {q}")
+    if build_input_tuples < 0 or probe_input_tuples < 0:
+        raise ConfigurationError("tuple counts must be >= 0")
+    build_pages = q * params.pages(build_input_tuples)
+    probe_pages = q * params.pages(probe_input_tuples)
+    out = _io_vector(probe_pages, params, params.instr_write_page)
+    out = out + _io_vector(build_pages + probe_pages, params, params.instr_read_page)
+    rehash_cpu = params.cpu_seconds(
+        q * build_input_tuples * params.instr_hash_tuple
+    )
+    return out + WorkVector.unit(DEFAULT_DIMENSIONALITY, Resource.CPU, rehash_cpu)

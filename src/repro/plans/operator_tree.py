@@ -1,0 +1,308 @@
+"""Operator trees: macro-expansion of execution plans (Figure 1(a) → 1(b)).
+
+:func:`expand_plan` refines every node of a bushy hash-join plan into its
+physical operators and wires the pipelining/blocking edges:
+
+* a base-relation leaf becomes ``scan(R)``;
+* a join ``J`` becomes ``build(J)`` and ``probe(J)`` with
+
+  - a *pipeline* edge from the inner input's producer to ``build(J)``,
+  - a *pipeline* edge from the outer input's producer to ``probe(J)``,
+  - a *blocking* edge ``build(J) -> probe(J)`` (the hash table must be
+    complete before probing can begin);
+
+* the producer of a join's output stream is its probe.
+
+Expanding a hash join yields at most four operator nodes (two scans, one
+build, one probe), so the operator tree has ``O(J)`` nodes for a
+``J``-join query — the observation behind Proposition 5.2's complexity
+bound for TREESCHEDULE.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import networkx as nx
+
+from repro.exceptions import PlanStructureError
+from repro.plans.join_tree import BaseRelationNode, JoinMethod, JoinNode, PlanNode
+from repro.plans.physical_ops import (
+    EdgeKind,
+    OperatorKind,
+    PhysicalOperator,
+    build_op,
+    merge_op,
+    probe_op,
+    rescan_op,
+    scan_op,
+    sort_op,
+    store_op,
+)
+
+__all__ = ["OperatorTree", "expand_plan"]
+
+
+class OperatorTree:
+    """A DAG of physical operators with typed (pipeline/blocking) edges."""
+
+    def __init__(self):
+        self._graph = nx.DiGraph()
+        self._root: PhysicalOperator | None = None
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operator(self, op: PhysicalOperator) -> PhysicalOperator:
+        """Add ``op`` as a node; names must be unique within the tree."""
+        if op.name in self._names:
+            raise PlanStructureError(f"duplicate operator name {op.name!r}")
+        self._graph.add_node(op)
+        self._names.add(op.name)
+        return op
+
+    def add_edge(
+        self, producer: PhysicalOperator, consumer: PhysicalOperator, kind: EdgeKind
+    ) -> None:
+        """Add a typed edge from ``producer`` to ``consumer``."""
+        for op in (producer, consumer):
+            if op not in self._graph:
+                raise PlanStructureError(f"operator {op.name!r} not in tree")
+        if producer is consumer:
+            raise PlanStructureError(f"self-edge on {producer.name!r}")
+        if self._graph.has_edge(producer, consumer):
+            raise PlanStructureError(
+                f"duplicate edge {producer.name!r} -> {consumer.name!r}"
+            )
+        self._graph.add_edge(producer, consumer, kind=kind)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise PlanStructureError(
+                f"edge {producer.name!r} -> {consumer.name!r} creates a cycle"
+            )
+
+    def set_root(self, op: PhysicalOperator) -> None:
+        """Mark the operator producing the query's final output."""
+        if op not in self._graph:
+            raise PlanStructureError(f"operator {op.name!r} not in tree")
+        self._root = op
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> PhysicalOperator:
+        """The operator producing the final output."""
+        if self._root is None:
+            raise PlanStructureError("operator tree has no root set")
+        return self._root
+
+    @property
+    def operators(self) -> list[PhysicalOperator]:
+        """All operators in topological (producer-before-consumer) order."""
+        return list(nx.topological_sort(self._graph))
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, op: PhysicalOperator) -> bool:
+        return op in self._graph
+
+    def operator_by_name(self, name: str) -> PhysicalOperator:
+        """Look an operator up by its unique name."""
+        for op in self._graph.nodes:
+            if op.name == name:
+                return op
+        raise PlanStructureError(f"no operator named {name!r}")
+
+    def edges(self, kind: EdgeKind | None = None) -> list[tuple[PhysicalOperator, PhysicalOperator]]:
+        """All edges, optionally filtered by kind."""
+        return [
+            (u, v)
+            for u, v, data in self._graph.edges(data=True)
+            if kind is None or data["kind"] is kind
+        ]
+
+    def pipeline_edges(self) -> list[tuple[PhysicalOperator, PhysicalOperator]]:
+        """The thin (pipelining) edges."""
+        return self.edges(EdgeKind.PIPELINE)
+
+    def blocking_edges(self) -> list[tuple[PhysicalOperator, PhysicalOperator]]:
+        """The thick (blocking) edges."""
+        return self.edges(EdgeKind.BLOCKING)
+
+    def producers(
+        self, op: PhysicalOperator, kind: EdgeKind | None = None
+    ) -> list[PhysicalOperator]:
+        """Operators feeding ``op``, optionally filtered by edge kind."""
+        return [
+            u
+            for u, _, data in self._graph.in_edges(op, data=True)
+            if kind is None or data["kind"] is kind
+        ]
+
+    def consumers(
+        self, op: PhysicalOperator, kind: EdgeKind | None = None
+    ) -> list[PhysicalOperator]:
+        """Operators fed by ``op``, optionally filtered by edge kind."""
+        return [
+            v
+            for _, v, data in self._graph.out_edges(op, data=True)
+            if kind is None or data["kind"] is kind
+        ]
+
+    def pipeline_consumer(self, op: PhysicalOperator) -> PhysicalOperator | None:
+        """The (unique) pipeline consumer of ``op``, or ``None`` at the root."""
+        consumers = self.consumers(op, EdgeKind.PIPELINE)
+        if len(consumers) > 1:
+            raise PlanStructureError(
+                f"operator {op.name!r} has {len(consumers)} pipeline consumers"
+            )
+        return consumers[0] if consumers else None
+
+    def iter_scans(self) -> Iterator[PhysicalOperator]:
+        """All scan operators."""
+        return (op for op in self._graph.nodes if op.kind is OperatorKind.SCAN)
+
+    def iter_builds(self) -> Iterator[PhysicalOperator]:
+        """All build operators."""
+        return (op for op in self._graph.nodes if op.kind is OperatorKind.BUILD)
+
+    def iter_probes(self) -> Iterator[PhysicalOperator]:
+        """All probe operators."""
+        return (op for op in self._graph.nodes if op.kind is OperatorKind.PROBE)
+
+    def probe_of(self, join_id: str) -> PhysicalOperator:
+        """The probe operator of join ``join_id``."""
+        for op in self.iter_probes():
+            if op.join_id == join_id:
+                return op
+        raise PlanStructureError(f"no probe for join {join_id!r}")
+
+    def build_of(self, join_id: str) -> PhysicalOperator:
+        """The build operator of join ``join_id``."""
+        for op in self.iter_builds():
+            if op.join_id == join_id:
+                return op
+        raise PlanStructureError(f"no build for join {join_id!r}")
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a defensive copy of the underlying DAG."""
+        return self._graph.copy()
+
+    def validate(self) -> None:
+        """Check the structural invariants of a hash-join operator tree.
+
+        * acyclic (enforced on edge insertion, re-checked here);
+        * every operator except the root has exactly one consumer;
+        * every build has exactly one blocking consumer — its probe;
+        * every blocking edge runs from a build to the probe of the same
+          join.
+        """
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise PlanStructureError("operator tree has a cycle")
+        root = self.root
+        for op in self._graph.nodes:
+            out = self.consumers(op)
+            if op is root:
+                if out:
+                    raise PlanStructureError(
+                        f"root {op.name!r} must have no consumers"
+                    )
+                continue
+            if len(out) != 1:
+                raise PlanStructureError(
+                    f"operator {op.name!r} has {len(out)} consumers; expected 1"
+                )
+        allowed_blocking = {
+            (OperatorKind.BUILD, OperatorKind.PROBE),
+            (OperatorKind.SORT, OperatorKind.MERGE),
+            (OperatorKind.STORE, OperatorKind.RESCAN),
+        }
+        for u, v in self.blocking_edges():
+            if (u.kind, v.kind) not in allowed_blocking:
+                raise PlanStructureError(
+                    f"blocking edge {u.name!r} -> {v.name!r} is not one of "
+                    "build->probe, sort->merge, store->rescan"
+                )
+            if u.join_id != v.join_id:
+                raise PlanStructureError(
+                    f"blocking edge crosses joins: {u.name!r} -> {v.name!r}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorTree({len(self)} operators, "
+            f"{len(self.pipeline_edges())} pipeline / "
+            f"{len(self.blocking_edges())} blocking edges)"
+        )
+
+
+def expand_plan(plan: PlanNode) -> OperatorTree:
+    """Macro-expand a bushy hash-join plan into its operator tree.
+
+    Returns an :class:`OperatorTree` whose root is the final probe (or the
+    lone scan, for a single-relation query).
+    """
+    tree = OperatorTree()
+
+    def maybe_materialize(
+        producer: PhysicalOperator, node: JoinNode, is_root: bool
+    ) -> PhysicalOperator:
+        """Insert a store -> rescan materialization point if requested."""
+        if not node.materialize_output or is_root:
+            return producer
+        store = tree.add_operator(store_op(node.join_id, node.output_tuples))
+        rescan = tree.add_operator(rescan_op(node.join_id, node.output_tuples))
+        tree.add_edge(producer, store, EdgeKind.PIPELINE)
+        tree.add_edge(store, rescan, EdgeKind.BLOCKING)
+        return rescan
+
+    def expand(node: PlanNode, is_root: bool = False) -> PhysicalOperator:
+        if isinstance(node, BaseRelationNode):
+            return tree.add_operator(scan_op(node.relation))
+        if isinstance(node, JoinNode):
+            inner_producer = expand(node.build_side)
+            outer_producer = expand(node.probe_side)
+            if node.method is JoinMethod.HASH:
+                build = tree.add_operator(
+                    build_op(node.join_id, node.build_side.output_tuples)
+                )
+                probe = tree.add_operator(
+                    probe_op(
+                        node.join_id,
+                        node.probe_side.output_tuples,
+                        node.output_tuples,
+                    )
+                )
+                tree.add_edge(inner_producer, build, EdgeKind.PIPELINE)
+                tree.add_edge(outer_producer, probe, EdgeKind.PIPELINE)
+                tree.add_edge(build, probe, EdgeKind.BLOCKING)
+                return maybe_materialize(probe, node, is_root)
+            if node.method is JoinMethod.SORT_MERGE:
+                sort_l = tree.add_operator(
+                    sort_op(node.join_id, "l", node.build_side.output_tuples)
+                )
+                sort_r = tree.add_operator(
+                    sort_op(node.join_id, "r", node.probe_side.output_tuples)
+                )
+                merge = tree.add_operator(
+                    merge_op(
+                        node.join_id,
+                        node.build_side.output_tuples,
+                        node.probe_side.output_tuples,
+                        node.output_tuples,
+                    )
+                )
+                tree.add_edge(inner_producer, sort_l, EdgeKind.PIPELINE)
+                tree.add_edge(outer_producer, sort_r, EdgeKind.PIPELINE)
+                tree.add_edge(sort_l, merge, EdgeKind.BLOCKING)
+                tree.add_edge(sort_r, merge, EdgeKind.BLOCKING)
+                return maybe_materialize(merge, node, is_root)
+            raise PlanStructureError(f"unknown join method {node.method!r}")
+        raise PlanStructureError(f"unknown plan node type {type(node).__name__}")
+
+    root = expand(plan, is_root=True)
+    tree.set_root(root)
+    tree.validate()
+    return tree

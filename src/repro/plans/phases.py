@@ -1,0 +1,120 @@
+"""Synchronized phases: the MinShelf decomposition (Section 5.4, [TL93]).
+
+To satisfy a bushy plan's blocking constraints, the query task tree is
+split deterministically into synchronized phases ("shelves"): each phase
+contains independent tasks executed concurrently after the completion of
+all tasks of the previous phase.  The number of phases equals the height
+of the task tree plus one, and each task is scheduled in the phase closest
+to the root that does not violate its precedence constraints — i.e. a task
+at depth ``k`` runs in the phase immediately before its parent at depth
+``k - 1``, which is Tan and Lu's *MinShelf* policy.
+
+In Figure 1 of the paper this yields two phases: {T1, T2, T3, T4} then
+{T5}.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PlanStructureError
+from repro.plans.task_tree import Task, TaskTree
+
+__all__ = ["min_shelf_phases", "eager_shelf_phases", "validate_phases"]
+
+
+def min_shelf_phases(task_tree: TaskTree) -> list[list[Task]]:
+    """Split ``task_tree`` into MinShelf phases, in execution order.
+
+    Phase 0 (executed first) holds the deepest tasks; the last phase holds
+    exactly the root task.  Within a phase, tasks appear in task-id order
+    for determinism.
+
+    Returns
+    -------
+    list[list[Task]]
+        ``phases[i]`` is the set of tasks executed concurrently in phase
+        ``i``.
+    """
+    height = task_tree.height
+    phases: list[list[Task]] = [[] for _ in range(height + 1)]
+    for task in task_tree.tasks:
+        # A task at depth k executes in phase (height - k): the root
+        # (depth 0) is last, and each task runs exactly one phase before
+        # its parent — the phase closest to the root that respects its
+        # precedence constraints.
+        phases[height - task_tree.depth(task)].append(task)
+    for bucket in phases:
+        bucket.sort(key=lambda t: t.task_id)
+        if not bucket:
+            raise PlanStructureError("MinShelf produced an empty phase")
+    return phases
+
+
+def eager_shelf_phases(task_tree: TaskTree) -> list[list[Task]]:
+    """The as-early-as-possible alternative to MinShelf ([TL93] compares
+    several shelf policies; the paper adopts MinShelf).
+
+    A task runs in the earliest phase compatible with its precedence
+    constraints: leaves in phase 0, every other task one phase after its
+    latest child.  The phase *count* equals MinShelf's (height + 1), but
+    tasks on shallow branches shift earlier — concentrating work in early
+    phases and leaving late phases sparse, which typically hurts: a
+    resource-starved early phase and an under-utilized late one.  The
+    ``abl-shelf`` benchmark quantifies the difference.
+    """
+    height = task_tree.height
+    phases: list[list[Task]] = [[] for _ in range(height + 1)]
+    eager: dict[Task, int] = {}
+
+    def eager_phase(task: Task) -> int:
+        if task in eager:
+            return eager[task]
+        children = task_tree.children(task)
+        phase = 0 if not children else 1 + max(eager_phase(c) for c in children)
+        eager[task] = phase
+        return phase
+
+    for task in task_tree.tasks:
+        phases[eager_phase(task)].append(task)
+    for bucket in phases:
+        bucket.sort(key=lambda t: t.task_id)
+        if not bucket:
+            raise PlanStructureError("eager shelf produced an empty phase")
+    return phases
+
+
+def validate_phases(task_tree: TaskTree, phases: list[list[Task]]) -> None:
+    """Check that a phase decomposition is legal.
+
+    * every task appears in exactly one phase;
+    * tasks sharing a phase are pairwise independent (no precedence path);
+    * every task's phase strictly precedes its parent's phase.
+
+    Raises
+    ------
+    PlanStructureError
+        On any violation.
+    """
+    position: dict[Task, int] = {}
+    for i, bucket in enumerate(phases):
+        for task in bucket:
+            if task in position:
+                raise PlanStructureError(
+                    f"task {task.task_id!r} appears in phases {position[task]} and {i}"
+                )
+            position[task] = i
+    if set(position) != set(task_tree.tasks):
+        raise PlanStructureError("phase decomposition does not cover all tasks")
+    for i, bucket in enumerate(phases):
+        for a in bucket:
+            for b in bucket:
+                if a is not b and not task_tree.independent(a, b):
+                    raise PlanStructureError(
+                        f"dependent tasks {a.task_id!r}, {b.task_id!r} share phase {i}"
+                    )
+    for task in task_tree.tasks:
+        parent = task_tree.parent(task)
+        if parent is not None and position[task] >= position[parent]:
+            raise PlanStructureError(
+                f"task {task.task_id!r} (phase {position[task]}) does not precede "
+                f"its parent {parent.task_id!r} (phase {position[parent]})"
+            )

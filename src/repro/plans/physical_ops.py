@@ -1,0 +1,264 @@
+"""Physical operators of the macro-expanded operator tree (Figure 1(b)).
+
+An execution plan tree is "macro-expanded" into an *operator tree* by
+refining each node into physical operators — ``scan``, ``build``, and
+``probe`` for the hash-join plans of the Section 6 testbed:
+
+* ``scan(R)`` reads base relation ``R`` from disk and streams its tuples
+  (repartitioned over the interconnect, assumption A5) to its consumer;
+* ``build(J)`` consumes the inner input stream of join ``J`` and
+  constructs the in-memory hash table (assumption A1: the table is
+  memory-resident);
+* ``probe(J)`` consumes the outer input stream, probes the hash table and
+  streams result tuples to its consumer (or to the query's client when
+  ``J`` is the plan root).
+
+Edges between operators carry two kinds of timing constraints:
+*pipelining* (producer and consumer run concurrently) and *blocking*
+(the consumer cannot start before the producer completes — here, the
+``build(J) -> probe(J)`` edge, since the hash table must be complete
+before probing begins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import PlanStructureError
+from repro.core.cloning import OperatorSpec
+from repro.plans.relations import Relation
+
+__all__ = [
+    "OperatorKind",
+    "EdgeKind",
+    "PhysicalOperator",
+    "scan_op",
+    "build_op",
+    "probe_op",
+    "sort_op",
+    "merge_op",
+    "store_op",
+    "rescan_op",
+    "anchor_operator_name",
+]
+
+
+class OperatorKind(Enum):
+    """The physical operator vocabulary.
+
+    ``SCAN``/``BUILD``/``PROBE`` are the hash-join testbed of Section 6;
+    ``SORT``/``MERGE`` extend the library to sort-merge joins — the paper
+    notes TREESCHEDULE "can be applied to *any* bushy plan" (§6.1), and
+    sort-merge plans exercise a different blocking structure (two
+    blocking producers per join instead of one).  ``STORE``/``RESCAN``
+    are materialization points: a join's output is written to disk and
+    re-read by the consumer in a later phase — §3.1's example of a rooted
+    operator ("scanning the materialized result of a previous task") and
+    the serialization device deep plans need [HCY94].
+    """
+
+    SCAN = "scan"
+    BUILD = "build"
+    PROBE = "probe"
+    SORT = "sort"
+    MERGE = "merge"
+    STORE = "store"
+    RESCAN = "rescan"
+
+
+class EdgeKind(Enum):
+    """Timing constraint carried by an operator-tree edge (Figure 1(b))."""
+
+    #: Thin edge: producer and consumer execute concurrently.
+    PIPELINE = "pipeline"
+    #: Thick edge: consumer starts only after producer completes.
+    BLOCKING = "blocking"
+
+
+@dataclass(eq=False)
+class PhysicalOperator:
+    """One node of the operator tree.
+
+    Identity is by object (two operators with equal fields are still
+    distinct nodes); ``name`` is unique within a plan and keys constraint
+    (A) during scheduling.
+
+    Attributes
+    ----------
+    name:
+        Unique name, e.g. ``"scan(R3)"`` or ``"probe(J2)"``.
+    kind:
+        Operator kind (scan / build / probe).
+    input_tuples:
+        Tuples consumed from the operator's pipelined input stream
+        (0 for scans, which read from disk).
+    output_tuples:
+        Tuples produced on the operator's pipelined output stream
+        (0 for builds, whose product — the hash table — stays in memory).
+    relation:
+        The base relation, for scans.
+    join_id:
+        The owning join, for builds and probes.
+    spec:
+        The scheduler-facing :class:`~repro.core.cloning.OperatorSpec`,
+        filled in by :func:`repro.cost.annotate.annotate_plan`.
+    """
+
+    name: str
+    kind: OperatorKind
+    input_tuples: int = 0
+    output_tuples: int = 0
+    relation: Relation | None = None
+    join_id: str | None = None
+    spec: OperatorSpec | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlanStructureError("operator name must be non-empty")
+        if self.input_tuples < 0 or self.output_tuples < 0:
+            raise PlanStructureError(
+                f"operator {self.name!r}: tuple counts must be >= 0"
+            )
+        if self.kind is OperatorKind.SCAN and self.relation is None:
+            raise PlanStructureError(f"scan {self.name!r} needs a relation")
+        if (
+            self.kind
+            in (
+                OperatorKind.BUILD,
+                OperatorKind.PROBE,
+                OperatorKind.MERGE,
+                OperatorKind.STORE,
+                OperatorKind.RESCAN,
+            )
+            and not self.join_id
+        ):
+            raise PlanStructureError(f"{self.kind.value} {self.name!r} needs a join_id")
+
+    @property
+    def annotated(self) -> bool:
+        """``True`` once the cost model attached an :class:`OperatorSpec`."""
+        return self.spec is not None
+
+    def require_spec(self) -> OperatorSpec:
+        """Return the attached spec, raising when the plan is unannotated."""
+        if self.spec is None:
+            raise PlanStructureError(
+                f"operator {self.name!r} has no cost annotation; run "
+                "repro.cost.annotate.annotate_plan first"
+            )
+        return self.spec
+
+    def __repr__(self) -> str:
+        return f"PhysicalOperator({self.name!r})"
+
+    def __hash__(self) -> int:  # identity hash; names enforce uniqueness separately
+        return id(self)
+
+
+def scan_op(relation: Relation) -> PhysicalOperator:
+    """Construct the scan operator for a base relation."""
+    return PhysicalOperator(
+        name=f"scan({relation.name})",
+        kind=OperatorKind.SCAN,
+        input_tuples=0,
+        output_tuples=relation.tuples,
+        relation=relation,
+    )
+
+
+def build_op(join_id: str, input_tuples: int) -> PhysicalOperator:
+    """Construct the build operator of join ``join_id``."""
+    return PhysicalOperator(
+        name=f"build({join_id})",
+        kind=OperatorKind.BUILD,
+        input_tuples=input_tuples,
+        output_tuples=0,
+        join_id=join_id,
+    )
+
+
+def probe_op(join_id: str, outer_tuples: int, output_tuples: int) -> PhysicalOperator:
+    """Construct the probe operator of join ``join_id``."""
+    return PhysicalOperator(
+        name=f"probe({join_id})",
+        kind=OperatorKind.PROBE,
+        input_tuples=outer_tuples,
+        output_tuples=output_tuples,
+        join_id=join_id,
+    )
+
+
+def sort_op(join_id: str, side: str, input_tuples: int) -> PhysicalOperator:
+    """Construct one sort operator of a sort-merge join.
+
+    ``side`` distinguishes the two inputs (``"l"`` / ``"r"``); a sort
+    consumes its (repartitioned) input, materializes sorted runs locally,
+    and emits the sorted stream to the merge after completion (blocking).
+    """
+    if side not in ("l", "r"):
+        raise PlanStructureError(f"sort side must be 'l' or 'r', got {side!r}")
+    return PhysicalOperator(
+        name=f"sort{side}({join_id})",
+        kind=OperatorKind.SORT,
+        input_tuples=input_tuples,
+        output_tuples=input_tuples,
+        join_id=join_id,
+    )
+
+
+def store_op(join_id: str, tuples: int) -> PhysicalOperator:
+    """Construct the store operator materializing join ``join_id``'s output."""
+    return PhysicalOperator(
+        name=f"store({join_id})",
+        kind=OperatorKind.STORE,
+        input_tuples=tuples,
+        output_tuples=0,
+        join_id=join_id,
+    )
+
+
+def rescan_op(join_id: str, tuples: int) -> PhysicalOperator:
+    """Construct the rescan of join ``join_id``'s materialized output.
+
+    Rooted at the store's home: the paper's §3.1 example of a rooted
+    operator.
+    """
+    return PhysicalOperator(
+        name=f"rescan({join_id})",
+        kind=OperatorKind.RESCAN,
+        input_tuples=0,
+        output_tuples=tuples,
+        join_id=join_id,
+    )
+
+
+def anchor_operator_name(op: PhysicalOperator) -> str | None:
+    """The name of the operator whose home roots ``op``, if any.
+
+    * a hash join's probe runs at its build's home (the hash table);
+    * a rescan runs at its store's home (the materialized partitions).
+
+    Returns ``None`` for floating operator kinds.  Every scheduler uses
+    this single rule, so new rooted kinds only need to be added here.
+    """
+    if op.kind is OperatorKind.PROBE:
+        return f"build({op.join_id})"
+    if op.kind is OperatorKind.RESCAN:
+        return f"store({op.join_id})"
+    return None
+
+
+def merge_op(join_id: str, left_tuples: int, right_tuples: int, output_tuples: int) -> PhysicalOperator:
+    """Construct the merge operator of a sort-merge join.
+
+    Consumes both sorted streams (their combined cardinality is recorded
+    as ``input_tuples``) and emits the join result.
+    """
+    return PhysicalOperator(
+        name=f"merge({join_id})",
+        kind=OperatorKind.MERGE,
+        input_tuples=left_tuples + right_tuples,
+        output_tuples=output_tuples,
+        join_id=join_id,
+    )

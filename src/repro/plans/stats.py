@@ -1,0 +1,114 @@
+"""Workload statistics: describing plans, task trees, and resource mixes.
+
+Summaries used by the examples, the experiment reports, and exploratory
+work: how bushy are the generated plans, how wide are the MinShelf
+phases, and where does the resource demand sit?  Everything here is a
+pure function of already-built structures (no RNG, no scheduling).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import PlanStructureError
+from repro.core.work_vector import WorkVector, vector_sum
+from repro.plans.generator import GeneratedQuery
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.phases import min_shelf_phases
+from repro.plans.physical_ops import OperatorKind
+from repro.plans.task_tree import TaskTree
+
+__all__ = ["PlanStats", "describe_query", "resource_mix"]
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Structural statistics of one generated query.
+
+    Attributes
+    ----------
+    num_joins:
+        Join count of the plan.
+    num_operators:
+        Physical operators after macro-expansion (scans + builds + probes).
+    num_tasks:
+        Query tasks (pipelines).
+    plan_height:
+        Height of the bushy join tree.
+    task_tree_height:
+        Height of the task tree (phases = height + 1).
+    phase_widths:
+        Tasks per MinShelf phase, in execution order.
+    max_pipeline_length:
+        Operators in the longest pipeline (task).
+    total_base_tuples:
+        Sum of base-relation cardinalities.
+    largest_intermediate_tuples:
+        Largest join output in the plan.
+    """
+
+    num_joins: int
+    num_operators: int
+    num_tasks: int
+    plan_height: int
+    task_tree_height: int
+    phase_widths: tuple[int, ...]
+    max_pipeline_length: int
+    total_base_tuples: int
+    largest_intermediate_tuples: int
+
+    @property
+    def bushiness(self) -> float:
+        """1 - (plan height - 1)/(joins - 1): 1.0 for perfectly balanced
+        trees, 0.0 for left-deep chains (single-join plans count as 1)."""
+        if self.num_joins <= 1:
+            return 1.0
+        return 1.0 - (self.plan_height - 1) / (self.num_joins - 1)
+
+    @property
+    def mean_phase_width(self) -> float:
+        """Average number of concurrent tasks per phase."""
+        return sum(self.phase_widths) / len(self.phase_widths)
+
+
+def describe_query(query: GeneratedQuery) -> PlanStats:
+    """Compute :class:`PlanStats` for one generated query."""
+    phases = min_shelf_phases(query.task_tree)
+    joins = query.plan.joins()
+    return PlanStats(
+        num_joins=query.num_joins,
+        num_operators=len(query.operator_tree),
+        num_tasks=len(query.task_tree),
+        plan_height=query.plan.height,
+        task_tree_height=query.task_tree.height,
+        phase_widths=tuple(len(bucket) for bucket in phases),
+        max_pipeline_length=max(len(t) for t in query.task_tree.tasks),
+        total_base_tuples=query.catalog.total_tuples(),
+        largest_intermediate_tuples=max(
+            (j.output_tuples for j in joins), default=query.plan.output_tuples
+        ),
+    )
+
+
+def resource_mix(op_tree: OperatorTree) -> dict[str, WorkVector]:
+    """Aggregate (zero-communication) work vectors by operator kind.
+
+    Requires a cost-annotated tree.  Returns a mapping from operator-kind
+    name (``"scan"``, ``"build"``, ``"probe"``) to the kind's total work
+    vector, plus ``"total"`` — handy for checking the footnote 4 balance
+    property on a specific workload.
+    """
+    if not op_tree.operators:
+        raise PlanStructureError("operator tree is empty")
+    d = op_tree.operators[0].require_spec().d
+    by_kind: dict[str, list[WorkVector]] = {
+        kind.value: [] for kind in OperatorKind
+    }
+    for op in op_tree.operators:
+        by_kind[op.kind.value].append(op.require_spec().work)
+    out = {
+        kind: vector_sum(vectors, d=d) for kind, vectors in by_kind.items()
+    }
+    out["total"] = vector_sum(out.values(), d=d)
+    return out

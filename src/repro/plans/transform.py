@@ -1,0 +1,90 @@
+"""Plan transformations: serialization of over-deep pipelines.
+
+Hsiao et al. (quoted in §2): "for deep execution plans, there exists a
+point beyond which further partitioning is detrimental or even
+impossible, and serialization must be employed for better performance."
+In a hash-join plan, a pipeline grows along *probe-side* edges — a join
+whose outer input is another join joins that join's probe chain, and all
+of the chain's hash tables must be memory-resident simultaneously while
+it runs (assumption A1 hides this; ``repro.memory`` prices it).
+
+:func:`auto_materialize` inserts store→rescan materialization points so
+that no probe chain exceeds ``max_chain`` joins, trading run I/O for
+
+* shorter pipelines (fewer concurrent operators per phase), and
+* staggered hash-table residency (fewer tables live at once — the lever
+  that matters under per-site memory capacities).
+
+The transformation returns a rebuilt plan; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.plans.join_tree import BaseRelationNode, JoinNode, PlanNode
+
+__all__ = ["auto_materialize"]
+
+
+def auto_materialize(plan: PlanNode, max_chain: int) -> PlanNode:
+    """Copy ``plan``, breaking probe chains longer than ``max_chain``.
+
+    A join's *chain length* is the number of consecutive joins connected
+    through probe-side (outer) edges ending at it.  Whenever a join's
+    outer input is itself a join whose chain length has reached
+    ``max_chain``, that input's output is materialized (its
+    ``materialize_output`` flag set), resetting the chain.
+
+    Parameters
+    ----------
+    plan:
+        The plan to rebuild (hash and/or sort-merge joins).
+    max_chain:
+        Maximum number of joins per pipeline (``>= 1``).
+
+    Returns
+    -------
+    PlanNode
+        A structurally identical plan with materialization flags set;
+        existing flags on the input are preserved (and also reset
+        chains).
+    """
+    if max_chain < 1:
+        raise ConfigurationError(f"max_chain must be >= 1, got {max_chain}")
+
+    def rebuild(node: PlanNode) -> tuple[PlanNode, int]:
+        """Return (copy, probe-chain length ending at this node)."""
+        if isinstance(node, BaseRelationNode):
+            return node, 0
+        assert isinstance(node, JoinNode)
+        # The build side always terminates its pipeline at this join's
+        # build (or left sort), so its chain does not extend ours.
+        build_copy, _ = rebuild(node.build_side)
+        probe_copy, probe_chain = rebuild(node.probe_side)
+
+        materialize = node.materialize_output
+        chain_below = 0 if materialize else probe_chain
+        if (
+            isinstance(probe_copy, JoinNode)
+            and not probe_copy.materialize_output
+            and chain_below >= max_chain
+        ):
+            probe_copy = JoinNode(
+                probe_copy.join_id,
+                probe_copy.build_side,
+                probe_copy.probe_side,
+                method=probe_copy.method,
+                materialize_output=True,
+            )
+            chain_below = 0
+        copy = JoinNode(
+            node.join_id,
+            build_copy,
+            probe_copy,
+            method=node.method,
+            materialize_output=materialize,
+        )
+        return copy, chain_below + 1
+
+    rebuilt, _ = rebuild(plan)
+    return rebuilt

@@ -1,0 +1,152 @@
+"""ASCII rendering of schedules: site tables, load bars, phase summaries.
+
+Terminal-friendly views of scheduling results, used by the examples and
+handy when debugging placements:
+
+* :func:`render_schedule` — one row per site: resident clones, per-resource
+  load, Equation (2) site time, with the bottleneck site marked;
+* :func:`render_load_bars` — a horizontal bar chart of per-site
+  ``l(work(s))`` values (the quantity the list scheduler balances);
+* :func:`render_phased` — per-phase summary of a full plan schedule:
+  makespan, binding term of Equation (3), operator count, utilization;
+* :func:`render_site_timeline` — a Gantt-like view of one simulated
+  site's clone traces (start/finish bars under the sharing policy that
+  produced them).
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import PhasedSchedule, Schedule
+from repro.core.work_vector import Resource
+from repro.sim.simulator import SiteSimulation
+
+__all__ = [
+    "render_schedule",
+    "render_load_bars",
+    "render_phased",
+    "render_site_timeline",
+]
+
+_RESOURCE_NAMES = {0: "cpu", 1: "disk", 2: "net"}
+
+
+def _resource_label(i: int, d: int) -> str:
+    if d == 3 and i in _RESOURCE_NAMES:
+        return _RESOURCE_NAMES[i]
+    return f"r{i}"
+
+
+def render_schedule(schedule: Schedule, max_clone_names: int = 4) -> str:
+    """Render one phase's placement as a per-site table."""
+    d = schedule.d
+    bottleneck = schedule.bottleneck_site().index if schedule.clone_count() else -1
+    headers = ["site", "clones", *(_resource_label(i, d) for i in range(d)), "t_site", ""]
+    rows: list[list[str]] = []
+    for site in schedule.sites:
+        names = [f"{c.operator}#{c.clone_index}" for c in site.clones]
+        shown = ", ".join(names[:max_clone_names])
+        if len(names) > max_clone_names:
+            shown += f", +{len(names) - max_clone_names}"
+        load = site.load_vector() if not site.is_empty() else None
+        rows.append(
+            [
+                str(site.index),
+                shown or "(idle)",
+                *(
+                    f"{load[i]:.3g}" if load is not None else "-"
+                    for i in range(d)
+                ),
+                f"{site.t_site():.4g}",
+                "<= bottleneck" if site.index == bottleneck else "",
+            ]
+        )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) for c in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    lines.append(
+        f"makespan {schedule.makespan():.4g} "
+        f"({'congestion' if schedule.is_congestion_bound() else 'operator'}-bound)"
+    )
+    return "\n".join(lines)
+
+
+def render_load_bars(schedule: Schedule, width: int = 40) -> str:
+    """Render per-site ``l(work(s))`` as horizontal bars."""
+    lengths = [
+        (site.index, site.length() if not site.is_empty() else 0.0)
+        for site in schedule.sites
+    ]
+    peak = max((value for _, value in lengths), default=0.0)
+    lines = [f"per-site l(work) — peak {peak:.4g}"]
+    for index, value in lengths:
+        filled = 0 if peak <= 0 else round(width * value / peak)
+        lines.append(f"  s{index:<3d} |{'#' * filled:<{width}}| {value:.4g}")
+    return "\n".join(lines)
+
+
+def render_site_timeline(site_sim: SiteSimulation, width: int = 48) -> str:
+    """Render one simulated site's clone traces as a Gantt-like chart.
+
+    Each clone occupies one row; its bar spans start to finish on a time
+    axis scaled to the site's completion time.  The trailing column shows
+    the observed stretch (finish-start over stand-alone time).
+    """
+    horizon = site_sim.completion_time
+    traces = sorted(
+        site_sim.traces, key=lambda t: (t.start, -t.nominal_t_seq, t.operator)
+    )
+    label_width = max(
+        (len(f"{t.operator}#{t.clone_index}") for t in traces), default=5
+    )
+    lines = [
+        f"site {site_sim.site_index}: simulated {horizon:.4g} "
+        f"(analytic {site_sim.analytic_time:.4g})"
+    ]
+    for trace in traces:
+        if horizon > 0:
+            start = round(width * trace.start / horizon)
+            end = max(start + 1, round(width * trace.finish / horizon))
+            end = min(end, width)
+        else:
+            start, end = 0, 1
+        bar = " " * start + "=" * (end - start)
+        label = f"{trace.operator}#{trace.clone_index}"
+        lines.append(
+            f"  {label:<{label_width}} |{bar:<{width}}| "
+            f"{trace.finish - trace.start:.4g} (x{trace.stretch:.2f})"
+        )
+    return "\n".join(lines)
+
+
+def render_phased(phased: PhasedSchedule) -> str:
+    """Render a full phased schedule as a per-phase summary table."""
+    headers = ["phase", "tasks", "ops", "clones", "makespan", "bound-by", "util(max-res)"]
+    rows: list[list[str]] = []
+    for i, (schedule, label) in enumerate(zip(phased.phases, phased.labels)):
+        util = schedule.average_utilization()
+        peak_res = max(range(schedule.d), key=lambda k: util[k]) if util else 0
+        rows.append(
+            [
+                str(i),
+                label,
+                str(len(schedule.operators)),
+                str(schedule.clone_count()),
+                f"{schedule.makespan():.4g}",
+                "congestion" if schedule.is_congestion_bound() else "operator",
+                f"{_resource_label(peak_res, schedule.d)} {util[peak_res] * 100:.0f}%",
+            ]
+        )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    lines.append(f"total response time {phased.response_time():.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""JSON-friendly serialization of scheduling artifacts.
+
+Schedules, operator specs, and experiment series are plain-data friendly;
+this module converts them to and from nested dict/list structures that
+round-trip through :mod:`json`.  Intended uses: persisting experiment
+outputs, diffing schedules across code versions, and shipping placements
+to an external executor.
+
+Everything round-trips exactly (floats are preserved bit-for-bit by the
+dict representation; JSON serialization is then up to the caller's
+formatting choices).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.core.cloning import OperatorSpec
+from repro.core.schedule import PhasedSchedule, Schedule
+from repro.core.site import PlacedClone
+from repro.core.work_vector import WorkVector
+from repro.experiments.figures import FigureData, Series
+
+__all__ = [
+    "work_vector_to_dict",
+    "work_vector_from_dict",
+    "operator_spec_to_dict",
+    "operator_spec_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "phased_schedule_to_dict",
+    "phased_schedule_from_dict",
+    "figure_to_dict",
+    "figure_from_dict",
+]
+
+_SCHEMA = "repro/1"
+
+
+def _expect(mapping: dict[str, Any], key: str) -> Any:
+    try:
+        return mapping[key]
+    except (KeyError, TypeError):
+        raise ConfigurationError(f"malformed payload: missing {key!r}") from None
+
+
+def work_vector_to_dict(w: WorkVector) -> dict[str, Any]:
+    """Serialize a work vector."""
+    return {"components": list(w.components)}
+
+
+def work_vector_from_dict(payload: dict[str, Any]) -> WorkVector:
+    """Deserialize a work vector."""
+    return WorkVector(_expect(payload, "components"))
+
+
+def operator_spec_to_dict(spec: OperatorSpec) -> dict[str, Any]:
+    """Serialize an operator spec."""
+    return {
+        "name": spec.name,
+        "work": work_vector_to_dict(spec.work),
+        "data_volume": spec.data_volume,
+    }
+
+
+def operator_spec_from_dict(payload: dict[str, Any]) -> OperatorSpec:
+    """Deserialize an operator spec."""
+    return OperatorSpec(
+        name=_expect(payload, "name"),
+        work=work_vector_from_dict(_expect(payload, "work")),
+        data_volume=float(payload.get("data_volume", 0.0)),
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule: dimensions plus every clone placement."""
+    placements = []
+    for site in schedule.sites:
+        for clone in site.clones:
+            placements.append(
+                {
+                    "site": site.index,
+                    "operator": clone.operator,
+                    "clone_index": clone.clone_index,
+                    "work": work_vector_to_dict(clone.work),
+                    "t_seq": clone.t_seq,
+                }
+            )
+    return {
+        "schema": _SCHEMA,
+        "p": schedule.p,
+        "d": schedule.d,
+        "placements": placements,
+    }
+
+
+def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
+    """Deserialize a schedule (re-validates constraint (A) on the way)."""
+    schedule = Schedule(int(_expect(payload, "p")), int(_expect(payload, "d")))
+    for item in _expect(payload, "placements"):
+        schedule.place(
+            int(_expect(item, "site")),
+            PlacedClone(
+                operator=_expect(item, "operator"),
+                clone_index=int(_expect(item, "clone_index")),
+                work=work_vector_from_dict(_expect(item, "work")),
+                t_seq=float(_expect(item, "t_seq")),
+            ),
+        )
+    return schedule
+
+
+def phased_schedule_to_dict(phased: PhasedSchedule) -> dict[str, Any]:
+    """Serialize a phased schedule with its labels."""
+    return {
+        "schema": _SCHEMA,
+        "phases": [schedule_to_dict(s) for s in phased.phases],
+        "labels": list(phased.labels),
+    }
+
+
+def phased_schedule_from_dict(payload: dict[str, Any]) -> PhasedSchedule:
+    """Deserialize a phased schedule."""
+    phased = PhasedSchedule()
+    labels = list(payload.get("labels", []))
+    phases = _expect(payload, "phases")
+    for i, item in enumerate(phases):
+        label = labels[i] if i < len(labels) else ""
+        phased.append(schedule_from_dict(item), label)
+    return phased
+
+
+def figure_to_dict(figure: FigureData) -> dict[str, Any]:
+    """Serialize a regenerated figure's series."""
+    return {
+        "schema": _SCHEMA,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "notes": list(figure.notes),
+        "series": [
+            {"label": s.label, "xs": list(s.xs), "ys": list(s.ys)}
+            for s in figure.series
+        ],
+    }
+
+
+def figure_from_dict(payload: dict[str, Any]) -> FigureData:
+    """Deserialize a figure."""
+    return FigureData(
+        figure_id=_expect(payload, "figure_id"),
+        title=_expect(payload, "title"),
+        x_label=_expect(payload, "x_label"),
+        y_label=_expect(payload, "y_label"),
+        notes=tuple(payload.get("notes", ())),
+        series=tuple(
+            Series(
+                label=_expect(s, "label"),
+                xs=tuple(_expect(s, "xs")),
+                ys=tuple(_expect(s, "ys")),
+            )
+            for s in _expect(payload, "series")
+        ),
+    )

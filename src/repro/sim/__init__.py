@@ -1,0 +1,46 @@
+"""Execution-simulator substrate: fluid simulation of multi-resource sites.
+
+Executes schedules under explicit resource-sharing policies instead of
+merely evaluating Equation (3), validating the paper's analytic model
+(OPTIMAL_STRETCH reproduces it exactly) and quantifying its idealization
+(FAIR_SHARE, SERIAL).
+"""
+
+from repro.sim.events import CloneTrace, RateInterval
+from repro.sim.policies import SharingPolicy
+from repro.sim.preemptability import (
+    PreemptabilityModel,
+    simulate_phased_degraded,
+    simulate_site_degraded,
+)
+from repro.sim.simulator import (
+    PhaseSimulation,
+    SimulationResult,
+    SiteSimulation,
+    simulate_phased,
+    simulate_schedule,
+    simulate_site,
+)
+from repro.sim.validate import (
+    PolicyComparison,
+    sharing_policy_report,
+    validate_phased_schedule,
+)
+
+__all__ = [
+    "SharingPolicy",
+    "CloneTrace",
+    "RateInterval",
+    "SiteSimulation",
+    "PhaseSimulation",
+    "SimulationResult",
+    "simulate_site",
+    "simulate_schedule",
+    "simulate_phased",
+    "PolicyComparison",
+    "validate_phased_schedule",
+    "sharing_policy_report",
+    "PreemptabilityModel",
+    "simulate_site_degraded",
+    "simulate_phased_degraded",
+]

@@ -1,0 +1,42 @@
+"""Resource-sharing policies for the fluid execution simulator.
+
+The analytic model of Section 5.2 (Equation 2) assumes an *ideal*
+preemptive scheduler at every site: resources are time-sliced at zero
+overhead (A2) and each clone's demand is uniform over its execution (A3),
+so all clones at a site finish by ``max{max T_seq, l(work)}``.  The
+simulator makes that assumption executable and contrastable:
+
+* :attr:`SharingPolicy.OPTIMAL_STRETCH` — the idealized scheduler the
+  analysis assumes.  Each clone is stretched to finish exactly at
+  ``T* = max{max_c T_c, l(work)}``, i.e. clone ``c`` runs at constant
+  progress rate ``T_c / T*``.  Feasible because per-resource consumption
+  is then ``load[i] / T* <= 1``; site completion matches Equation (2)
+  exactly.
+* :attr:`SharingPolicy.FAIR_SHARE` — a plausible real scheduler: all
+  active clones progress at one common throttle
+  ``x = min(1, 1 / max_i sum_c rate_c[i])``, recomputed whenever a clone
+  finishes.  Short clones finish early, which can leave capacity idle that
+  the stretch policy would have pre-allocated; completion is never below
+  Equation (2) and quantifies how optimistic assumptions A2/A3 are.
+* :attr:`SharingPolicy.SERIAL` — no time-sharing at all: clones run one
+  after another, completing at ``sum_c T_c``.  The "previous approaches"
+  strawman: the value of resource sharing is the gap between SERIAL and
+  the other two.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["SharingPolicy"]
+
+
+class SharingPolicy(Enum):
+    """How a site's preemptable resources are shared among clones."""
+
+    #: Ideal deadline-proportional stretching (matches Equation 2 exactly).
+    OPTIMAL_STRETCH = "optimal_stretch"
+    #: Equal-throttle processor sharing (realistic, >= Equation 2).
+    FAIR_SHARE = "fair_share"
+    #: One clone at a time (no sharing; upper envelope).
+    SERIAL = "serial"

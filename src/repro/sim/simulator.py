@@ -1,0 +1,345 @@
+"""Fluid discrete-event simulation of phased schedules.
+
+This substrate executes a schedule instead of just evaluating Equation (3)
+on it: every site runs its resident clones under a
+:class:`~repro.sim.policies.SharingPolicy`, producing per-clone traces and
+piecewise-constant rate intervals whose feasibility (no resource above
+unit capacity) and work conservation are checked as the simulation
+advances.  Phases are synchronized globally, as in TREESCHEDULE: phase
+``k+1`` starts when the slowest site of phase ``k`` finishes.
+
+Under :attr:`SharingPolicy.OPTIMAL_STRETCH` the simulated response time
+reproduces the analytic model *exactly* (this is asserted by the
+validation tests); under :attr:`FAIR_SHARE` and :attr:`SERIAL` it bounds
+the model from above, quantifying the optimism of assumptions A2/A3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.core.schedule import PhasedSchedule, Schedule
+from repro.core.site import Site
+from repro.sim.events import CloneTrace, RateInterval
+from repro.sim.policies import SharingPolicy
+
+__all__ = [
+    "SiteSimulation",
+    "PhaseSimulation",
+    "SimulationResult",
+    "simulate_site",
+    "simulate_schedule",
+    "simulate_phased",
+]
+
+_EPS = 1e-9
+
+
+@dataclass
+class SiteSimulation:
+    """Simulation outcome for one site within one phase.
+
+    Attributes
+    ----------
+    site_index:
+        The simulated site.
+    completion_time:
+        Time (relative to phase start) at which the last clone finished.
+    analytic_time:
+        The Equation (2) site time, for comparison.
+    traces:
+        Per-clone execution records.
+    intervals:
+        Piecewise-constant rate intervals (empty for idle sites).
+    """
+
+    site_index: int
+    completion_time: float
+    analytic_time: float
+    traces: list[CloneTrace] = field(default_factory=list)
+    intervals: list[RateInterval] = field(default_factory=list)
+
+    @property
+    def deviation(self) -> float:
+        """Relative excess of simulated over analytic time (0 when idle)."""
+        if self.analytic_time <= 0.0:
+            return 0.0
+        return (self.completion_time - self.analytic_time) / self.analytic_time
+
+
+@dataclass
+class PhaseSimulation:
+    """Simulation outcome for one synchronized phase."""
+
+    sites: list[SiteSimulation]
+    makespan: float
+    analytic_makespan: float
+
+
+@dataclass
+class SimulationResult:
+    """Simulation outcome for a full phased schedule.
+
+    Attributes
+    ----------
+    policy:
+        The sharing policy that was simulated.
+    phases:
+        Per-phase outcomes, in execution order.
+    response_time:
+        Total simulated response time (sum of phase makespans, since
+        phases are globally synchronized).
+    analytic_response_time:
+        The Equation (3) response time of the same schedule.
+    """
+
+    policy: SharingPolicy
+    phases: list[PhaseSimulation]
+    response_time: float
+    analytic_response_time: float
+
+    @property
+    def slowdown(self) -> float:
+        """``simulated / analytic`` response-time ratio (1.0 when equal)."""
+        if self.analytic_response_time <= 0.0:
+            return 1.0
+        return self.response_time / self.analytic_response_time
+
+
+def _clone_states(site: Site) -> list[dict]:
+    states = []
+    for clone in site.clones:
+        t = clone.t_seq
+        rates = tuple((c / t if t > 0 else 0.0) for c in clone.work.components)
+        states.append(
+            {
+                "label": f"{clone.operator}#{clone.clone_index}",
+                "operator": clone.operator,
+                "clone_index": clone.clone_index,
+                "t_seq": t,
+                "rates": rates,
+                "remaining": t,
+            }
+        )
+    return states
+
+
+def _check_feasible(resource_rates: tuple[float, ...], site_index: int) -> None:
+    for i, r in enumerate(resource_rates):
+        if r > 1.0 + 1e-6:
+            raise SimulationError(
+                f"site {site_index}: resource {i} driven at rate {r:.6f} > 1"
+            )
+
+
+def _simulate_stretch(site: Site) -> SiteSimulation:
+    """OPTIMAL_STRETCH: every clone finishes exactly at T* (Equation 2)."""
+    analytic = site.t_site()
+    states = _clone_states(site)
+    t_star = analytic
+    traces = []
+    agg = [0.0] * site.d
+    for s in states:
+        # Stretch factor T_c / T*; a zero-work clone completes immediately.
+        factor = (s["t_seq"] / t_star) if t_star > 0 else 0.0
+        for i, r in enumerate(s["rates"]):
+            agg[i] += r * factor
+        traces.append(
+            CloneTrace(
+                operator=s["operator"],
+                clone_index=s["clone_index"],
+                start=0.0,
+                finish=t_star if s["t_seq"] > 0 else 0.0,
+                nominal_t_seq=s["t_seq"],
+            )
+        )
+    rates = tuple(agg)
+    _check_feasible(rates, site.index)
+    intervals = []
+    if states and t_star > 0:
+        intervals.append(
+            RateInterval(
+                start=0.0,
+                end=t_star,
+                active=tuple(s["label"] for s in states),
+                throttle=min(
+                    (s["t_seq"] / t_star for s in states if s["t_seq"] > 0),
+                    default=1.0,
+                ),
+                resource_rates=rates,
+            )
+        )
+    return SiteSimulation(
+        site_index=site.index,
+        completion_time=t_star if states else 0.0,
+        analytic_time=analytic,
+        traces=traces,
+        intervals=intervals,
+    )
+
+
+def _simulate_fair_share(site: Site) -> SiteSimulation:
+    """FAIR_SHARE: equal throttle for all active clones, event-driven."""
+    analytic = site.t_site()
+    states = _clone_states(site)
+    active = [s for s in states if s["t_seq"] > 0]
+    traces = [
+        CloneTrace(
+            operator=s["operator"],
+            clone_index=s["clone_index"],
+            start=0.0,
+            finish=0.0,
+            nominal_t_seq=0.0,
+        )
+        for s in states
+        if s["t_seq"] <= 0
+    ]
+    intervals: list[RateInterval] = []
+    now = 0.0
+    guard = 0
+    while active:
+        guard += 1
+        if guard > 10_000 + 10 * len(states):
+            raise SimulationError(
+                f"site {site.index}: fair-share simulation failed to converge"
+            )
+        congestion = [0.0] * site.d
+        for s in active:
+            for i, r in enumerate(s["rates"]):
+                congestion[i] += r
+        peak = max(congestion, default=0.0)
+        throttle = 1.0 if peak <= 1.0 else 1.0 / peak
+        # Next completion under the common throttle.
+        dt = min(s["remaining"] / throttle for s in active)
+        end = now + dt
+        rates = tuple(c * throttle for c in congestion)
+        _check_feasible(rates, site.index)
+        intervals.append(
+            RateInterval(
+                start=now,
+                end=end,
+                active=tuple(s["label"] for s in active),
+                throttle=throttle,
+                resource_rates=rates,
+            )
+        )
+        still_active = []
+        for s in active:
+            s["remaining"] -= throttle * dt
+            if s["remaining"] <= _EPS * max(1.0, s["t_seq"]):
+                traces.append(
+                    CloneTrace(
+                        operator=s["operator"],
+                        clone_index=s["clone_index"],
+                        start=0.0,
+                        finish=end,
+                        nominal_t_seq=s["t_seq"],
+                    )
+                )
+            else:
+                still_active.append(s)
+        active = still_active
+        now = end
+    return SiteSimulation(
+        site_index=site.index,
+        completion_time=now,
+        analytic_time=analytic,
+        traces=traces,
+        intervals=intervals,
+    )
+
+
+def _simulate_serial(site: Site) -> SiteSimulation:
+    """SERIAL: clones run one after another, longest first."""
+    analytic = site.t_site()
+    states = sorted(
+        _clone_states(site), key=lambda s: (-s["t_seq"], s["label"])
+    )
+    traces = []
+    intervals = []
+    now = 0.0
+    for s in states:
+        end = now + s["t_seq"]
+        traces.append(
+            CloneTrace(
+                operator=s["operator"],
+                clone_index=s["clone_index"],
+                start=now,
+                finish=end,
+                nominal_t_seq=s["t_seq"],
+            )
+        )
+        if s["t_seq"] > 0:
+            intervals.append(
+                RateInterval(
+                    start=now,
+                    end=end,
+                    active=(s["label"],),
+                    throttle=1.0,
+                    resource_rates=s["rates"],
+                )
+            )
+        now = end
+    return SiteSimulation(
+        site_index=site.index,
+        completion_time=now,
+        analytic_time=analytic,
+        traces=traces,
+        intervals=intervals,
+    )
+
+
+_POLICY_DISPATCH = {
+    SharingPolicy.OPTIMAL_STRETCH: _simulate_stretch,
+    SharingPolicy.FAIR_SHARE: _simulate_fair_share,
+    SharingPolicy.SERIAL: _simulate_serial,
+}
+
+
+def simulate_site(site: Site, policy: SharingPolicy) -> SiteSimulation:
+    """Simulate one site's clones under ``policy``.
+
+    Checks rate feasibility throughout and work conservation at the end
+    (every clone's trace spans enough stretched time to complete its
+    nominal work).
+    """
+    result = _POLICY_DISPATCH[policy](site)
+    # Work conservation: each finished clone ran for >= its nominal time
+    # scaled by the throttles it received — guaranteed by construction for
+    # these policies; assert the cheap invariant finish >= 0 and
+    # completion >= analytic floor for non-ideal policies.
+    if result.completion_time < -_EPS:
+        raise SimulationError(f"site {site.index}: negative completion time")
+    if result.completion_time < result.analytic_time - 1e-6 * max(
+        1.0, result.analytic_time
+    ):
+        raise SimulationError(
+            f"site {site.index}: simulated time {result.completion_time} "
+            f"below the Equation (2) floor {result.analytic_time}"
+        )
+    return result
+
+
+def simulate_schedule(schedule: Schedule, policy: SharingPolicy) -> PhaseSimulation:
+    """Simulate one phase (all sites run concurrently from time zero)."""
+    sites = [simulate_site(site, policy) for site in schedule.sites]
+    makespan = max((s.completion_time for s in sites), default=0.0)
+    return PhaseSimulation(
+        sites=sites, makespan=makespan, analytic_makespan=schedule.makespan()
+    )
+
+
+def simulate_phased(
+    phased: PhasedSchedule, policy: SharingPolicy = SharingPolicy.OPTIMAL_STRETCH
+) -> SimulationResult:
+    """Simulate a full phased schedule with a global barrier per phase."""
+    phases = [simulate_schedule(schedule, policy) for schedule in phased.phases]
+    response = math.fsum(p.makespan for p in phases)
+    return SimulationResult(
+        policy=policy,
+        phases=phases,
+        response_time=response,
+        analytic_response_time=phased.response_time(),
+    )

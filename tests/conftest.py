@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PAPER_PARAMETERS,
+    CommunicationModel,
+    ConvexCombinationOverlap,
+    OperatorSpec,
+    WorkVector,
+    annotate_plan,
+    generate_query,
+)
+
+
+@pytest.fixture
+def params():
+    """The Table 2 system parameters."""
+    return PAPER_PARAMETERS
+
+
+@pytest.fixture
+def comm(params):
+    """The paper's communication model (alpha = 15 ms, beta = 0.6 us/B)."""
+    return params.communication_model()
+
+
+@pytest.fixture
+def zero_comm():
+    """A communication model with no overhead (useful to isolate packing)."""
+    return CommunicationModel(alpha=0.0, beta=0.0)
+
+
+@pytest.fixture
+def overlap():
+    """The mid-range overlap model used in most paper figures (eps = 0.5)."""
+    return ConvexCombinationOverlap(0.5)
+
+
+@pytest.fixture
+def low_overlap():
+    """Low overlap (eps = 0.1): nearly serial resource usage."""
+    return ConvexCombinationOverlap(0.1)
+
+
+def make_spec(name: str, cpu: float, disk: float, net: float = 0.0, data_mb: float = 0.0) -> OperatorSpec:
+    """Build a 3-dimensional operator spec from readable components."""
+    return OperatorSpec(
+        name=name,
+        work=WorkVector([cpu, disk, net]),
+        data_volume=data_mb * 1e6,
+    )
+
+
+@pytest.fixture
+def simple_specs():
+    """A small mixed bag of operators with complementary resource needs."""
+    return [
+        make_spec("cpu-heavy", cpu=10.0, disk=1.0, data_mb=0.5),
+        make_spec("disk-heavy", cpu=1.0, disk=10.0, data_mb=0.5),
+        make_spec("balanced", cpu=5.0, disk=5.0, data_mb=1.0),
+        make_spec("small", cpu=0.5, disk=0.5, data_mb=0.1),
+    ]
+
+
+@pytest.fixture
+def annotated_query(params):
+    """A deterministic 8-join query, cost-annotated and ready to schedule."""
+    query = generate_query(8, np.random.default_rng(42))
+    annotate_plan(query.operator_tree, params)
+    return query
+
+
+@pytest.fixture
+def annotated_query_factory(params):
+    """Factory for annotated random queries: ``factory(n_joins, seed)``."""
+
+    def factory(n_joins: int, seed: int):
+        query = generate_query(n_joins, np.random.default_rng(seed))
+        annotate_plan(query.operator_tree, params)
+        return query
+
+    return factory

@@ -1,0 +1,80 @@
+"""Tests for cost annotation of operator trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    PAPER_PARAMETERS,
+    OperatorKind,
+    annotate_operator,
+    annotate_plan,
+    build_work_vector,
+    generate_query,
+    operator_data_volume,
+    probe_work_vector,
+    scan_work_vector,
+)
+
+P = PAPER_PARAMETERS
+
+
+class TestAnnotatePlan:
+    def test_all_operators_annotated(self):
+        query = generate_query(10, np.random.default_rng(0))
+        annotate_plan(query.operator_tree, P)
+        assert all(op.annotated for op in query.operator_tree.operators)
+
+    def test_returns_tree(self):
+        query = generate_query(3, np.random.default_rng(0))
+        assert annotate_plan(query.operator_tree, P) is query.operator_tree
+
+    def test_specs_match_cost_model(self):
+        query = generate_query(6, np.random.default_rng(1))
+        tree = annotate_plan(query.operator_tree, P)
+        for op in tree.operators:
+            spec = op.spec
+            assert spec.name == op.name
+            assert spec.data_volume == operator_data_volume(op, tree, P)
+            if op.kind is OperatorKind.SCAN:
+                assert spec.work == scan_work_vector(op.output_tuples, P)
+            elif op.kind is OperatorKind.BUILD:
+                assert spec.work == build_work_vector(op.input_tuples, P)
+            else:
+                assert spec.work == probe_work_vector(
+                    op.input_tuples, op.output_tuples, P
+                )
+
+    def test_idempotent_reannotation(self):
+        query = generate_query(4, np.random.default_rng(2))
+        annotate_plan(query.operator_tree, P)
+        first = {op.name: op.spec for op in query.operator_tree.operators}
+        annotate_plan(query.operator_tree, P)
+        second = {op.name: op.spec for op in query.operator_tree.operators}
+        assert first == second
+
+    def test_reannotation_with_new_params_changes_specs(self):
+        query = generate_query(4, np.random.default_rng(2))
+        annotate_plan(query.operator_tree, P)
+        before = {op.name: op.spec.work for op in query.operator_tree.operators}
+        annotate_plan(query.operator_tree, P.scaled(cpu_mips=100.0))
+        after = {op.name: op.spec.work for op in query.operator_tree.operators}
+        assert any(before[name] != after[name] for name in before)
+
+    def test_annotate_single_operator(self):
+        query = generate_query(2, np.random.default_rng(3))
+        op = query.operator_tree.root
+        spec = annotate_operator(op, query.operator_tree, P)
+        assert op.spec is spec
+
+    def test_three_dimensional_vectors(self):
+        query = generate_query(5, np.random.default_rng(4))
+        annotate_plan(query.operator_tree, P)
+        assert all(op.spec.d == 3 for op in query.operator_tree.operators)
+
+    def test_nonzero_processing_areas(self):
+        query = generate_query(5, np.random.default_rng(4))
+        annotate_plan(query.operator_tree, P)
+        assert all(
+            op.spec.processing_area > 0 for op in query.operator_tree.operators
+        )

@@ -1,0 +1,62 @@
+"""Tests for the extended CLI surface (sensitivity targets, JSON output)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import SENSITIVITY_TARGETS, build_parser, main
+from repro.experiments.runner import ALGORITHMS, prepare_workload, response_time
+
+
+class TestSensitivityTargets:
+    def test_targets_registered(self):
+        parser = build_parser()
+        for target in SENSITIVITY_TARGETS:
+            args = parser.parse_args([target, "--quick"])
+            assert args.target == target
+
+    def test_sens_run_tiny(self, capsys):
+        rc = main(["sens-startup", "--quick", "--queries", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity to alpha_startup_seconds" in out
+        assert "TreeSchedule" in out
+
+
+class TestJsonOutput:
+    def test_figure_json(self, capsys):
+        rc = main(["fig6b", "--quick", "--queries", "1", "--sites", "4", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure_id"] == "fig6b"
+        assert payload["schema"] == "repro/1"
+        labels = {s["label"] for s in payload["series"]}
+        assert any(label.startswith("TreeSchedule") for label in labels)
+
+    def test_sensitivity_json(self, capsys):
+        rc = main(["sens-cpu", "--quick", "--queries", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure_id"] == "sens-cpu_mips"
+
+    def test_json_roundtrips_through_loader(self, capsys):
+        from repro.serialization import figure_from_dict
+
+        main(["fig6b", "--quick", "--queries", "1", "--sites", "4", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        figure = figure_from_dict(payload)
+        assert figure.figure_id == "fig6b"
+        assert all(len(s.xs) == len(s.ys) for s in figure.series)
+
+
+class TestHongAlgorithm:
+    def test_registered(self):
+        assert "hong" in ALGORITHMS
+
+    def test_runs_and_bounded_by_optbound(self):
+        (query, *_rest) = prepare_workload(4, 2, seed=3)
+        hong = response_time("hong", query, p=8, f=0.7, epsilon=0.5)
+        lb = response_time("optbound", query, p=8, f=0.7, epsilon=0.5)
+        assert hong >= lb * (1 - 1e-9)

@@ -1,0 +1,76 @@
+"""Tests for per-operator interconnect data volumes (A5 accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    JoinNode,
+    PAPER_PARAMETERS,
+    PlanStructureError,
+    Relation,
+    expand_plan,
+    operator_data_volume,
+)
+
+P = PAPER_PARAMETERS
+
+
+def two_join_tree():
+    a = BaseRelationNode(Relation("A", 100))
+    b = BaseRelationNode(Relation("B", 300))
+    c = BaseRelationNode(Relation("C", 200))
+    return expand_plan(JoinNode("J1", JoinNode("J0", a, b), c))
+
+
+class TestScanVolume:
+    def test_scan_sends_output(self):
+        tree = two_join_tree()
+        scan_a = tree.operator_by_name("scan(A)")
+        assert operator_data_volume(scan_a, tree, P) == 100 * 128
+
+    def test_lone_scan_moves_nothing(self):
+        tree = expand_plan(BaseRelationNode(Relation("A", 100)))
+        assert operator_data_volume(tree.root, tree, P) == 0.0
+
+
+class TestBuildVolume:
+    def test_build_receives_input(self):
+        tree = two_join_tree()
+        build_j1 = tree.build_of("J1")
+        # J1's inner stream is J0's output: 300 tuples.
+        assert operator_data_volume(build_j1, tree, P) == 300 * 128
+
+
+class TestProbeVolume:
+    def test_inner_probe_receives_and_sends(self):
+        tree = two_join_tree()
+        probe_j0 = tree.probe_of("J0")
+        # Receives outer B (300), sends result (300) to build(J1).
+        assert operator_data_volume(probe_j0, tree, P) == (300 + 300) * 128
+
+    def test_root_probe_receives_only(self):
+        tree = two_join_tree()
+        probe_j1 = tree.probe_of("J1")
+        # Receives outer C (200); the final result is not repartitioned.
+        assert operator_data_volume(probe_j1, tree, P) == 200 * 128
+
+
+class TestErrors:
+    def test_foreign_operator_rejected(self):
+        tree = two_join_tree()
+        other = expand_plan(BaseRelationNode(Relation("Z", 10)))
+        with pytest.raises(PlanStructureError):
+            operator_data_volume(other.root, tree, P)
+
+
+class TestConservation:
+    def test_every_pipeline_edge_charged_twice(self):
+        """Every pipeline edge costs network time at both endpoints (A5):
+        the sender's D_out and the receiver's D_in, so the total data
+        volume is exactly twice the bytes flowing on pipeline edges."""
+        tree = two_join_tree()
+        total = sum(operator_data_volume(op, tree, P) for op in tree.operators)
+        edge_bytes = sum(u.output_tuples * 128 for u, _ in tree.pipeline_edges())
+        assert total == 2 * edge_bytes

@@ -1,0 +1,119 @@
+"""Tests for the [HCY94]-style per-operator work vectors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    PAPER_PARAMETERS,
+    ConfigurationError,
+    Resource,
+    build_work_vector,
+    probe_work_vector,
+    scan_work_vector,
+)
+from repro.cost.cost_model import work_vector_3d
+
+P = PAPER_PARAMETERS
+
+
+class TestAssembly:
+    def test_layout(self):
+        w = work_vector_3d(1.5, 2.5)
+        assert w[Resource.CPU] == 1.5
+        assert w[Resource.DISK] == 2.5
+        assert w[Resource.NETWORK] == 0.0
+        assert w.d == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            work_vector_3d(-1.0, 0.0)
+
+
+class TestScan:
+    def test_exact_formula(self):
+        # 4000 tuples = 100 pages: CPU = (100*5000 + 4000*300) us; disk = 2 s.
+        w = scan_work_vector(4_000, P)
+        assert math.isclose(w[Resource.CPU], (100 * 5_000 + 4_000 * 300) * 1e-6)
+        assert math.isclose(w[Resource.DISK], 100 * 0.020)
+        assert w[Resource.NETWORK] == 0.0
+
+    def test_zero_tuples(self):
+        w = scan_work_vector(0, P)
+        assert w.is_zero()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_work_vector(-1, P)
+
+    def test_disk_dominates_cpu_is_balanced(self):
+        """Footnote 4: the system is 'relatively balanced'.
+
+        For a scan the disk time per page (20 ms) and CPU time per page
+        (5 ms read + 12 ms extract at 40 tuples) are the same order of
+        magnitude — neither resource is >5x the other.
+        """
+        w = scan_work_vector(100_000, P)
+        ratio = w[Resource.DISK] / w[Resource.CPU]
+        assert 0.2 < ratio < 5.0
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_monotone_in_cardinality(self, t):
+        w1 = scan_work_vector(t, P)
+        w2 = scan_work_vector(t + 40, P)
+        assert w2.dominates(w1)
+
+
+class TestBuild:
+    def test_exact_formula(self):
+        # extract (300) + hash (100) per incoming tuple.
+        w = build_work_vector(10_000, P)
+        assert math.isclose(w[Resource.CPU], 10_000 * (300 + 100) * 1e-6)
+        assert w[Resource.DISK] == 0.0  # A1: table is memory-resident
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_work_vector(-1, P)
+
+
+class TestProbe:
+    def test_exact_formula(self):
+        # extract+probe per outer tuple, extract per result tuple.
+        w = probe_work_vector(10_000, 8_000, P)
+        expected = (10_000 * (300 + 200) + 8_000 * 300) * 1e-6
+        assert math.isclose(w[Resource.CPU], expected)
+        assert w[Resource.DISK] == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            probe_work_vector(-1, 0, P)
+        with pytest.raises(ConfigurationError):
+            probe_work_vector(0, -1, P)
+
+    @given(
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=0, max_value=10**5),
+    )
+    def test_monotone_in_both_inputs(self, outer, result):
+        base = probe_work_vector(outer, result, P)
+        assert probe_work_vector(outer + 1, result, P).dominates(base)
+        assert probe_work_vector(outer, result + 1, P).dominates(base)
+
+
+class TestParameterSensitivity:
+    def test_faster_cpu_shrinks_cpu_only(self):
+        fast = P.scaled(cpu_mips=10.0)
+        slow_w = scan_work_vector(10_000, P)
+        fast_w = scan_work_vector(10_000, fast)
+        assert fast_w[Resource.CPU] < slow_w[Resource.CPU]
+        assert fast_w[Resource.DISK] == slow_w[Resource.DISK]
+
+    def test_bigger_pages_fewer_disk_seconds(self):
+        dense = P.scaled(tuples_per_page=80)
+        assert (
+            scan_work_vector(10_000, dense)[Resource.DISK]
+            < scan_work_vector(10_000, P)[Resource.DISK]
+        )

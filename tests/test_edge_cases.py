@@ -1,0 +1,165 @@
+"""Edge cases across the pipeline: degenerate plans, tiny systems.
+
+Single-relation queries (no joins), single-site systems, empty phases,
+and other boundary conditions that individual module tests don't chain
+together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MemoryModel,
+    PAPER_PARAMETERS,
+    annotate_plan,
+    describe_query,
+    generate_query,
+    hong_schedule,
+    memory_aware_tree_schedule,
+    opt_bound,
+    sharing_policy_report,
+    synchronous_schedule,
+    tree_schedule,
+    validate_phased_schedule,
+)
+
+COMM = PAPER_PARAMETERS.communication_model()
+
+
+@pytest.fixture
+def scan_only_query():
+    """A zero-join query: the plan is a single base-relation scan."""
+    query = generate_query(0, np.random.default_rng(4))
+    annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+    return query
+
+
+class TestZeroJoinQuery:
+    def test_tree_schedule(self, scan_only_query, overlap):
+        result = tree_schedule(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, comm=COMM, overlap=overlap, f=0.7,
+        )
+        assert result.num_phases == 1
+        assert len(result.homes) == 1
+        assert result.response_time > 0
+
+    def test_synchronous(self, scan_only_query, overlap):
+        result = synchronous_schedule(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, comm=COMM, overlap=overlap,
+        )
+        assert result.response_time > 0
+
+    def test_hong(self, scan_only_query, overlap):
+        result = hong_schedule(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, comm=COMM, overlap=overlap, f=0.7,
+        )
+        assert result.response_time > 0
+
+    def test_opt_bound_below_all(self, scan_only_query, overlap):
+        lb = opt_bound(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, f=0.7, comm=COMM, overlap=overlap,
+        )
+        ts = tree_schedule(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, comm=COMM, overlap=overlap, f=0.7,
+        ).response_time
+        assert lb <= ts * (1 + 1e-9)
+
+    def test_memory_scheduler_no_builds(self, scan_only_query, overlap):
+        result = memory_aware_tree_schedule(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, comm=COMM, overlap=overlap,
+            memory=MemoryModel(capacity_bytes=1.0),  # tiny; no tables exist
+            params=PAPER_PARAMETERS, f=0.7,
+        )
+        assert result.total_spilled_joins == 0
+
+    def test_simulator(self, scan_only_query, overlap):
+        result = tree_schedule(
+            scan_only_query.operator_tree, scan_only_query.task_tree,
+            p=8, comm=COMM, overlap=overlap, f=0.7,
+        )
+        validate_phased_schedule(result.phased_schedule)
+        report = sharing_policy_report(result.phased_schedule)
+        assert report.serial >= report.analytic * (1 - 1e-9)
+
+    def test_stats(self, scan_only_query):
+        stats = describe_query(scan_only_query)
+        assert stats.num_joins == 0
+        assert stats.num_operators == 1
+        assert stats.num_tasks == 1
+        assert stats.bushiness == 1.0
+
+
+class TestSingleSiteSystems:
+    @pytest.mark.parametrize("joins", [0, 1, 5])
+    def test_everything_on_one_site(self, joins, overlap):
+        query = generate_query(joins, np.random.default_rng(joins))
+        annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+        ts = tree_schedule(
+            query.operator_tree, query.task_tree, p=1,
+            comm=COMM, overlap=overlap, f=0.7,
+        )
+        assert all(h.degree == 1 for h in ts.homes.values())
+        # On one site the makespan is the per-phase Equation (2) value.
+        validate_phased_schedule(ts.phased_schedule)
+
+    def test_all_algorithms_agree_on_degenerate_instance(self, overlap):
+        """One site + one operator: nothing to decide; all algorithms
+        produce the same (only possible) schedule."""
+        query = generate_query(0, np.random.default_rng(1))
+        annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+        ts = tree_schedule(
+            query.operator_tree, query.task_tree, p=1,
+            comm=COMM, overlap=overlap, f=0.7,
+        ).response_time
+        sy = synchronous_schedule(
+            query.operator_tree, query.task_tree, p=1, comm=COMM, overlap=overlap
+        ).response_time
+        hg = hong_schedule(
+            query.operator_tree, query.task_tree, p=1,
+            comm=COMM, overlap=overlap, f=0.7,
+        ).response_time
+        assert ts == pytest.approx(sy)
+        assert ts == pytest.approx(hg)
+
+
+class TestExtremeGranularity:
+    def test_very_small_f_still_schedules(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=1e-6,
+        )
+        # Degrees collapse toward 1 but the schedule remains valid.
+        result.phased_schedule.validate()
+        assert max(result.degrees.values()) <= 16
+
+    def test_huge_f_caps_at_response_optimum(self, annotated_query, comm, overlap):
+        loose = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=1e6,
+        )
+        moderate = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.9,
+        )
+        # Past the A4 cap, more granularity budget changes nothing much.
+        assert loose.response_time <= moderate.response_time * 1.01
+
+
+class TestTinyRelations:
+    def test_one_tuple_relations(self, overlap):
+        query = generate_query(3, np.random.default_rng(0), min_tuples=1, max_tuples=2)
+        annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+        result = tree_schedule(
+            query.operator_tree, query.task_tree, p=4,
+            comm=COMM, overlap=overlap, f=0.7,
+        )
+        assert result.response_time > 0
+        validate_phased_schedule(result.phased_schedule)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+The examples double as acceptance tests of the public API; each is
+executed in-process (``runpy``) with stdout captured.  The full
+``paper_experiments.py`` sweep is exercised separately by the benchmark
+suite and the CLI tests, so it is excluded here for runtime.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "warehouse_star_join.py",
+    "malleable_scheduling.py",
+    "simulator_validation.py",
+    "memory_constrained.py",
+    "schedule_inspection.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 5, f"{script} produced almost no output"
+
+
+def test_all_examples_accounted_for():
+    """Every example on disk is either smoke-tested here or the known
+    long-running sweep."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | {"paper_experiments.py"}
+
+
+class TestExampleOutputs:
+    def test_quickstart_reports_phases(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Total response time" in out
+        assert "degree=" in out
+
+    def test_warehouse_compares_algorithms(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "warehouse_star_join.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "TreeSchedule" in out and "Synchronous" in out and "OptBound" in out
+
+    def test_memory_example_shows_ledger(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "memory_constrained.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "ledger" in out.lower()
+        assert "spilled" in out.lower()
+
+    def test_simulator_example_validates(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "simulator_validation.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "matches Equation (3)" in out

@@ -1,0 +1,139 @@
+"""Tests for the Section 6 experiment harness (config, runner, figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError
+from repro.experiments import (
+    PAPER_CONFIG,
+    average_response_time,
+    figure5a,
+    figure5b,
+    figure6a,
+    figure6b,
+    prepare_workload,
+    quick_config,
+    response_time,
+)
+from repro.experiments.config import ExperimentConfig
+
+# A deliberately tiny sweep so figure builders run in well under a second.
+TINY = PAPER_CONFIG.with_overrides(
+    n_queries=2,
+    site_counts=(4, 16),
+    query_sizes=(4, 8),
+    f_values=(0.1, 0.7),
+    epsilon_values=(0.1, 0.7),
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.n_queries == 20
+        assert PAPER_CONFIG.query_sizes == (10, 20, 30, 40, 50)
+        assert PAPER_CONFIG.default_f == 0.7
+        assert PAPER_CONFIG.default_epsilon == 0.5
+        assert min(PAPER_CONFIG.site_counts) >= 10
+        assert max(PAPER_CONFIG.site_counts) <= 140
+
+    def test_quick_is_smaller(self):
+        q = quick_config()
+        assert q.n_queries < PAPER_CONFIG.n_queries
+        assert len(q.site_counts) < len(PAPER_CONFIG.site_counts)
+
+    def test_overrides(self):
+        cfg = PAPER_CONFIG.with_overrides(seed=1, n_queries=3)
+        assert cfg.seed == 1
+        assert cfg.n_queries == 3
+        assert PAPER_CONFIG.seed != 1 or True  # original frozen
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(n_queries=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(site_counts=())
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(epsilon_values=(1.5,))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(f_values=(0.0,))
+
+
+class TestRunner:
+    def test_prepare_workload_annotates(self):
+        cohort = prepare_workload(4, 2, seed=1)
+        assert len(cohort) == 2
+        assert all(op.annotated for q in cohort for op in q.operator_tree.operators)
+
+    def test_prepare_workload_cached(self):
+        a = prepare_workload(4, 2, seed=1)
+        b = prepare_workload(4, 2, seed=1)
+        assert a is b
+
+    def test_response_time_algorithms(self):
+        (query, _) = prepare_workload(4, 2, seed=1)
+        ts = response_time("treeschedule", query, p=8, f=0.7, epsilon=0.5)
+        sy = response_time("synchronous", query, p=8, f=0.7, epsilon=0.5)
+        lb = response_time("optbound", query, p=8, f=0.7, epsilon=0.5)
+        assert ts > 0 and sy > 0
+        assert lb <= ts + 1e-9
+        assert lb <= sy + 1e-9
+
+    def test_unknown_algorithm(self):
+        (query, _) = prepare_workload(4, 2, seed=1)
+        with pytest.raises(ConfigurationError):
+            response_time("magic", query, p=8, f=0.7, epsilon=0.5)
+
+    def test_average(self):
+        cohort = prepare_workload(4, 3, seed=2)
+        avg = average_response_time("treeschedule", cohort, p=8, f=0.7, epsilon=0.5)
+        singles = [
+            response_time("treeschedule", q, p=8, f=0.7, epsilon=0.5) for q in cohort
+        ]
+        assert avg == pytest.approx(sum(singles) / len(singles))
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_response_time("treeschedule", [], p=8, f=0.7, epsilon=0.5)
+
+
+class TestFigures:
+    def test_fig5a_structure(self):
+        fig = figure5a(TINY, n_joins=6, epsilon=0.3)
+        assert fig.figure_id == "fig5a"
+        labels = [s.label for s in fig.series]
+        assert "Synchronous" in labels
+        assert any(label.startswith("TreeSchedule f=") for label in labels)
+        for s in fig.series:
+            assert s.xs == tuple(TINY.site_counts)
+            assert all(y > 0 for y in s.ys)
+
+    def test_fig5a_small_f_worse(self):
+        fig = figure5a(TINY, n_joins=6, epsilon=0.3)
+        tight = fig.series_by_label("TreeSchedule f=0.1")
+        loose = fig.series_by_label("TreeSchedule f=0.7")
+        # The coarse-granularity restriction binds: f=0.1 never beats f=0.7.
+        assert all(a >= b - 1e-9 for a, b in zip(tight.ys, loose.ys))
+
+    def test_fig5b_structure(self):
+        fig = figure5b(TINY, n_joins=6)
+        assert fig.figure_id == "fig5b"
+        assert len(fig.series) == 2 * len(TINY.epsilon_values)
+
+    def test_fig6a_structure(self):
+        fig = figure6a(TINY, p_values=(4, 16))
+        assert fig.figure_id == "fig6a"
+        assert len(fig.series) == 4
+        for s in fig.series:
+            assert s.xs == tuple(float(j) for j in TINY.query_sizes)
+
+    def test_fig6b_structure_and_bound(self):
+        fig = figure6b(TINY, query_sizes=(6,))
+        ts = fig.series_by_label("TreeSchedule 6 joins")
+        lb = fig.series_by_label("OptBound 6 joins")
+        assert all(t >= b - 1e-9 for t, b in zip(ts.ys, lb.ys))
+
+    def test_series_lookup_missing(self):
+        fig = figure6b(TINY, query_sizes=(6,))
+        with pytest.raises(KeyError):
+            fig.series_by_label("nope")

@@ -1,0 +1,130 @@
+"""Tests for the XPRS-style pairing baseline [Hon92]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConvexCombinationOverlap,
+    hong_schedule,
+    synchronous_schedule,
+    tree_schedule,
+)
+
+
+class TestStructure:
+    def test_all_operators_scheduled(self, annotated_query, comm, overlap):
+        result = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert set(result.homes) == {
+            op.name for op in annotated_query.operator_tree.operators
+        }
+        result.phased_schedule.validate()
+
+    def test_phase_count(self, annotated_query, comm, overlap):
+        result = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert result.phased_schedule.num_phases == annotated_query.task_tree.height + 1
+        assert len(result.pairs) == result.phased_schedule.num_phases
+
+    def test_probes_rooted_at_builds(self, annotated_query, comm, overlap):
+        result = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        for op in annotated_query.operator_tree.iter_probes():
+            assert (
+                result.homes[op.name].site_indices
+                == result.homes[f"build({op.join_id})"].site_indices
+            )
+
+    def test_pairs_cover_tasks_with_floating_work(self, annotated_query, comm, overlap):
+        result = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        paired = {tid for phase in result.pairs for group in phase for tid in group}
+        # Every non-empty group has 1 or 2 tasks (pairs or singletons).
+        for phase in result.pairs:
+            for group in phase:
+                assert 1 <= len(group) <= 2
+        all_tasks = {t.task_id for t in annotated_query.task_tree.tasks}
+        assert paired <= all_tasks
+
+    def test_groups_use_disjoint_blocks(self, annotated_query, comm, overlap):
+        """Floating operators of different groups never share a site."""
+        result = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        task_of = {}
+        for task in annotated_query.task_tree.tasks:
+            for op in task.operators:
+                task_of[op.name] = task.task_id
+        probe_names = {
+            op.name for op in annotated_query.operator_tree.iter_probes()
+        }
+        for phase_idx, phase_groups in enumerate(result.pairs):
+            group_of_task = {
+                tid: gi for gi, group in enumerate(phase_groups) for tid in group
+            }
+            site_group: dict[int, int] = {}
+            schedule = result.phased_schedule.phases[phase_idx]
+            for name in schedule.operators:
+                if name in probe_names:
+                    continue  # rooted; may overlay anywhere
+                gi = group_of_task.get(task_of[name])
+                if gi is None:
+                    continue
+                for site in schedule.home(name).site_indices:
+                    assert site_group.setdefault(site, gi) == gi, (
+                        f"groups share site {site} in phase {phase_idx}"
+                    )
+
+
+class TestRelativePerformance:
+    def test_sits_between_treeschedule_and_synchronous(self, comm):
+        """Pairwise sharing recovers part of the global-sharing benefit."""
+        import repro
+
+        overlap = ConvexCombinationOverlap(0.3)
+        ts_total = hg_total = sy_total = 0.0
+        for seed in (7, 23, 31):
+            q = repro.generate_query(15, np.random.default_rng(seed))
+            repro.annotate_plan(q.operator_tree, repro.PAPER_PARAMETERS)
+            for p in (10, 40):
+                ts_total += tree_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=comm,
+                    overlap=overlap, f=0.7,
+                ).response_time
+                hg_total += hong_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=comm,
+                    overlap=overlap, f=0.7,
+                ).response_time
+                sy_total += synchronous_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=comm, overlap=overlap
+                ).response_time
+        assert ts_total < hg_total < sy_total
+
+    def test_single_site(self, annotated_query, comm, overlap):
+        result = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=1, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert all(h.degree == 1 for h in result.homes.values())
+
+    def test_deterministic(self, annotated_query, comm, overlap):
+        a = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        b = hong_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert a.response_time == b.response_time

@@ -1,0 +1,209 @@
+"""End-to-end integration tests: paper claims on seeded workloads.
+
+These tests exercise the full pipeline (generator -> cost model ->
+schedulers -> bounds -> simulator) and assert the *qualitative shapes*
+the paper reports in Section 6.  They use small cohorts so the whole file
+runs in a few seconds; the benchmarks regenerate the full figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    ConvexCombinationOverlap,
+    PAPER_PARAMETERS,
+    SharingPolicy,
+    certify,
+    malleable_schedule,
+    opt_bound,
+    simulate_phased,
+    synchronous_schedule,
+    theorem51_fixed_degree_bound,
+    tree_schedule,
+    validate_phased_schedule,
+)
+from repro.experiments import prepare_workload
+
+COMM = PAPER_PARAMETERS.communication_model()
+
+
+def avg(values):
+    values = list(values)
+    return math.fsum(values) / len(values)
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return prepare_workload(12, 6, seed=77)
+
+
+class TestHeadlineClaim:
+    def test_treeschedule_beats_synchronous_on_average(self, cohort):
+        """Figure 5/6 headline: lower average response at every P."""
+        overlap = ConvexCombinationOverlap(0.3)
+        for p in (10, 40, 80):
+            ts = avg(
+                tree_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=COMM,
+                    overlap=overlap, f=0.7,
+                ).response_time
+                for q in cohort
+            )
+            sy = avg(
+                synchronous_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=COMM, overlap=overlap
+                ).response_time
+                for q in cohort
+            )
+            assert ts < sy, f"TreeSchedule lost at P={p}: {ts} vs {sy}"
+
+    def test_advantage_shrinks_with_overlap(self, cohort):
+        """Figure 5(b): benefits are larger for smaller epsilon."""
+        ratios = []
+        for eps in (0.1, 0.7):
+            overlap = ConvexCombinationOverlap(eps)
+            ts = avg(
+                tree_schedule(
+                    q.operator_tree, q.task_tree, p=20, comm=COMM,
+                    overlap=overlap, f=0.7,
+                ).response_time
+                for q in cohort
+            )
+            sy = avg(
+                synchronous_schedule(
+                    q.operator_tree, q.task_tree, p=20, comm=COMM, overlap=overlap
+                ).response_time
+                for q in cohort
+            )
+            ratios.append(ts / sy)
+        assert ratios[0] < ratios[1]
+
+    def test_response_time_scales_down_with_sites(self, cohort):
+        overlap = ConvexCombinationOverlap(0.5)
+        times = [
+            avg(
+                tree_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=COMM,
+                    overlap=overlap, f=0.7,
+                ).response_time
+                for q in cohort
+            )
+            for p in (10, 40, 120)
+        ]
+        assert times[0] > times[1] > times[2]
+
+
+class TestOptimalityGap:
+    def test_close_to_optbound_at_small_p(self, cohort):
+        """Figure 6(b): average performance is far inside the worst-case
+        Theorem 5.1 factor; at small P it is within ~30% of OPTBOUND."""
+        overlap = ConvexCombinationOverlap(0.5)
+        ratios = []
+        for q in cohort:
+            ts = tree_schedule(
+                q.operator_tree, q.task_tree, p=10, comm=COMM,
+                overlap=overlap, f=0.7,
+            ).response_time
+            lb = opt_bound(
+                q.operator_tree, q.task_tree, p=10, f=0.7,
+                comm=COMM, overlap=overlap,
+            )
+            ratios.append(ts / lb)
+        assert avg(ratios) < 1.3
+        assert max(ratios) < theorem51_fixed_degree_bound(3)
+
+    def test_gap_far_from_worst_case_everywhere(self, cohort):
+        overlap = ConvexCombinationOverlap(0.5)
+        for p in (10, 40, 140):
+            for q in cohort:
+                ts = tree_schedule(
+                    q.operator_tree, q.task_tree, p=p, comm=COMM,
+                    overlap=overlap, f=0.7,
+                ).response_time
+                lb = opt_bound(
+                    q.operator_tree, q.task_tree, p=p, f=0.7,
+                    comm=COMM, overlap=overlap,
+                )
+                assert ts / lb < theorem51_fixed_degree_bound(3)
+
+
+class TestGranularityShape:
+    def test_figure5a_monotone_families(self, cohort):
+        """Larger f never hurts: the CG_f space only grows with f."""
+        overlap = ConvexCombinationOverlap(0.3)
+        q = cohort[0]
+        times = [
+            tree_schedule(
+                q.operator_tree, q.task_tree, p=40, comm=COMM,
+                overlap=overlap, f=f,
+            ).response_time
+            for f in (0.05, 0.2, 0.7)
+        ]
+        assert times[0] >= times[1] >= times[2] - 1e-9
+
+
+class TestPhaseCertificates:
+    def test_every_phase_certified(self, cohort):
+        """Theorem 5.1(a) holds phase by phase inside TREESCHEDULE."""
+        overlap = ConvexCombinationOverlap(0.5)
+        q = cohort[0]
+        result = tree_schedule(
+            q.operator_tree, q.task_tree, p=16, comm=COMM, overlap=overlap, f=0.7
+        )
+        specs = {op.name: op.spec for op in q.operator_tree.operators}
+        for schedule in result.phased_schedule.phases:
+            phase_specs = [specs[name] for name in schedule.operators]
+            cert = certify(
+                schedule.makespan(),
+                phase_specs,
+                result.degrees,
+                schedule.p,
+                COMM,
+                overlap,
+            )
+            assert cert.satisfied, str(cert)
+
+
+class TestSimulatorAgreement:
+    def test_analytic_model_is_executable(self, cohort):
+        overlap = ConvexCombinationOverlap(0.5)
+        for q in cohort[:3]:
+            result = tree_schedule(
+                q.operator_tree, q.task_tree, p=16, comm=COMM,
+                overlap=overlap, f=0.7,
+            )
+            sim = validate_phased_schedule(result.phased_schedule)
+            assert sim.slowdown == pytest.approx(1.0)
+
+    def test_fair_share_penalty_is_modest(self, cohort):
+        """A2/A3 idealization costs little: the realistic fair-share
+        simulation stays within ~35% of the analytic response time."""
+        overlap = ConvexCombinationOverlap(0.5)
+        penalties = []
+        for q in cohort:
+            result = tree_schedule(
+                q.operator_tree, q.task_tree, p=16, comm=COMM,
+                overlap=overlap, f=0.7,
+            )
+            sim = simulate_phased(result.phased_schedule, SharingPolicy.FAIR_SHARE)
+            penalties.append(sim.slowdown)
+        assert avg(penalties) < 1.35
+
+
+class TestMalleableIntegration:
+    def test_malleable_on_real_phase(self, cohort):
+        """Section 7 on a real workload: schedule one phase's floating
+        operators without the CG_f restriction."""
+        overlap = ConvexCombinationOverlap(0.5)
+        q = cohort[0]
+        scans = [op.spec for op in q.operator_tree.iter_scans()]
+        result = malleable_schedule(scans, p=24, comm=COMM, overlap=overlap)
+        assert result.makespan <= result.guarantee * result.lower_bound * (1 + 1e-9)
+        # And it should not lose to the CG_f scheduler on the same set.
+        from repro import operator_schedule
+
+        cg = operator_schedule(scans, p=24, comm=COMM, overlap=overlap, f=0.7)
+        assert result.makespan <= cg.makespan * 1.25

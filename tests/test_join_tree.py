@@ -1,0 +1,164 @@
+"""Tests for bushy hash-join plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BaseRelationNode,
+    Catalog,
+    JoinNode,
+    PlanStructureError,
+    QueryGraph,
+    Relation,
+    key_join_cardinality,
+    random_bushy_plan,
+    random_catalog,
+    random_tree_query,
+)
+
+
+def chain_graph(names):
+    return QueryGraph(names, list(zip(names, names[1:])))
+
+
+def catalog(sizes):
+    return Catalog([Relation(f"R{i}", s) for i, s in enumerate(sizes)])
+
+
+class TestKeyJoinCardinality:
+    def test_max_rule(self):
+        # Simple key joins: |result| = max(|L|, |R|) (Section 6.1).
+        assert key_join_cardinality(100, 500) == 500
+        assert key_join_cardinality(500, 100) == 500
+
+    def test_negative_rejected(self):
+        with pytest.raises(PlanStructureError):
+            key_join_cardinality(-1, 5)
+
+
+class TestPlanNodes:
+    def test_leaf(self):
+        leaf = BaseRelationNode(Relation("R", 1000))
+        assert leaf.output_tuples == 1000
+        assert leaf.height == 0
+        assert leaf.num_joins == 0
+        assert leaf.children == ()
+        assert list(leaf.iter_nodes()) == [leaf]
+        assert "1000 tuples" in leaf.pretty()
+
+    def test_join_structure(self):
+        a = BaseRelationNode(Relation("A", 100))
+        b = BaseRelationNode(Relation("B", 300))
+        j = JoinNode("J0", a, b)
+        assert j.output_tuples == 300
+        assert j.height == 1
+        assert j.num_joins == 1
+        assert j.children == (a, b)
+        assert j.leaves() == [a, b]
+        assert j.joins() == [j]
+        assert "J0" in j.pretty()
+
+    def test_postorder(self):
+        a = BaseRelationNode(Relation("A", 100))
+        b = BaseRelationNode(Relation("B", 300))
+        c = BaseRelationNode(Relation("C", 200))
+        j0 = JoinNode("J0", a, b)
+        j1 = JoinNode("J1", j0, c)
+        order = list(j1.iter_nodes())
+        assert order.index(a) < order.index(j0)
+        assert order.index(j0) < order.index(j1)
+        assert order[-1] is j1
+
+    def test_same_child_twice_rejected(self):
+        a = BaseRelationNode(Relation("A", 100))
+        with pytest.raises(PlanStructureError):
+            JoinNode("J0", a, a)
+
+    def test_empty_join_id_rejected(self):
+        a = BaseRelationNode(Relation("A", 100))
+        b = BaseRelationNode(Relation("B", 300))
+        with pytest.raises(PlanStructureError):
+            JoinNode("", a, b)
+
+    def test_cardinality_propagates_up(self):
+        # max() cascades: the root's output is the largest base relation.
+        a = BaseRelationNode(Relation("A", 100))
+        b = BaseRelationNode(Relation("B", 999))
+        c = BaseRelationNode(Relation("C", 5))
+        root = JoinNode("J1", JoinNode("J0", a, b), c)
+        assert root.output_tuples == 999
+
+
+class TestRandomBushyPlan:
+    def test_covers_all_relations_once(self):
+        cat = catalog([1000] * 8)
+        g = random_tree_query(cat, np.random.default_rng(1))
+        plan = random_bushy_plan(g, cat, np.random.default_rng(2))
+        assert plan.num_joins == 7
+        leaf_names = sorted(leaf.relation.name for leaf in plan.leaves())
+        assert leaf_names == sorted(cat.names)
+
+    def test_join_ids_sequential(self):
+        cat = catalog([1000] * 5)
+        g = chain_graph(cat.names)
+        plan = random_bushy_plan(g, cat, np.random.default_rng(0))
+        ids = sorted(j.join_id for j in plan.joins())
+        assert ids == [f"J{i}" for i in range(4)]
+
+    def test_smaller_side_builds(self):
+        cat = catalog([10, 100_000])
+        g = chain_graph(cat.names)
+        plan = random_bushy_plan(g, cat, np.random.default_rng(0))
+        join = plan.joins()[0]
+        assert join.build_side.output_tuples <= join.probe_side.output_tuples
+
+    def test_random_orientation_flag(self):
+        cat = catalog([10, 100_000])
+        g = chain_graph(cat.names)
+        orientations = set()
+        for seed in range(20):
+            plan = random_bushy_plan(
+                g, cat, np.random.default_rng(seed), smaller_side_builds=False
+            )
+            orientations.add(plan.joins()[0].build_side.output_tuples)
+        assert len(orientations) == 2  # both sides appear as build
+
+    def test_deterministic(self):
+        cat = catalog([1000] * 10)
+        g = random_tree_query(cat, np.random.default_rng(5))
+        p1 = random_bushy_plan(g, cat, np.random.default_rng(9))
+        p2 = random_bushy_plan(g, cat, np.random.default_rng(9))
+        assert p1.pretty() == p2.pretty()
+
+    def test_produces_bushy_shapes(self):
+        # Over many draws on a chain query the plan heights must vary:
+        # contracting middle edges yields bushy (sub-maximal-height) trees.
+        cat = catalog([1000] * 7)
+        g = chain_graph(cat.names)
+        heights = {
+            random_bushy_plan(g, cat, np.random.default_rng(s)).height for s in range(30)
+        }
+        assert len(heights) > 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=1000))
+    def test_joins_respect_query_graph(self, n_joins, seed):
+        """Every executed join corresponds to a query-graph edge between
+        the two fragments (no cartesian products)."""
+        rng = np.random.default_rng(seed)
+        cat = random_catalog(n_joins + 1, rng)
+        g = random_tree_query(cat, rng)
+        plan = random_bushy_plan(g, cat, rng)
+        assert plan.num_joins == n_joins
+
+        def leaves_of(node):
+            return {leaf.relation.name for leaf in node.leaves()}
+
+        for join in plan.joins():
+            left, right = leaves_of(join.build_side), leaves_of(join.probe_side)
+            assert any(
+                g.has_join(a, b) for a in left for b in right
+            ), "join without a connecting predicate"

@@ -1,0 +1,169 @@
+"""Tests for materialization points (store/rescan — §3.1's rooted example)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    ConvexCombinationOverlap,
+    JoinNode,
+    OperatorKind,
+    PAPER_PARAMETERS,
+    Relation,
+    Resource,
+    anchor_operator_name,
+    annotate_plan,
+    build_task_tree,
+    expand_plan,
+    hong_schedule,
+    opt_bound,
+    scan_work_vector,
+    synchronous_schedule,
+    tree_schedule,
+    validate_phased_schedule,
+)
+from repro.cost.cost_model import rescan_work_vector, store_work_vector
+from repro.plans.physical_ops import rescan_op, store_op
+
+COMM = PAPER_PARAMETERS.communication_model()
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def materialized_plan():
+    """Two joins with a materialization point between them."""
+    a = BaseRelationNode(Relation("A", 2_000))
+    b = BaseRelationNode(Relation("B", 8_000))
+    c = BaseRelationNode(Relation("C", 3_000))
+    inner = JoinNode("J0", a, b, materialize_output=True)
+    return JoinNode("J1", c, inner)
+
+
+@pytest.fixture
+def mat_tree():
+    tree = expand_plan(materialized_plan())
+    annotate_plan(tree, PAPER_PARAMETERS)
+    return tree
+
+
+class TestExpansion:
+    def test_store_rescan_inserted(self, mat_tree):
+        # 3 scans + 2 builds + 2 probes + store + rescan.
+        assert len(mat_tree) == 9
+        store = mat_tree.operator_by_name("store(J0)")
+        rescan = mat_tree.operator_by_name("rescan(J0)")
+        assert store.kind is OperatorKind.STORE
+        assert rescan.kind is OperatorKind.RESCAN
+        assert (store, rescan) in mat_tree.blocking_edges()
+        mat_tree.validate()
+
+    def test_root_materialization_ignored(self):
+        plan = JoinNode(
+            "J0",
+            BaseRelationNode(Relation("A", 100)),
+            BaseRelationNode(Relation("B", 200)),
+            materialize_output=True,
+        )
+        tree = expand_plan(plan)
+        assert len(tree) == 4  # no store/rescan at the root
+        assert tree.root.kind is OperatorKind.PROBE
+
+    def test_task_split_at_materialization(self, mat_tree):
+        tasks = build_task_tree(mat_tree)
+        # Without materialization this plan has 3 tasks; the store/rescan
+        # adds one boundary.
+        assert len(tasks) == 4
+        sinks = {t.sink.kind for t in tasks.tasks if t is not tasks.root}
+        assert OperatorKind.STORE in sinks
+
+    def test_anchor_names(self, mat_tree):
+        rescan = mat_tree.operator_by_name("rescan(J0)")
+        probe = mat_tree.operator_by_name("probe(J1)")
+        scan = mat_tree.operator_by_name("scan(A)")
+        assert anchor_operator_name(rescan) == "store(J0)"
+        assert anchor_operator_name(probe) == "build(J1)"
+        assert anchor_operator_name(scan) is None
+
+
+class TestCosts:
+    def test_store_work(self):
+        w = store_work_vector(4_000, PAPER_PARAMETERS)
+        pages = PAPER_PARAMETERS.pages(4_000)
+        assert w[Resource.DISK] == pytest.approx(pages * 0.020)
+        assert w[Resource.CPU] == pytest.approx(
+            (pages * 5_000 + 4_000 * 300) * 1e-6
+        )
+
+    def test_rescan_equals_scan(self):
+        assert rescan_work_vector(4_000, PAPER_PARAMETERS) == scan_work_vector(
+            4_000, PAPER_PARAMETERS
+        )
+
+    def test_data_volumes(self, mat_tree):
+        store = mat_tree.operator_by_name("store(J0)")
+        rescan = mat_tree.operator_by_name("rescan(J0)")
+        # Store receives the result stream (8000 tuples); rescan reads
+        # locally and ships to probe(J1).
+        assert store.spec.data_volume == pytest.approx(8_000 * 128)
+        assert rescan.spec.data_volume == pytest.approx(8_000 * 128)
+
+
+class TestScheduling:
+    def test_rescan_rooted_at_store(self, mat_tree):
+        tasks = build_task_tree(mat_tree)
+        for scheduler in (
+            lambda: tree_schedule(
+                mat_tree, tasks, p=8, comm=COMM, overlap=OVERLAP, f=0.7
+            ),
+            lambda: synchronous_schedule(
+                mat_tree, tasks, p=8, comm=COMM, overlap=OVERLAP
+            ),
+            lambda: hong_schedule(
+                mat_tree, tasks, p=8, comm=COMM, overlap=OVERLAP, f=0.7
+            ),
+        ):
+            result = scheduler()
+            assert (
+                result.homes["rescan(J0)"].site_indices
+                == result.homes["store(J0)"].site_indices
+            )
+            result.phased_schedule.validate()
+
+    def test_bound_and_simulation(self, mat_tree):
+        tasks = build_task_tree(mat_tree)
+        ts = tree_schedule(mat_tree, tasks, p=8, comm=COMM, overlap=OVERLAP, f=0.7)
+        lb = opt_bound(mat_tree, tasks, p=8, f=0.7, comm=COMM, overlap=OVERLAP)
+        assert ts.response_time >= lb * (1 - 1e-9)
+        validate_phased_schedule(ts.phased_schedule)
+
+    def test_materialization_costs_time_on_shallow_plans(self):
+        """On a plan with no reason to serialize, adding a
+        materialization point only adds I/O."""
+        def plan(materialize):
+            a = BaseRelationNode(Relation("A", 2_000))
+            b = BaseRelationNode(Relation("B", 8_000))
+            c = BaseRelationNode(Relation("C", 3_000))
+            inner = JoinNode("J0", a, b, materialize_output=materialize)
+            return JoinNode("J1", c, inner)
+
+        def response(materialize):
+            tree = annotate_plan(expand_plan(plan(materialize)), PAPER_PARAMETERS)
+            tasks = build_task_tree(tree)
+            return tree_schedule(
+                tree, tasks, p=8, comm=COMM, overlap=OVERLAP, f=0.7
+            ).response_time
+
+        assert response(True) > response(False)
+
+
+class TestPhysicalOpConstructors:
+    def test_store_fields(self):
+        op = store_op("J9", 500)
+        assert op.input_tuples == 500
+        assert op.output_tuples == 0
+
+    def test_rescan_fields(self):
+        op = rescan_op("J9", 500)
+        assert op.input_tuples == 0
+        assert op.output_tuples == 500

@@ -1,0 +1,154 @@
+"""Tests for the memory model, ledger, and spill cost functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    PAPER_PARAMETERS,
+    ConfigurationError,
+    MemoryLedger,
+    MemoryModel,
+    Resource,
+    SchedulingError,
+    TableCommitment,
+    spill_fraction,
+)
+from repro.memory.spill import build_spill_work, probe_spill_work
+
+P = PAPER_PARAMETERS
+
+
+class TestMemoryModel:
+    def test_table_bytes(self):
+        model = MemoryModel(capacity_bytes=1e6, hash_table_overhead=1.2)
+        assert model.table_bytes(1000, 128) == pytest.approx(1.2 * 1000 * 128)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(capacity_bytes=0)
+
+    def test_invalid_overhead(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(capacity_bytes=1e6, hash_table_overhead=0.9)
+
+    def test_negative_tuples(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(capacity_bytes=1e6).table_bytes(-1, 128)
+
+
+class TestLedger:
+    def _ledger(self, cap=1000.0):
+        return MemoryLedger(4, MemoryModel(capacity_bytes=cap))
+
+    def test_live_bytes_window(self):
+        ledger = self._ledger()
+        ledger.commit(
+            TableCommitment("J0", (0, 1), bytes_per_site=300.0, build_phase=1, release_phase=2)
+        )
+        assert ledger.live_bytes(0, 0) == 0.0
+        assert ledger.live_bytes(0, 1) == 300.0
+        assert ledger.live_bytes(0, 2) == 300.0
+        assert ledger.live_bytes(0, 3) == 0.0
+        assert ledger.live_bytes(2, 1) == 0.0
+
+    def test_stacking(self):
+        ledger = self._ledger()
+        ledger.commit(TableCommitment("J0", (0,), 300.0, 0, 2))
+        ledger.commit(TableCommitment("J1", (0,), 400.0, 1, 1))
+        assert ledger.live_bytes(0, 1) == 700.0
+        assert ledger.peak_live_bytes(1) == 700.0
+        assert ledger.available(0, 1) == 300.0
+        assert ledger.min_available(1) == 300.0
+
+    def test_validate_detects_overflow(self):
+        ledger = self._ledger(cap=500.0)
+        ledger.commit(TableCommitment("J0", (0,), 300.0, 0, 1))
+        ledger.commit(TableCommitment("J1", (0,), 300.0, 1, 1))
+        with pytest.raises(SchedulingError):
+            ledger.validate(2)
+
+    def test_validate_passes_within_capacity(self):
+        ledger = self._ledger(cap=500.0)
+        ledger.commit(TableCommitment("J0", (0,), 300.0, 0, 0))
+        ledger.commit(TableCommitment("J1", (0,), 300.0, 1, 1))
+        ledger.validate(2)
+
+    def test_bad_site_rejected(self):
+        ledger = self._ledger()
+        with pytest.raises(SchedulingError):
+            ledger.commit(TableCommitment("J0", (9,), 1.0, 0, 0))
+
+    def test_bad_interval_rejected(self):
+        ledger = self._ledger()
+        with pytest.raises(SchedulingError):
+            ledger.commit(TableCommitment("J0", (0,), 1.0, 2, 1))
+
+    def test_negative_footprint_rejected(self):
+        ledger = self._ledger()
+        with pytest.raises(SchedulingError):
+            ledger.commit(TableCommitment("J0", (0,), -1.0, 0, 1))
+
+    def test_bad_p(self):
+        with pytest.raises(SchedulingError):
+            MemoryLedger(0, MemoryModel(capacity_bytes=1.0))
+
+
+class TestSpillFraction:
+    def test_fits_entirely(self):
+        assert spill_fraction(100.0, 200.0) == 0.0
+        assert spill_fraction(100.0, 100.0) == 0.0
+
+    def test_partial(self):
+        assert spill_fraction(200.0, 100.0) == pytest.approx(0.5)
+
+    def test_no_budget(self):
+        assert spill_fraction(100.0, 0.0) == 1.0
+        assert spill_fraction(100.0, -5.0) == 1.0
+
+    def test_empty_table(self):
+        assert spill_fraction(0.0, 0.0) == 0.0
+
+    def test_negative_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spill_fraction(-1.0, 10.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e9),
+        st.floats(min_value=-1e6, max_value=1e9),
+    )
+    def test_always_in_unit_interval(self, table, budget):
+        assert 0.0 <= spill_fraction(table, budget) <= 1.0
+
+
+class TestSpillWork:
+    def test_no_spill_no_work(self):
+        assert build_spill_work(0.0, 10_000, P).is_zero()
+        assert probe_spill_work(0.0, 10_000, 20_000, P).is_zero()
+
+    def test_build_spill_components(self):
+        w = build_spill_work(0.5, 8_000, P)
+        pages = 0.5 * P.pages(8_000)
+        assert w[Resource.DISK] == pytest.approx(pages * P.disk_seconds_per_page)
+        assert w[Resource.CPU] == pytest.approx(P.cpu_seconds(pages * P.instr_write_page))
+        assert w[Resource.NETWORK] == 0.0
+
+    def test_probe_spill_exceeds_build_spill(self):
+        # The probe side writes, re-reads both inputs, and re-hashes.
+        b = build_spill_work(0.5, 8_000, P)
+        pr = probe_spill_work(0.5, 8_000, 8_000, P)
+        assert pr[Resource.DISK] > b[Resource.DISK]
+        assert pr[Resource.CPU] > b[Resource.CPU]
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_spill_work(1.5, 100, P)
+        with pytest.raises(ConfigurationError):
+            probe_spill_work(-0.1, 100, 100, P)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=10**5))
+    def test_monotone_in_fraction(self, q, tuples):
+        lo = build_spill_work(q * 0.5, tuples, P)
+        hi = build_spill_work(q, tuples, P)
+        assert hi.dominates(lo)

@@ -1,0 +1,207 @@
+"""Tests for the memory-aware TREESCHEDULE variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MemoryModel,
+    memory_aware_tree_schedule,
+    tree_schedule,
+)
+
+
+def run_mem(query, comm, overlap, p, capacity_bytes, f=0.7):
+    from repro import PAPER_PARAMETERS
+
+    return memory_aware_tree_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=p,
+        comm=comm,
+        overlap=overlap,
+        memory=MemoryModel(capacity_bytes=capacity_bytes),
+        params=PAPER_PARAMETERS,
+        f=f,
+    )
+
+
+class TestAmpleMemory:
+    def test_matches_unconstrained_tree_schedule(self, annotated_query, comm, overlap):
+        base = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        mem = run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=1e12)
+        assert mem.response_time == pytest.approx(base.response_time)
+        assert mem.total_spilled_joins == 0
+        assert {k: v.site_indices for k, v in mem.homes.items()} == {
+            k: v.site_indices for k, v in base.homes.items()
+        }
+
+    def test_no_spill_fractions(self, annotated_query, comm, overlap):
+        mem = run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=1e12)
+        assert all(q == 0.0 for q in mem.spill_fractions.values())
+        assert set(mem.spill_fractions) == {
+            op.join_id for op in annotated_query.operator_tree.iter_builds()
+        }
+
+
+class TestConstrainedMemory:
+    def test_monotone_degradation(self, annotated_query, comm, overlap):
+        times = [
+            run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=cap).response_time
+            for cap in (1e12, 1e6, 3e5, 1e5)
+        ]
+        assert all(t2 >= t1 - 1e-9 for t1, t2 in zip(times, times[1:]))
+        assert times[-1] > times[0]
+
+    def test_spills_appear_under_pressure(self, annotated_query, comm, overlap):
+        mem = run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=2e5)
+        assert mem.total_spilled_joins > 0
+        assert all(0.0 <= q <= 1.0 for q in mem.spill_fractions.values())
+
+    def test_ledger_validates(self, annotated_query, comm, overlap):
+        for cap in (1e12, 1e6, 1e5):
+            mem = run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=cap)
+            mem.ledger.validate(mem.phased_schedule.num_phases)
+
+    def test_never_exceeds_capacity_anywhere(self, annotated_query, comm, overlap):
+        mem = run_mem(annotated_query, comm, overlap, p=8, capacity_bytes=5e5)
+        for phase in range(mem.phased_schedule.num_phases):
+            assert mem.ledger.peak_live_bytes(phase) <= 5e5 * (1 + 1e-9)
+
+    def test_schedules_remain_valid(self, annotated_query, comm, overlap):
+        mem = run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=1e5)
+        mem.phased_schedule.validate()
+        expected = {op.name for op in annotated_query.operator_tree.operators}
+        assert set(mem.homes) == expected
+
+    def test_probes_still_rooted_at_builds(self, annotated_query, comm, overlap):
+        mem = run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=1e5)
+        for op in annotated_query.operator_tree.iter_probes():
+            assert (
+                mem.homes[op.name].site_indices
+                == mem.homes[f"build({op.join_id})"].site_indices
+            )
+
+    def test_memory_pressure_widens_degrees_before_spilling(self, comm, overlap):
+        """The scheduler's first response to pressure is a thinner spread
+        (higher build degree), which is cheaper than spill I/O.
+
+        Uses a single small join whose coarse-grain degree is low, so a
+        modest capacity squeeze can be absorbed by widening alone.
+        """
+        from repro import (
+            PAPER_PARAMETERS,
+            BaseRelationNode,
+            JoinNode,
+            Relation,
+            annotate_plan,
+            build_task_tree,
+            expand_plan,
+        )
+
+        plan = JoinNode(
+            "J0",
+            BaseRelationNode(Relation("inner", 300)),
+            BaseRelationNode(Relation("outer", 500)),
+        )
+        op_tree = annotate_plan(expand_plan(plan), PAPER_PARAMETERS)
+        task_tree = build_task_tree(op_tree)
+
+        def schedule(cap):
+            return memory_aware_tree_schedule(
+                op_tree, task_tree, p=16, comm=comm, overlap=overlap,
+                memory=MemoryModel(capacity_bytes=cap),
+                params=PAPER_PARAMETERS, f=0.7,
+            )
+
+        ample = schedule(1e12)
+        assert ample.degrees["build(J0)"] < 16  # precondition: room to widen
+        table = MemoryModel(capacity_bytes=1.0).table_bytes(300, 128)
+        # Capacity forcing roughly twice the ample degree, still feasible
+        # without any spill.
+        squeezed_cap = table / min(16, 2 * ample.degrees["build(J0)"]) * 1.01
+        tight = schedule(squeezed_cap)
+        assert tight.degrees["build(J0)"] > ample.degrees["build(J0)"]
+        assert tight.total_spilled_joins == 0
+
+    def test_strict_mode_matches_spilling_mode_when_feasible(
+        self, annotated_query, comm, overlap
+    ):
+        from repro import PAPER_PARAMETERS
+
+        kwargs = dict(
+            p=16, comm=comm, overlap=overlap,
+            memory=MemoryModel(capacity_bytes=1e12),
+            params=PAPER_PARAMETERS, f=0.7,
+        )
+        lax = memory_aware_tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree, **kwargs
+        )
+        strict = memory_aware_tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            allow_spill=False, **kwargs,
+        )
+        assert strict.response_time == pytest.approx(lax.response_time)
+
+    def test_strict_mode_raises_when_spill_needed(self, annotated_query, comm, overlap):
+        from repro import PAPER_PARAMETERS
+        from repro.exceptions import InfeasibleScheduleError
+
+        with pytest.raises(InfeasibleScheduleError):
+            memory_aware_tree_schedule(
+                annotated_query.operator_tree, annotated_query.task_tree,
+                p=16, comm=comm, overlap=overlap,
+                memory=MemoryModel(capacity_bytes=1e5),
+                params=PAPER_PARAMETERS, f=0.7, allow_spill=False,
+            )
+
+    def test_serialization_restores_feasibility(self, comm, overlap):
+        """The [HCY94] regime: a deep pipeline is infeasible without
+        spilling, but the serialized plan (staggered residency) runs."""
+        from repro import (
+            PAPER_PARAMETERS,
+            BaseRelationNode,
+            JoinNode,
+            Relation,
+            annotate_plan,
+            auto_materialize,
+            build_task_tree,
+            expand_plan,
+        )
+        from repro.exceptions import InfeasibleScheduleError
+
+        def deep():
+            node = BaseRelationNode(Relation("R0", 80_000))
+            for i in range(8):
+                node = JoinNode(
+                    f"J{i}", BaseRelationNode(Relation(f"B{i}", 40_000)), node
+                )
+            return node
+
+        kwargs = dict(
+            p=16, comm=comm, overlap=overlap,
+            memory=MemoryModel(capacity_bytes=2e6),
+            params=PAPER_PARAMETERS, f=0.7, allow_spill=False,
+        )
+        pipe = annotate_plan(expand_plan(deep()), PAPER_PARAMETERS)
+        with pytest.raises(InfeasibleScheduleError):
+            memory_aware_tree_schedule(pipe, build_task_tree(pipe), **kwargs)
+        ser = annotate_plan(
+            expand_plan(auto_materialize(deep(), max_chain=2)), PAPER_PARAMETERS
+        )
+        result = memory_aware_tree_schedule(ser, build_task_tree(ser), **kwargs)
+        assert result.response_time > 0
+        assert result.total_spilled_joins == 0
+
+    def test_original_annotation_not_mutated(self, annotated_query, comm, overlap):
+        before = {
+            op.name: op.spec.work for op in annotated_query.operator_tree.operators
+        }
+        run_mem(annotated_query, comm, overlap, p=16, capacity_bytes=1e5)
+        after = {
+            op.name: op.spec.work for op in annotated_query.operator_tree.operators
+        }
+        assert before == after

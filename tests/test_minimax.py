@@ -1,0 +1,126 @@
+"""Tests for the Lo et al. two-phase minimax allocation primitive."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SchedulingError, minimax_allocation, minimax_time
+
+
+def brute_force_minimax(works, n, caps=None):
+    """Reference: enumerate all feasible integer allocations."""
+    m = len(works)
+    best = math.inf
+    for combo in itertools.product(range(1, n + 1), repeat=m):
+        if sum(combo) != n:
+            continue
+        if caps is not None and any(a > c for a, c in zip(combo, caps)):
+            continue
+        best = min(best, max(w / a for w, a in zip(works, combo)))
+    return best
+
+
+class TestBasics:
+    def test_equal_works_split_evenly(self):
+        assert minimax_allocation([10.0, 10.0], 4) == [2, 2]
+
+    def test_proportional_tendency(self):
+        alloc = minimax_allocation([30.0, 10.0], 4)
+        assert alloc == [3, 1]
+
+    def test_every_stage_gets_one(self):
+        alloc = minimax_allocation([100.0, 0.001, 0.001], 3)
+        assert alloc == [1, 1, 1]
+
+    def test_sums_to_n(self):
+        alloc = minimax_allocation([5.0, 3.0, 2.0], 17)
+        assert sum(alloc) == 17
+
+    def test_zero_work_stage(self):
+        alloc = minimax_allocation([0.0, 10.0], 5)
+        assert alloc[0] == 1
+        assert alloc[1] == 4
+
+    def test_single_stage(self):
+        assert minimax_allocation([7.0], 9) == [9]
+
+
+class TestValidation:
+    def test_insufficient_processors(self):
+        with pytest.raises(SchedulingError):
+            minimax_allocation([1.0, 2.0], 1)
+
+    def test_empty_stages(self):
+        with pytest.raises(SchedulingError):
+            minimax_allocation([], 3)
+
+    def test_negative_work(self):
+        with pytest.raises(SchedulingError):
+            minimax_allocation([-1.0], 2)
+
+    def test_caps_length_mismatch(self):
+        with pytest.raises(SchedulingError):
+            minimax_allocation([1.0, 2.0], 4, caps=[2])
+
+    def test_caps_below_one(self):
+        with pytest.raises(SchedulingError):
+            minimax_allocation([1.0], 2, caps=[0])
+
+
+class TestCaps:
+    def test_cap_binds(self):
+        alloc = minimax_allocation([100.0, 1.0], 6, caps=[2, 4])
+        assert alloc[0] == 2
+
+    def test_all_capped_leaves_leftover(self):
+        alloc = minimax_allocation([10.0, 10.0], 10, caps=[2, 2])
+        assert alloc == [2, 2]  # 6 processors idle
+
+    def test_caps_never_exceeded(self):
+        alloc = minimax_allocation([5.0, 9.0, 2.0], 12, caps=[3, 5, 2])
+        assert all(a <= c for a, c in zip(alloc, [3, 5, 2]))
+
+
+class TestOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_water_filling_is_optimal(self, works, extra):
+        n = len(works) + extra
+        alloc = minimax_allocation(works, n)
+        got = minimax_time(works, alloc)
+        best = brute_force_minimax(works, n)
+        assert math.isclose(got, best, rel_tol=1e-12, abs_tol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_optimal_with_caps(self, works, extra, cap):
+        n = len(works) + extra
+        caps = [cap] * len(works)
+        alloc = minimax_allocation(works, n, caps=caps)
+        if sum(caps) >= n:
+            best = brute_force_minimax(works, n, caps=caps)
+            assert math.isclose(minimax_time(works, alloc), best, rel_tol=1e-12)
+
+
+class TestMinimaxTime:
+    def test_formula(self):
+        assert minimax_time([6.0, 4.0], [2, 1]) == 4.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(SchedulingError):
+            minimax_time([1.0], [1, 1])
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(SchedulingError):
+            minimax_time([1.0], [0])

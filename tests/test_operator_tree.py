@@ -1,0 +1,187 @@
+"""Tests for operator-tree macro-expansion (Figure 1(a) -> 1(b))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    EdgeKind,
+    JoinNode,
+    OperatorKind,
+    PlanStructureError,
+    Relation,
+    expand_plan,
+    generate_query,
+)
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.physical_ops import build_op, probe_op, scan_op
+
+
+def two_join_plan():
+    a = BaseRelationNode(Relation("A", 100))
+    b = BaseRelationNode(Relation("B", 300))
+    c = BaseRelationNode(Relation("C", 200))
+    return JoinNode("J1", JoinNode("J0", a, b), c)
+
+
+class TestExpansion:
+    def test_single_relation(self):
+        tree = expand_plan(BaseRelationNode(Relation("A", 100)))
+        assert len(tree) == 1
+        assert tree.root.kind is OperatorKind.SCAN
+
+    def test_operator_counts(self):
+        # J joins over J+1 relations: J+1 scans + J builds + J probes.
+        tree = expand_plan(two_join_plan())
+        assert len(tree) == 3 + 2 + 2
+        assert len(list(tree.iter_scans())) == 3
+        assert len(list(tree.iter_builds())) == 2
+        assert len(list(tree.iter_probes())) == 2
+
+    def test_root_is_final_probe(self):
+        tree = expand_plan(two_join_plan())
+        assert tree.root.kind is OperatorKind.PROBE
+        assert tree.root.join_id == "J1"
+
+    def test_blocking_edges_are_build_probe(self):
+        tree = expand_plan(two_join_plan())
+        for u, v in tree.blocking_edges():
+            assert u.kind is OperatorKind.BUILD
+            assert v.kind is OperatorKind.PROBE
+            assert u.join_id == v.join_id
+        assert len(tree.blocking_edges()) == 2
+
+    def test_pipeline_wiring(self):
+        tree = expand_plan(two_join_plan())
+        build_j0 = tree.build_of("J0")
+        scan_a = tree.operator_by_name("scan(A)")
+        # A (100 tuples, smaller) is the build side of J0.
+        assert tree.pipeline_consumer(scan_a) is build_j0
+        # J1's build side is the J0 subtree, so probe(J0) pipelines into
+        # build(J1); J1's probe side is the scan of C.
+        probe_j0 = tree.probe_of("J0")
+        assert tree.pipeline_consumer(probe_j0) is tree.build_of("J1")
+        scan_c = tree.operator_by_name("scan(C)")
+        assert tree.pipeline_consumer(scan_c) is tree.probe_of("J1")
+
+    def test_tuple_counts(self):
+        tree = expand_plan(two_join_plan())
+        probe_j0 = tree.probe_of("J0")
+        assert probe_j0.input_tuples == 300   # outer side B
+        assert probe_j0.output_tuples == 300  # max(100, 300)
+        build_j1 = tree.build_of("J1")
+        assert build_j1.input_tuples == 300   # inner of J1 = J0's output
+        probe_j1 = tree.probe_of("J1")
+        assert probe_j1.input_tuples == 200   # outer of J1 = C
+        assert probe_j1.output_tuples == 300  # max(300, 200)
+
+    def test_validates(self):
+        tree = expand_plan(two_join_plan())
+        tree.validate()
+
+    def test_generated_queries_expand_cleanly(self):
+        for seed in range(5):
+            query = generate_query(12, np.random.default_rng(seed))
+            tree = query.operator_tree
+            tree.validate()
+            assert len(tree) == 13 + 12 + 12
+
+
+class TestOperatorTreeAPI:
+    def test_duplicate_names_rejected(self):
+        tree = OperatorTree()
+        tree.add_operator(scan_op(Relation("A", 10)))
+        with pytest.raises(PlanStructureError):
+            tree.add_operator(scan_op(Relation("A", 10)))
+
+    def test_edge_requires_members(self):
+        tree = OperatorTree()
+        a = tree.add_operator(scan_op(Relation("A", 10)))
+        stray = build_op("J0", 10)
+        with pytest.raises(PlanStructureError):
+            tree.add_edge(a, stray, EdgeKind.PIPELINE)
+
+    def test_self_edge_rejected(self):
+        tree = OperatorTree()
+        a = tree.add_operator(scan_op(Relation("A", 10)))
+        with pytest.raises(PlanStructureError):
+            tree.add_edge(a, a, EdgeKind.PIPELINE)
+
+    def test_duplicate_edge_rejected(self):
+        tree = OperatorTree()
+        a = tree.add_operator(scan_op(Relation("A", 10)))
+        b = tree.add_operator(build_op("J0", 10))
+        tree.add_edge(a, b, EdgeKind.PIPELINE)
+        with pytest.raises(PlanStructureError):
+            tree.add_edge(a, b, EdgeKind.PIPELINE)
+
+    def test_cycle_rejected(self):
+        tree = OperatorTree()
+        a = tree.add_operator(scan_op(Relation("A", 10)))
+        b = tree.add_operator(build_op("J0", 10))
+        tree.add_edge(a, b, EdgeKind.PIPELINE)
+        with pytest.raises(PlanStructureError):
+            tree.add_edge(b, a, EdgeKind.PIPELINE)
+
+    def test_missing_root(self):
+        tree = OperatorTree()
+        tree.add_operator(scan_op(Relation("A", 10)))
+        with pytest.raises(PlanStructureError):
+            _ = tree.root
+
+    def test_unknown_lookups(self):
+        tree = expand_plan(two_join_plan())
+        with pytest.raises(PlanStructureError):
+            tree.operator_by_name("ghost")
+        with pytest.raises(PlanStructureError):
+            tree.probe_of("J9")
+        with pytest.raises(PlanStructureError):
+            tree.build_of("J9")
+
+    def test_topological_order(self):
+        tree = expand_plan(two_join_plan())
+        order = {op: i for i, op in enumerate(tree.operators)}
+        for u, v in tree.edges():
+            assert order[u] < order[v]
+
+    def test_validate_rejects_multi_consumer(self):
+        tree = OperatorTree()
+        a = tree.add_operator(scan_op(Relation("A", 10)))
+        b = tree.add_operator(build_op("J0", 10))
+        p = tree.add_operator(probe_op("J0", 10, 10))
+        tree.add_edge(a, b, EdgeKind.PIPELINE)
+        tree.add_edge(a, p, EdgeKind.PIPELINE)
+        tree.add_edge(b, p, EdgeKind.BLOCKING)
+        tree.set_root(p)
+        with pytest.raises(PlanStructureError):
+            tree.validate()
+
+
+class TestPhysicalOps:
+    def test_scan_fields(self):
+        op = scan_op(Relation("A", 50))
+        assert op.name == "scan(A)"
+        assert op.output_tuples == 50
+        assert not op.annotated
+
+    def test_build_fields(self):
+        op = build_op("J3", 70)
+        assert op.name == "build(J3)"
+        assert op.input_tuples == 70
+        assert op.output_tuples == 0
+
+    def test_probe_fields(self):
+        op = probe_op("J3", 70, 90)
+        assert op.input_tuples == 70
+        assert op.output_tuples == 90
+
+    def test_require_spec_unannotated(self):
+        with pytest.raises(PlanStructureError):
+            scan_op(Relation("A", 50)).require_spec()
+
+    def test_identity_semantics(self):
+        a1, a2 = scan_op(Relation("A", 50)), scan_op(Relation("A", 50))
+        assert a1 != a2
+        assert hash(a1) != hash(a2) or a1 is a2

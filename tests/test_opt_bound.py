@@ -1,0 +1,134 @@
+"""Tests for the OPTBOUND lower bound (Section 6.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    SchedulingError,
+    congestion_bound,
+    critical_path_time,
+    opt_bound,
+    synchronous_schedule,
+    tree_schedule,
+    vector_sum,
+)
+
+
+class TestCongestionBound:
+    def test_formula(self, annotated_query):
+        total = vector_sum(
+            op.spec.work for op in annotated_query.operator_tree.operators
+        )
+        assert math.isclose(
+            congestion_bound(annotated_query.operator_tree, 8), total.length() / 8
+        )
+
+    def test_scales_inversely_with_p(self, annotated_query):
+        assert congestion_bound(annotated_query.operator_tree, 20) == pytest.approx(
+            congestion_bound(annotated_query.operator_tree, 10) / 2
+        )
+
+    def test_bad_p(self, annotated_query):
+        with pytest.raises(SchedulingError):
+            congestion_bound(annotated_query.operator_tree, 0)
+
+
+class TestCriticalPath:
+    def test_positive(self, annotated_query, comm, overlap):
+        t = critical_path_time(
+            annotated_query.task_tree, annotated_query.operator_tree, p=16, f=0.7, comm=comm, overlap=overlap
+        )
+        assert t > 0
+
+    def test_at_least_deepest_chain_floor(self, annotated_query, comm, overlap):
+        """T(CP) covers at least (height+1) task floors, so it exceeds the
+        single largest task floor."""
+        t = critical_path_time(
+            annotated_query.task_tree, annotated_query.operator_tree, p=16, f=0.7, comm=comm, overlap=overlap
+        )
+        # The root task alone is a chain prefix.
+        root_only = critical_path_time(
+            annotated_query.task_tree, annotated_query.operator_tree, p=16, f=0.7, comm=comm, overlap=overlap
+        )
+        assert t >= root_only * (1 - 1e-12)
+
+    def test_nonincreasing_in_p(self, annotated_query, comm, overlap):
+        ts = [
+            critical_path_time(
+                annotated_query.task_tree, annotated_query.operator_tree, p=p, f=0.7, comm=comm, overlap=overlap
+            )
+            for p in (2, 8, 32)
+        ]
+        assert ts[0] >= ts[1] >= ts[2]
+
+
+class TestOptBound:
+    def test_is_max_of_components(self, annotated_query, comm, overlap):
+        p, f = 16, 0.7
+        lb = opt_bound(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=p,
+            f=f,
+            comm=comm,
+            overlap=overlap,
+        )
+        assert lb == pytest.approx(
+            max(
+                congestion_bound(annotated_query.operator_tree, p),
+                critical_path_time(
+                    annotated_query.task_tree, annotated_query.operator_tree, p=p, f=f, comm=comm, overlap=overlap
+                ),
+            )
+        )
+
+    def test_lower_bounds_tree_schedule(self, annotated_query_factory, comm, overlap):
+        for seed in range(6):
+            query = annotated_query_factory(10, seed)
+            for p in (4, 16, 64):
+                lb = opt_bound(
+                    query.operator_tree, query.task_tree, p=p, f=0.7,
+                    comm=comm, overlap=overlap,
+                )
+                ts = tree_schedule(
+                    query.operator_tree, query.task_tree, p=p,
+                    comm=comm, overlap=overlap, f=0.7,
+                ).response_time
+                assert ts >= lb * (1 - 1e-9)
+
+    def test_lower_bounds_synchronous(self, annotated_query_factory, comm, overlap):
+        # SYNCHRONOUS ignores the granularity condition, so the universal
+        # (granularity-free) form of the bound is the valid one for it.
+        for seed in range(4):
+            query = annotated_query_factory(10, seed)
+            lb = opt_bound(
+                query.operator_tree, query.task_tree, p=16, f=0.7,
+                comm=comm, overlap=overlap, respect_granularity=False,
+            )
+            sy = synchronous_schedule(
+                query.operator_tree, query.task_tree, p=16, comm=comm, overlap=overlap
+            ).response_time
+            assert sy >= lb * (1 - 1e-9)
+
+    def test_universal_bound_no_larger_than_cg_bound(self, annotated_query, comm, overlap):
+        free = opt_bound(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, f=0.1, comm=comm, overlap=overlap, respect_granularity=False,
+        )
+        cg = opt_bound(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, f=0.1, comm=comm, overlap=overlap, respect_granularity=True,
+        )
+        assert free <= cg * (1 + 1e-9)
+
+    def test_congestion_dominates_small_p(self, annotated_query, comm, overlap):
+        lb = opt_bound(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=1, f=0.7, comm=comm, overlap=overlap,
+        )
+        assert lb == pytest.approx(
+            congestion_bound(annotated_query.operator_tree, 1)
+        )

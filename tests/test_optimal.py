@@ -1,0 +1,126 @@
+"""Tests for the exact branch-and-bound scheduler."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro import (
+    CommunicationModel,
+    ConvexCombinationOverlap,
+    OperatorSpec,
+    PERFECT_OVERLAP,
+    SchedulingError,
+    WorkVector,
+    operator_schedule,
+    optimal_malleable_makespan,
+    optimal_schedule,
+)
+from repro.core.optimal import MAX_EXACT_CLONES
+
+ZERO_COMM = CommunicationModel(alpha=0.0, beta=0.0)
+COMM = CommunicationModel(alpha=0.015, beta=0.6e-6)
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def spec(name, cpu, disk):
+    return OperatorSpec(name=name, work=WorkVector([cpu, disk]), data_volume=0.0)
+
+
+def brute_force_makespan(specs, p, overlap):
+    """Reference: enumerate all degree-1 assignments exhaustively."""
+    best = math.inf
+    n = len(specs)
+    for combo in itertools.product(range(p), repeat=n):
+        loads = [[0.0, 0.0] for _ in range(p)]
+        t_max = 0.0
+        for s, j in zip(specs, combo):
+            loads[j][0] += s.work[0]
+            loads[j][1] += s.work[1]
+            t_max = max(t_max, overlap.t_seq(s.work))
+        span = max(t_max, max(max(load) for load in loads))
+        best = min(best, span)
+    return best
+
+
+class TestOptimalSchedule:
+    def test_matches_brute_force(self):
+        specs = [spec("a", 3.0, 1.0), spec("b", 1.0, 3.0), spec("c", 2.0, 2.0)]
+        degrees = {s.name: 1 for s in specs}
+        result = optimal_schedule(
+            specs, p=2, comm=ZERO_COMM, overlap=OVERLAP, degrees=degrees
+        )
+        assert math.isclose(
+            result.makespan, brute_force_makespan(specs, 2, OVERLAP), rel_tol=1e-9
+        )
+
+    def test_at_most_heuristic(self):
+        specs = [spec(f"op{i}", float(i + 1), float(5 - i)) for i in range(4)]
+        degrees = {s.name: 1 for s in specs}
+        heur = operator_schedule(specs, p=3, comm=ZERO_COMM, overlap=OVERLAP, degrees=degrees)
+        opt = optimal_schedule(specs, p=3, comm=ZERO_COMM, overlap=OVERLAP, degrees=degrees)
+        assert opt.makespan <= heur.makespan + 1e-12
+
+    def test_respects_constraint_a(self):
+        specs = [spec("a", 2.0, 2.0)]
+        result = optimal_schedule(
+            specs, p=3, comm=ZERO_COMM, overlap=OVERLAP, degrees={"a": 3}
+        )
+        result.schedule.validate({"a": 3})
+        assert result.schedule.home("a").degree == 3
+
+    def test_complementary_pair_packs_together(self):
+        specs = [spec("a", 4.0, 0.0), spec("b", 0.0, 4.0)]
+        degrees = {"a": 1, "b": 1}
+        result = optimal_schedule(
+            specs, p=2, comm=ZERO_COMM, overlap=PERFECT_OVERLAP, degrees=degrees
+        )
+        # With perfect overlap they cost nothing extra when co-located.
+        assert math.isclose(result.makespan, 4.0)
+
+    def test_default_degrees_are_coarse_grain(self):
+        specs = [spec("a", 2.0, 2.0)]
+        result = optimal_schedule(specs, p=2, comm=COMM, overlap=OVERLAP, f=0.7)
+        assert result.degrees["a"] >= 1
+
+    def test_clone_limit_enforced(self):
+        specs = [spec(f"op{i}", 1.0, 1.0) for i in range(MAX_EXACT_CLONES + 1)]
+        degrees = {s.name: 1 for s in specs}
+        with pytest.raises(SchedulingError):
+            optimal_schedule(specs, p=2, comm=ZERO_COMM, overlap=OVERLAP, degrees=degrees)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            optimal_schedule([], p=2, comm=ZERO_COMM, overlap=OVERLAP)
+
+    def test_nodes_explored_reported(self):
+        specs = [spec("a", 1.0, 0.0), spec("b", 0.0, 1.0)]
+        result = optimal_schedule(
+            specs, p=2, comm=ZERO_COMM, overlap=OVERLAP, degrees={"a": 1, "b": 1}
+        )
+        assert result.nodes_explored >= 1
+
+
+class TestOptimalMalleable:
+    def test_single_operator(self):
+        specs = [spec("a", 8.0, 0.0)]
+        best = optimal_malleable_makespan(specs, p=3, comm=ZERO_COMM, overlap=PERFECT_OVERLAP)
+        # Zero communication: full parallelization is free, 8/3 per site.
+        assert math.isclose(best, 8.0 / 3.0, rel_tol=1e-9)
+
+    def test_startup_limits_parallelism(self):
+        heavy_comm = CommunicationModel(alpha=5.0, beta=0.0)
+        specs = [spec("a", 8.0, 0.0)]
+        best = optimal_malleable_makespan(specs, p=3, comm=heavy_comm, overlap=PERFECT_OVERLAP)
+        # alpha so large that degree 1 (startup 5, work 8 -> T=8+?) wins
+        # over any distribution; verify against explicit degree-1 time.
+        one = optimal_schedule(
+            specs, p=3, comm=heavy_comm, overlap=PERFECT_OVERLAP, degrees={"a": 1}
+        ).makespan
+        assert best <= one + 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            optimal_malleable_makespan([], p=2, comm=ZERO_COMM, overlap=OVERLAP)

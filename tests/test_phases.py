@@ -1,0 +1,104 @@
+"""Tests for the MinShelf phase decomposition (Section 5.4, [TL93])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    JoinNode,
+    PlanStructureError,
+    Relation,
+    build_task_tree,
+    expand_plan,
+    generate_query,
+    min_shelf_phases,
+    validate_phases,
+)
+
+
+def figure_one_like_plan():
+    """A bushy plan with four leaf tasks and one root task (like Fig. 1)."""
+    a = BaseRelationNode(Relation("A", 100))
+    b = BaseRelationNode(Relation("B", 200))
+    c = BaseRelationNode(Relation("C", 300))
+    d = BaseRelationNode(Relation("D", 400))
+    return JoinNode("J2", JoinNode("J0", a, b), JoinNode("J1", c, d))
+
+
+class TestMinShelf:
+    def test_phase_count_is_height_plus_one(self):
+        for seed in range(5):
+            query = generate_query(10, np.random.default_rng(seed))
+            phases = min_shelf_phases(query.task_tree)
+            assert len(phases) == query.task_tree.height + 1
+
+    def test_root_task_alone_in_last_phase(self):
+        query = generate_query(10, np.random.default_rng(1))
+        phases = min_shelf_phases(query.task_tree)
+        assert phases[-1] == [query.task_tree.root]
+
+    def test_each_task_one_phase_before_parent(self):
+        # MinShelf: as late as possible = exactly one phase before parent.
+        query = generate_query(10, np.random.default_rng(2))
+        tree = query.task_tree
+        phases = min_shelf_phases(tree)
+        position = {t: i for i, bucket in enumerate(phases) for t in bucket}
+        for task in tree.tasks:
+            parent = tree.parent(task)
+            if parent is not None:
+                assert position[task] == position[parent] - 1
+
+    def test_validates_its_own_output(self):
+        for seed in range(5):
+            query = generate_query(12, np.random.default_rng(seed))
+            phases = min_shelf_phases(query.task_tree)
+            validate_phases(query.task_tree, phases)
+
+    def test_deterministic_ordering_within_phase(self):
+        query = generate_query(10, np.random.default_rng(3))
+        p1 = min_shelf_phases(query.task_tree)
+        p2 = min_shelf_phases(query.task_tree)
+        assert [[t.task_id for t in bucket] for bucket in p1] == [
+            [t.task_id for t in bucket] for bucket in p2
+        ]
+
+    def test_figure_one_decomposition(self):
+        tree = build_task_tree(expand_plan(figure_one_like_plan()))
+        phases = min_shelf_phases(tree)
+        # Leaf (build) tasks first, root pipeline last.
+        assert len(phases) == tree.height + 1
+        assert phases[-1] == [tree.root]
+
+
+class TestValidatePhases:
+    def _tree(self):
+        return build_task_tree(expand_plan(figure_one_like_plan()))
+
+    def test_missing_task_detected(self):
+        tree = self._tree()
+        phases = min_shelf_phases(tree)
+        phases[0] = phases[0][1:]
+        with pytest.raises(PlanStructureError):
+            validate_phases(tree, phases)
+
+    def test_duplicate_task_detected(self):
+        tree = self._tree()
+        phases = min_shelf_phases(tree)
+        phases[0] = phases[0] + [phases[0][0]]
+        with pytest.raises(PlanStructureError):
+            validate_phases(tree, phases)
+
+    def test_dependent_tasks_in_one_phase_detected(self):
+        tree = self._tree()
+        phases = min_shelf_phases(tree)
+        merged = [sum(phases, [])]
+        with pytest.raises(PlanStructureError):
+            validate_phases(tree, merged)
+
+    def test_parent_before_child_detected(self):
+        tree = self._tree()
+        phases = list(reversed(min_shelf_phases(tree)))
+        with pytest.raises(PlanStructureError):
+            validate_phases(tree, phases)

@@ -1,0 +1,85 @@
+"""Tests for scheduling-aware plan selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Catalog,
+    ConfigurationError,
+    PAPER_PARAMETERS,
+    Relation,
+    random_catalog,
+    random_tree_query,
+)
+from repro.core.resource_model import ConvexCombinationOverlap
+from repro.experiments import select_best_plan
+
+COMM = PAPER_PARAMETERS.communication_model()
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+@pytest.fixture
+def query_inputs():
+    rng = np.random.default_rng(17)
+    catalog = random_catalog(11, rng)
+    graph = random_tree_query(catalog, rng)
+    return graph, catalog
+
+
+def run(graph, catalog, k=6, seed=0, p=16):
+    return select_best_plan(
+        graph, catalog, k=k, seed=seed, p=p,
+        params=PAPER_PARAMETERS, comm=COMM, overlap=OVERLAP, f=0.7,
+    )
+
+
+class TestSelection:
+    def test_ranking_sorted(self, query_inputs):
+        ranking, _ = run(*query_inputs)
+        times = [c.response_time for c in ranking.candidates]
+        assert times == sorted(times)
+        assert len(times) == 6
+
+    def test_best_is_first(self, query_inputs):
+        ranking, schedule = run(*query_inputs)
+        assert ranking.best.response_time == ranking.candidates[0].response_time
+        assert schedule.response_time == pytest.approx(ranking.best.response_time)
+
+    def test_gain_nonnegative(self, query_inputs):
+        ranking, _ = run(*query_inputs)
+        assert 0.0 <= ranking.selection_gain < 1.0
+        assert ranking.median_response_time >= ranking.best.response_time
+
+    def test_deterministic(self, query_inputs):
+        a, _ = run(*query_inputs, seed=3)
+        b, _ = run(*query_inputs, seed=3)
+        assert [c.response_time for c in a.candidates] == [
+            c.response_time for c in b.candidates
+        ]
+
+    def test_more_candidates_never_worse(self, query_inputs):
+        small, _ = run(*query_inputs, k=2, seed=9)
+        large, _ = run(*query_inputs, k=8, seed=9)
+        assert large.best.response_time <= small.best.response_time + 1e-9
+
+    def test_k_one(self, query_inputs):
+        ranking, _ = run(*query_inputs, k=1)
+        assert len(ranking.candidates) == 1
+        assert ranking.selection_gain == 0.0
+
+    def test_invalid_k(self, query_inputs):
+        graph, catalog = query_inputs
+        with pytest.raises(ConfigurationError):
+            run(graph, catalog, k=0)
+
+    def test_single_relation_query(self):
+        catalog = Catalog([Relation("A", 5_000)])
+        from repro import QueryGraph
+
+        graph = QueryGraph(["A"], [])
+        ranking, _ = run(graph, catalog, k=3)
+        # Only one possible plan; all candidates tie.
+        times = {round(c.response_time, 12) for c in ranking.candidates}
+        assert len(times) == 1

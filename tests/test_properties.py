@@ -1,0 +1,220 @@
+"""Cross-module property-based tests: end-to-end invariants.
+
+These hypothesis suites drive the whole pipeline — random catalogs,
+random bushy plans, cost annotation, scheduling, bounds, simulation —
+and assert the global invariants that individual module tests cannot
+see, e.g. "every schedule any workload produces satisfies Definition 5.1
+and the Theorem 5.1 certificate" or "the simulator agrees with the
+analytic model on every produced schedule".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    PAPER_PARAMETERS,
+    ConvexCombinationOverlap,
+    SharingPolicy,
+    annotate_plan,
+    certify,
+    generate_query,
+    min_shelf_phases,
+    opt_bound,
+    simulate_phased,
+    skewed_response_time,
+    synchronous_schedule,
+    tree_schedule,
+    validate_phases,
+    validate_phased_schedule,
+)
+
+COMM = PAPER_PARAMETERS.communication_model()
+
+pipeline_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+query_params = st.tuples(
+    st.integers(min_value=1, max_value=12),   # joins
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=24),   # sites
+    st.floats(min_value=0.05, max_value=1.0),  # epsilon
+    st.floats(min_value=0.1, max_value=0.9),   # f
+    st.sampled_from([0.0, 0.0, 0.5, 1.0]),    # merge-join fraction (hash-biased)
+)
+
+
+def build(joins, seed, merge_fraction=0.0):
+    query = generate_query(
+        joins, np.random.default_rng(seed), merge_join_fraction=merge_fraction
+    )
+    annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+    return query
+
+
+class TestEndToEndInvariants:
+    @pipeline_settings
+    @given(query_params)
+    def test_tree_schedule_structural_invariants(self, params):
+        joins, seed, p, eps, f, mf = params
+        query = build(joins, seed, mf)
+        overlap = ConvexCombinationOverlap(eps)
+        result = tree_schedule(
+            query.operator_tree, query.task_tree, p=p,
+            comm=COMM, overlap=overlap, f=f,
+        )
+        # Definition 5.1 constraints hold in every phase.
+        result.phased_schedule.validate()
+        # Every operator scheduled exactly once, degree within 1..P.
+        names = {op.name for op in query.operator_tree.operators}
+        assert set(result.homes) == names
+        assert all(1 <= result.degrees[n] <= p for n in names)
+        # Phase count equals task-tree height + 1 (MinShelf).
+        assert result.num_phases == query.task_tree.height + 1
+
+    @pipeline_settings
+    @given(query_params)
+    def test_opt_bound_lower_bounds_both_schedulers(self, params):
+        joins, seed, p, eps, f, mf = params
+        query = build(joins, seed, mf)
+        overlap = ConvexCombinationOverlap(eps)
+        cg_lb = opt_bound(
+            query.operator_tree, query.task_tree, p=p, f=f,
+            comm=COMM, overlap=overlap, respect_granularity=True,
+        )
+        free_lb = opt_bound(
+            query.operator_tree, query.task_tree, p=p, f=f,
+            comm=COMM, overlap=overlap, respect_granularity=False,
+        )
+        ts = tree_schedule(
+            query.operator_tree, query.task_tree, p=p,
+            comm=COMM, overlap=overlap, f=f,
+        ).response_time
+        sy = synchronous_schedule(
+            query.operator_tree, query.task_tree, p=p,
+            comm=COMM, overlap=overlap,
+        ).response_time
+        # The CG_f bound covers the CG_f scheduler; the universal bound
+        # covers both (SYNCHRONOUS ignores granularity).
+        assert ts >= cg_lb * (1 - 1e-9)
+        assert ts >= free_lb * (1 - 1e-9)
+        assert sy >= free_lb * (1 - 1e-9)
+        assert free_lb <= cg_lb * (1 + 1e-9)
+
+    @pipeline_settings
+    @given(query_params)
+    def test_per_phase_theorem_certificates(self, params):
+        joins, seed, p, eps, f, mf = params
+        query = build(joins, seed, mf)
+        overlap = ConvexCombinationOverlap(eps)
+        result = tree_schedule(
+            query.operator_tree, query.task_tree, p=p,
+            comm=COMM, overlap=overlap, f=f,
+        )
+        specs = {op.name: op.spec for op in query.operator_tree.operators}
+        for schedule in result.phased_schedule.phases:
+            phase_specs = [specs[name] for name in schedule.operators]
+            cert = certify(
+                schedule.makespan(), phase_specs, result.degrees,
+                schedule.p, COMM, overlap,
+            )
+            assert cert.satisfied, str(cert)
+
+    @pipeline_settings
+    @given(query_params)
+    def test_simulator_agrees_and_policies_order(self, params):
+        joins, seed, p, eps, f, mf = params
+        query = build(joins, seed, mf)
+        overlap = ConvexCombinationOverlap(eps)
+        result = tree_schedule(
+            query.operator_tree, query.task_tree, p=p,
+            comm=COMM, overlap=overlap, f=f,
+        )
+        sim = validate_phased_schedule(result.phased_schedule)
+        assert sim.slowdown == pytest.approx(1.0)
+        fair = simulate_phased(result.phased_schedule, SharingPolicy.FAIR_SHARE)
+        serial = simulate_phased(result.phased_schedule, SharingPolicy.SERIAL)
+        assert sim.response_time <= fair.response_time * (1 + 1e-9)
+        assert fair.response_time <= serial.response_time * (1 + 1e-9)
+
+    @pipeline_settings
+    @given(query_params)
+    def test_phases_always_valid(self, params):
+        joins, seed, _, _, _, mf = params
+        query = build(joins, seed, mf)
+        phases = min_shelf_phases(query.task_tree)
+        validate_phases(query.task_tree, phases)
+
+    @pipeline_settings
+    @given(query_params, st.floats(min_value=0.0, max_value=1.5))
+    def test_skew_never_beats_operator_floor(self, params, theta):
+        """Skew concentrates work on coordinator clones, so each phase's
+        skewed makespan is at least the planned slowest-operator time.
+
+        (The *total* response can occasionally drop under skew: moving
+        work toward a coordinator can relieve congestion at some other
+        site — see the skew module docstring — so the operator floor,
+        not the planned makespan, is the true invariant.)
+        """
+        joins, seed, p, eps, f, mf = params
+        query = build(joins, seed, mf)
+        overlap = ConvexCombinationOverlap(eps)
+        result = tree_schedule(
+            query.operator_tree, query.task_tree, p=p,
+            comm=COMM, overlap=overlap, f=f,
+        )
+        specs = {op.name: op.spec for op in query.operator_tree.operators}
+        from repro import skewed_makespan
+
+        for schedule in result.phased_schedule.phases:
+            skewed = skewed_makespan(schedule, specs, theta, COMM, overlap)
+            assert skewed >= schedule.max_parallel_time() * (1 - 1e-9)
+        # theta = 0 reproduces the plan exactly.
+        assert skewed_response_time(
+            result.phased_schedule, specs, 0.0, COMM, overlap
+        ) == pytest.approx(result.response_time)
+
+
+class TestMonotonicityInvariants:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    def test_more_sites_never_hurt_much(self, joins, seed):
+        """Doubling the system should never increase TREESCHEDULE's
+        response materially (small wobbles can come from degree-cap
+        interactions; we allow 5%)."""
+        query = build(joins, seed)
+        overlap = ConvexCombinationOverlap(0.5)
+        small = tree_schedule(
+            query.operator_tree, query.task_tree, p=8,
+            comm=COMM, overlap=overlap, f=0.7,
+        ).response_time
+        large = tree_schedule(
+            query.operator_tree, query.task_tree, p=16,
+            comm=COMM, overlap=overlap, f=0.7,
+        ).response_time
+        assert large <= small * 1.05
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    def test_opt_bound_monotone_in_p(self, joins, seed):
+        query = build(joins, seed)
+        overlap = ConvexCombinationOverlap(0.5)
+        bounds = [
+            opt_bound(
+                query.operator_tree, query.task_tree, p=p, f=0.7,
+                comm=COMM, overlap=overlap,
+            )
+            for p in (4, 8, 16, 32)
+        ]
+        assert all(b2 <= b1 * (1 + 1e-9) for b1, b2 in zip(bounds, bounds[1:]))

@@ -1,0 +1,101 @@
+"""Tests for tree query graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Catalog, PlanStructureError, QueryGraph, Relation, random_catalog, random_tree_query
+
+
+def catalog(n):
+    return Catalog([Relation(f"R{i}", 1000) for i in range(n)])
+
+
+class TestQueryGraph:
+    def test_basic_tree(self):
+        g = QueryGraph(["A", "B", "C"], [("A", "B"), ("B", "C")])
+        assert g.num_joins == 2
+        assert set(g.relations) == {"A", "B", "C"}
+        assert g.has_join("A", "B")
+        assert not g.has_join("A", "C")
+        assert set(g.neighbors("B")) == {"A", "C"}
+
+    def test_single_relation(self):
+        g = QueryGraph(["A"], [])
+        assert g.num_joins == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanStructureError):
+            QueryGraph([], [])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(PlanStructureError):
+            QueryGraph(["A", "B", "C"], [("A", "B"), ("B", "C"), ("C", "A")])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PlanStructureError):
+            QueryGraph(["A", "B", "C"], [("A", "B")])
+
+    def test_self_join_rejected(self):
+        with pytest.raises(PlanStructureError):
+            QueryGraph(["A", "B"], [("A", "A"), ("A", "B")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(PlanStructureError):
+            QueryGraph(["A", "B"], [("A", "B"), ("B", "A")])
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(PlanStructureError):
+            QueryGraph(["A", "B"], [("A", "Z"), ("A", "B")])
+
+    def test_unknown_neighbor_lookup(self):
+        g = QueryGraph(["A", "B"], [("A", "B")])
+        with pytest.raises(PlanStructureError):
+            g.neighbors("Z")
+
+    def test_to_networkx_is_copy(self):
+        g = QueryGraph(["A", "B"], [("A", "B")])
+        nx_graph = g.to_networkx()
+        nx_graph.remove_edge("A", "B")
+        assert g.has_join("A", "B")
+
+    def test_joins_sorted_pairs(self):
+        g = QueryGraph(["B", "A"], [("B", "A")])
+        assert g.joins == [("A", "B")]
+
+
+class TestRandomTreeQuery:
+    def test_is_tree_over_catalog(self):
+        rng = np.random.default_rng(3)
+        g = random_tree_query(catalog(12), rng)
+        assert g.num_joins == 11
+        assert set(g.relations) == {f"R{i}" for i in range(12)}
+
+    def test_one_and_two_relations(self):
+        rng = np.random.default_rng(0)
+        assert random_tree_query(catalog(1), rng).num_joins == 0
+        assert random_tree_query(catalog(2), rng).num_joins == 1
+
+    def test_deterministic(self):
+        a = random_tree_query(catalog(10), np.random.default_rng(42))
+        b = random_tree_query(catalog(10), np.random.default_rng(42))
+        assert sorted(a.joins) == sorted(b.joins)
+
+    def test_varies_with_seed(self):
+        shapes = {
+            tuple(sorted(random_tree_query(catalog(10), np.random.default_rng(s)).joins))
+            for s in range(12)
+        }
+        assert len(shapes) > 1
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(PlanStructureError):
+            random_tree_query(Catalog(), np.random.default_rng(0))
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10_000))
+    def test_always_valid_tree(self, n, seed):
+        g = random_tree_query(catalog(n), np.random.default_rng(seed))
+        assert g.num_joins == n - 1

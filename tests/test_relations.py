@@ -1,0 +1,99 @@
+"""Tests for relations and catalogs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Catalog, ConfigurationError, PlanStructureError, Relation, random_catalog
+
+
+class TestRelation:
+    def test_pages_round_up(self):
+        assert Relation("R", 41).pages(40) == 2
+        assert Relation("R", 40).pages(40) == 1
+        assert Relation("R", 0).pages(40) == 0
+
+    def test_size_bytes(self):
+        assert Relation("R", 100).size_bytes(128) == 12_800
+
+    def test_invalid_name(self):
+        with pytest.raises(ConfigurationError):
+            Relation("", 10)
+
+    def test_negative_cardinality(self):
+        with pytest.raises(ConfigurationError):
+            Relation("R", -1)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ConfigurationError):
+            Relation("R", 10).pages(0)
+
+    def test_bad_tuple_size(self):
+        with pytest.raises(ConfigurationError):
+            Relation("R", 10).size_bytes(0)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=1000))
+    def test_pages_cover_all_tuples(self, tuples, per_page):
+        pages = Relation("R", tuples).pages(per_page)
+        assert pages * per_page >= tuples
+        assert (pages - 1) * per_page < tuples or pages == 0
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        cat = Catalog([Relation("A", 10)])
+        cat.add(Relation("B", 20))
+        assert cat.get("A").tuples == 10
+        assert "B" in cat
+        assert len(cat) == 2
+        assert cat.names == ["A", "B"]
+        assert cat.total_tuples() == 30
+
+    def test_duplicate_rejected(self):
+        cat = Catalog([Relation("A", 10)])
+        with pytest.raises(PlanStructureError):
+            cat.add(Relation("A", 5))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(PlanStructureError):
+            Catalog().get("nope")
+
+    def test_iteration_order(self):
+        cat = Catalog([Relation("B", 1), Relation("A", 2)])
+        assert [r.name for r in cat] == ["B", "A"]
+
+
+class TestRandomCatalog:
+    def test_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        cat = random_catalog(50, rng, min_tuples=1_000, max_tuples=100_000)
+        assert len(cat) == 50
+        for rel in cat:
+            assert 1_000 <= rel.tuples <= 100_000
+
+    def test_deterministic_under_seed(self):
+        a = random_catalog(10, np.random.default_rng(7))
+        b = random_catalog(10, np.random.default_rng(7))
+        assert [r.tuples for r in a] == [r.tuples for r in b]
+
+    def test_log_uniform_spreads_orders_of_magnitude(self):
+        rng = np.random.default_rng(123)
+        cat = random_catalog(400, rng, min_tuples=1_000, max_tuples=100_000)
+        small = sum(1 for r in cat if r.tuples < 10_000)
+        # Log-uniform: roughly half the draws fall below 10^4.
+        assert 100 < small < 300
+
+    def test_name_prefix(self):
+        cat = random_catalog(3, np.random.default_rng(0), name_prefix="T")
+        assert cat.names == ["T0", "T1", "T2"]
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            random_catalog(0, rng)
+        with pytest.raises(ConfigurationError):
+            random_catalog(1, rng, min_tuples=100, max_tuples=10)
+        with pytest.raises(ConfigurationError):
+            random_catalog(1, rng, min_tuples=0, max_tuples=10)

@@ -1,0 +1,113 @@
+"""Tests for ASCII schedule rendering."""
+
+from __future__ import annotations
+
+from repro import PlacedClone, Schedule, WorkVector, tree_schedule
+from repro.core.schedule import PhasedSchedule
+from repro.render import render_load_bars, render_phased, render_schedule
+
+
+def small_schedule():
+    s = Schedule(3, 3)
+    s.place(0, PlacedClone("scan(A)", 0, WorkVector([2.0, 4.0, 0.5]), 5.0))
+    s.place(0, PlacedClone("build(J0)", 0, WorkVector([1.0, 0.0, 0.5]), 1.2))
+    s.place(1, PlacedClone("scan(B)", 0, WorkVector([3.0, 1.0, 0.2]), 3.4))
+    return s
+
+
+class TestRenderSchedule:
+    def test_contains_sites_and_metrics(self):
+        text = render_schedule(small_schedule())
+        assert "site" in text
+        assert "scan(A)#0" in text
+        assert "(idle)" in text  # site 2 is empty
+        assert "makespan" in text
+        assert "bottleneck" in text
+
+    def test_resource_names_for_3d(self):
+        text = render_schedule(small_schedule())
+        assert "cpu" in text and "disk" in text and "net" in text
+
+    def test_generic_names_for_other_d(self):
+        s = Schedule(1, 2)
+        s.place(0, PlacedClone("a", 0, WorkVector([1.0, 1.0]), 1.5))
+        text = render_schedule(s)
+        assert "r0" in text and "r1" in text
+
+    def test_clone_overflow_elided(self):
+        s = Schedule(1, 2)
+        for i in range(7):
+            s.place(0, PlacedClone(f"op{i}", 0, WorkVector([1.0, 0.0]), 1.0))
+        text = render_schedule(s, max_clone_names=3)
+        assert "+4" in text
+
+
+class TestRenderLoadBars:
+    def test_bars_scale_to_peak(self):
+        text = render_load_bars(small_schedule(), width=10)
+        lines = text.splitlines()
+        assert "peak" in lines[0]
+        # The most loaded site's bar is full-width.
+        assert "#" * 10 in text
+
+    def test_empty_schedule(self):
+        text = render_load_bars(Schedule(2, 2))
+        assert "peak 0" in text
+
+
+class TestRenderSiteTimeline:
+    def _site_sim(self):
+        from repro import SharingPolicy, WorkVector
+        from repro.core.resource_model import ConvexCombinationOverlap
+        from repro.core.site import Site
+        from repro.sim.simulator import simulate_site
+
+        overlap = ConvexCombinationOverlap(0.5)
+        site = Site(0, 2)
+        for i, comps in enumerate([[6.0, 1.0], [1.0, 5.0], [2.0, 2.0]]):
+            w = WorkVector(comps)
+            site.place(PlacedClone(f"op{i}", 0, w, overlap.t_seq(w)))
+        return simulate_site(site, SharingPolicy.SERIAL)
+
+    def test_contains_all_clones(self):
+        from repro.render import render_site_timeline
+
+        text = render_site_timeline(self._site_sim())
+        for name in ("op0#0", "op1#0", "op2#0"):
+            assert name in text
+
+    def test_bars_scale_to_horizon(self):
+        from repro.render import render_site_timeline
+
+        text = render_site_timeline(self._site_sim(), width=20)
+        assert "simulated" in text
+        # Serial policy: bars are disjoint, each row contains '='.
+        body = text.splitlines()[1:]
+        assert all("=" in line for line in body)
+
+    def test_empty_site(self):
+        from repro import SharingPolicy
+        from repro.core.site import Site
+        from repro.render import render_site_timeline
+        from repro.sim.simulator import simulate_site
+
+        sim = simulate_site(Site(3, 2), SharingPolicy.FAIR_SHARE)
+        text = render_site_timeline(sim)
+        assert "site 3" in text
+
+
+class TestRenderPhased:
+    def test_summarizes_phases(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        text = render_phased(result.phased_schedule)
+        assert "total response time" in text
+        assert text.count("\n") >= result.num_phases + 2
+        for label in result.phase_labels:
+            assert label.split(",")[0] in text
+
+    def test_empty_phased(self):
+        text = render_phased(PhasedSchedule())
+        assert "total response time 0" in text

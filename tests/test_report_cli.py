@@ -1,0 +1,121 @@
+"""Tests for report rendering and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PAPER_PARAMETERS
+from repro.experiments import PAPER_CONFIG
+from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import FigureData, Series
+from repro.experiments.report import (
+    improvement_summary,
+    render_figure,
+    render_parameters,
+)
+
+
+def small_figure():
+    return FigureData(
+        figure_id="figX",
+        title="demo",
+        x_label="sites",
+        y_label="time (s)",
+        series=(
+            Series(label="A", xs=(10.0, 20.0), ys=(5.0, 2.5)),
+            Series(label="B", xs=(10.0, 20.0), ys=(10.0, 5.0)),
+        ),
+        notes=("shape note",),
+    )
+
+
+class TestRenderFigure:
+    def test_contains_all_cells(self):
+        text = render_figure(small_figure())
+        assert "figX" in text
+        assert "sites" in text
+        assert "A" in text and "B" in text
+        assert "10" in text and "2.5" in text
+        assert "shape note" in text
+
+    def test_mismatched_grids_rejected(self):
+        fig = FigureData(
+            figure_id="bad",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series(label="A", xs=(1.0,), ys=(1.0,)),
+                Series(label="B", xs=(2.0,), ys=(1.0,)),
+            ),
+        )
+        with pytest.raises(ValueError):
+            render_figure(fig)
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(label="A", xs=(1.0,), ys=(1.0, 2.0))
+
+
+class TestImprovementSummary:
+    def test_computation(self):
+        text = improvement_summary(small_figure(), better="A", worse="B")
+        # A halves B everywhere: 50% everywhere.
+        assert "mean=50.0%" in text
+        assert "min=50.0%" in text
+
+    def test_different_grids_rejected(self):
+        fig = FigureData(
+            figure_id="bad",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series(label="A", xs=(1.0,), ys=(1.0,)),
+                Series(label="B", xs=(2.0,), ys=(1.0,)),
+            ),
+        )
+        with pytest.raises(ValueError):
+            improvement_summary(fig, "A", "B")
+
+
+class TestRenderParameters:
+    def test_table2_contents(self):
+        text = render_parameters(PAPER_PARAMETERS)
+        assert "Table 2" in text
+        assert "1 MIPS" in text
+        assert "20 msec" in text
+        assert "15 msec" in text
+        assert "0.6 usec" in text
+        assert "128 bytes" in text
+        assert "40 tuples" in text
+        assert "5000 instr" in text
+
+
+class TestCli:
+    def test_parser_targets(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5a", "--quick"])
+        assert args.target == "fig5a"
+        assert args.quick
+
+    def test_table2_target(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_figure_run_quick_tiny(self, capsys):
+        rc = main(["fig6b", "--quick", "--queries", "1", "--sites", "4", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig6b" in out
+        assert "TreeSchedule" in out
+        assert "OptBound" in out
+
+    def test_seed_override(self, capsys):
+        rc = main(["fig6b", "--quick", "--queries", "1", "--sites", "4", "--seed", "5"])
+        assert rc == 0
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figZZ"])

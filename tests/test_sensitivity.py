@@ -1,0 +1,62 @@
+"""Tests for hardware-parameter sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError
+from repro.experiments import PAPER_CONFIG, parameter_sensitivity
+from repro.experiments.sensitivity import SWEEPABLE_FIELDS
+
+TINY = PAPER_CONFIG.with_overrides(n_queries=2)
+
+
+class TestValidation:
+    def test_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            parameter_sensitivity("tuple_bytes", (1.0,), TINY)
+
+    def test_bad_multipliers(self):
+        with pytest.raises(ConfigurationError):
+            parameter_sensitivity("cpu_mips", (), TINY)
+        with pytest.raises(ConfigurationError):
+            parameter_sensitivity("cpu_mips", (0.0, 1.0), TINY)
+
+    def test_sweepable_fields_exist(self):
+        from repro import PAPER_PARAMETERS
+
+        for field in SWEEPABLE_FIELDS:
+            assert hasattr(PAPER_PARAMETERS, field)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def cpu_sweep(self):
+        return parameter_sensitivity(
+            "cpu_mips", (0.25, 1.0, 4.0), TINY, n_joins=6, p=8
+        )
+
+    def test_structure(self, cpu_sweep):
+        assert cpu_sweep.figure_id == "sens-cpu_mips"
+        labels = {s.label for s in cpu_sweep.series}
+        assert labels == {"TreeSchedule", "Synchronous"}
+        for s in cpu_sweep.series:
+            assert s.xs == (0.25, 1.0, 4.0)
+            assert all(y > 0 for y in s.ys)
+
+    def test_faster_cpu_never_slower(self, cpu_sweep):
+        for s in cpu_sweep.series:
+            assert all(b <= a + 1e-9 for a, b in zip(s.ys, s.ys[1:]))
+
+    def test_treeschedule_wins_at_baseline(self, cpu_sweep):
+        ts = cpu_sweep.series_by_label("TreeSchedule")
+        sy = cpu_sweep.series_by_label("Synchronous")
+        i = ts.xs.index(1.0)
+        assert ts.ys[i] < sy.ys[i]
+
+    def test_startup_sweep_slows_everything(self):
+        fig = parameter_sensitivity(
+            "alpha_startup_seconds", (1.0, 20.0), TINY, n_joins=6, p=8
+        )
+        for s in fig.series:
+            assert s.ys[1] >= s.ys[0] - 1e-9

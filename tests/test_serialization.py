@@ -1,0 +1,115 @@
+"""Tests for JSON-friendly serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    OperatorSpec,
+    SchedulingError,
+    WorkVector,
+    tree_schedule,
+)
+from repro.experiments.figures import FigureData, Series
+from repro.serialization import (
+    figure_from_dict,
+    figure_to_dict,
+    operator_spec_from_dict,
+    operator_spec_to_dict,
+    phased_schedule_from_dict,
+    phased_schedule_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    work_vector_from_dict,
+    work_vector_to_dict,
+)
+
+
+class TestWorkVector:
+    def test_roundtrip(self):
+        w = WorkVector([1.5, 0.0, 3.25])
+        assert work_vector_from_dict(work_vector_to_dict(w)) == w
+
+    def test_json_compatible(self):
+        payload = json.loads(json.dumps(work_vector_to_dict(WorkVector([1.0, 2.0]))))
+        assert work_vector_from_dict(payload) == WorkVector([1.0, 2.0])
+
+    def test_malformed(self):
+        with pytest.raises(ConfigurationError):
+            work_vector_from_dict({})
+
+
+class TestOperatorSpec:
+    def test_roundtrip(self):
+        spec = OperatorSpec(name="probe(J1)", work=WorkVector([1.0, 0.0, 0.0]), data_volume=42.0)
+        again = operator_spec_from_dict(operator_spec_to_dict(spec))
+        assert again == spec
+
+    def test_default_volume(self):
+        payload = {"name": "x", "work": {"components": [1.0]}}
+        assert operator_spec_from_dict(payload).data_volume == 0.0
+
+
+class TestSchedule:
+    def test_roundtrip_real_schedule(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        original = result.phased_schedule.phases[0]
+        payload = json.loads(json.dumps(schedule_to_dict(original)))
+        restored = schedule_from_dict(payload)
+        assert restored.makespan() == pytest.approx(original.makespan())
+        assert restored.clone_count() == original.clone_count()
+        assert {k: v.site_indices for k, v in restored.homes().items()} == {
+            k: v.site_indices for k, v in original.homes().items()
+        }
+
+    def test_constraint_a_revalidated(self):
+        payload = {
+            "schema": "repro/1",
+            "p": 1,
+            "d": 2,
+            "placements": [
+                {"site": 0, "operator": "a", "clone_index": 0,
+                 "work": {"components": [1.0, 0.0]}, "t_seq": 1.0},
+                {"site": 0, "operator": "a", "clone_index": 1,
+                 "work": {"components": [1.0, 0.0]}, "t_seq": 1.0},
+            ],
+        }
+        with pytest.raises(SchedulingError):
+            schedule_from_dict(payload)
+
+    def test_malformed(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_dict({"p": 1})
+
+
+class TestPhased:
+    def test_roundtrip(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        payload = json.loads(json.dumps(phased_schedule_to_dict(result.phased_schedule)))
+        restored = phased_schedule_from_dict(payload)
+        assert restored.response_time() == pytest.approx(result.response_time)
+        assert restored.labels == result.phased_schedule.labels
+
+
+class TestFigure:
+    def test_roundtrip(self):
+        fig = FigureData(
+            figure_id="figX",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="A", xs=(1.0, 2.0), ys=(3.0, 4.0)),),
+            notes=("n1",),
+        )
+        payload = json.loads(json.dumps(figure_to_dict(fig)))
+        restored = figure_from_dict(payload)
+        assert restored == fig

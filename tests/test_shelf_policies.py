@@ -1,0 +1,104 @@
+"""Tests for the eager shelf policy and the tree_schedule shelf knob."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    SchedulingError,
+    build_task_tree,
+    eager_shelf_phases,
+    expand_plan,
+    generate_query,
+    min_shelf_phases,
+    tree_schedule,
+    validate_phases,
+)
+
+
+class TestEagerShelf:
+    def test_valid_decomposition(self, annotated_query):
+        phases = eager_shelf_phases(annotated_query.task_tree)
+        validate_phases(annotated_query.task_tree, phases)
+
+    def test_same_phase_count_as_minshelf(self):
+        for seed in range(5):
+            query = generate_query(12, np.random.default_rng(seed))
+            assert len(eager_shelf_phases(query.task_tree)) == len(
+                min_shelf_phases(query.task_tree)
+            )
+
+    def test_leaves_all_in_phase_zero(self, annotated_query):
+        tree = annotated_query.task_tree
+        phases = eager_shelf_phases(tree)
+        leaves = [t for t in tree.tasks if not tree.children(t)]
+        assert all(t in phases[0] for t in leaves)
+
+    def test_root_still_last(self, annotated_query):
+        tree = annotated_query.task_tree
+        phases = eager_shelf_phases(tree)
+        assert tree.root in phases[-1]
+
+    def test_differs_from_minshelf_on_unbalanced_trees(self):
+        """On an unbalanced bushy plan a shallow branch's leaf is eager in
+        phase 0 but MinShelf-late just before its parent."""
+        from repro import BaseRelationNode, JoinNode, Relation
+
+        # The probe side is a 2-deep chain of tasks; the build side of the
+        # root join is a lone base relation, so {scan(D), build(J2)} is a
+        # shallow leaf task hanging just below the root.
+        a = BaseRelationNode(Relation("A", 1_000))
+        b = BaseRelationNode(Relation("B", 2_000))
+        c = BaseRelationNode(Relation("C", 3_000))
+        d = BaseRelationNode(Relation("D", 4_000))
+        deep = JoinNode("J1", JoinNode("J0", a, b), c)
+        plan = JoinNode("J2", d, deep)
+        tree = build_task_tree(expand_plan(plan))
+        eager = eager_shelf_phases(tree)
+        lazy = min_shelf_phases(tree)
+        eager_sizes = [len(bucket) for bucket in eager]
+        lazy_sizes = [len(bucket) for bucket in lazy]
+        assert eager_sizes != lazy_sizes
+        # Eager front-loads: its first phase is at least as full.
+        assert eager_sizes[0] >= lazy_sizes[0]
+
+
+class TestShelfKnob:
+    def test_both_policies_schedule(self, annotated_query, comm, overlap):
+        for shelf in ("min", "eager"):
+            result = tree_schedule(
+                annotated_query.operator_tree, annotated_query.task_tree,
+                p=12, comm=comm, overlap=overlap, f=0.7, shelf=shelf,
+            )
+            result.phased_schedule.validate()
+            assert result.response_time > 0
+
+    def test_unknown_policy_rejected(self, annotated_query, comm, overlap):
+        with pytest.raises(SchedulingError):
+            tree_schedule(
+                annotated_query.operator_tree, annotated_query.task_tree,
+                p=12, comm=comm, overlap=overlap, f=0.7, shelf="bogus",
+            )
+
+    def test_default_is_minshelf(self, annotated_query, comm, overlap):
+        default = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=12, comm=comm, overlap=overlap, f=0.7,
+        )
+        explicit = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=12, comm=comm, overlap=overlap, f=0.7, shelf="min",
+        )
+        assert default.response_time == explicit.response_time
+
+    def test_probes_rooted_under_eager_policy(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=12, comm=comm, overlap=overlap, f=0.7, shelf="eager",
+        )
+        for op in annotated_query.operator_tree.iter_probes():
+            assert (
+                result.homes[op.name].site_indices
+                == result.homes[f"build({op.join_id})"].site_indices
+            )

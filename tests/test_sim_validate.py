@@ -1,0 +1,87 @@
+"""Tests for simulator-vs-analytic validation and the policy report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    PlacedClone,
+    Schedule,
+    SimulationError,
+    WorkVector,
+    sharing_policy_report,
+    tree_schedule,
+    validate_phased_schedule,
+)
+from repro.core.schedule import PhasedSchedule
+from repro.core.resource_model import ConvexCombinationOverlap
+
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def small_phased():
+    sched = Schedule(2, 2)
+    for i, comps in enumerate([[4.0, 1.0], [1.0, 4.0], [2.0, 2.0]]):
+        w = WorkVector(comps)
+        sched.place(i % 2, PlacedClone(f"op{i}", 0, w, OVERLAP.t_seq(w)))
+    phased = PhasedSchedule()
+    phased.append(sched)
+    return phased
+
+
+class TestValidate:
+    def test_agreement_on_valid_schedule(self):
+        result = validate_phased_schedule(small_phased())
+        assert result.slowdown == pytest.approx(1.0)
+
+    def test_real_schedule_validates(self, annotated_query, comm, overlap):
+        ts = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        validate_phased_schedule(ts.phased_schedule)
+
+    def test_corrupted_t_seq_detected(self):
+        """A clone whose recorded T_seq understates its work would make
+        the ideal-stretch schedule infeasible — the simulator notices."""
+        sched = Schedule(1, 2)
+        # T_seq below max component: invalid under the Section 4.1 bound,
+        # smuggled in directly (PlacedClone does not re-validate).
+        sched.place(0, PlacedClone("bad", 0, WorkVector([10.0, 0.0]), 1.0))
+        sched.place(0, PlacedClone("other", 0, WorkVector([10.0, 0.0]), 10.0))
+        phased = PhasedSchedule()
+        phased.append(sched)
+        with pytest.raises(SimulationError):
+            validate_phased_schedule(phased)
+
+
+class TestPolicyReport:
+    def test_ordering(self):
+        report = sharing_policy_report(small_phased())
+        assert report.analytic == pytest.approx(report.optimal_stretch)
+        assert report.optimal_stretch <= report.fair_share + 1e-9
+        assert report.fair_share <= report.serial + 1e-9
+
+    def test_penalty_and_benefit(self):
+        report = sharing_policy_report(small_phased())
+        assert report.fair_share_penalty >= -1e-12
+        assert report.sharing_benefit >= 1.0 - 1e-12
+
+    def test_sharing_benefit_large_for_complementary_load(self):
+        sched = Schedule(1, 2)
+        for i in range(4):
+            w = WorkVector([4.0, 0.0] if i % 2 else [0.0, 4.0])
+            sched.place(0, PlacedClone(f"op{i}", 0, w, 4.0))
+        phased = PhasedSchedule()
+        phased.append(sched)
+        report = sharing_policy_report(phased)
+        # Serial: 16; ideal sharing: 8 (each resource serves 8 units).
+        assert report.sharing_benefit == pytest.approx(2.0)
+
+    def test_report_on_real_schedule(self, annotated_query, comm, overlap):
+        ts = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        report = sharing_policy_report(ts.phased_schedule)
+        assert report.serial >= report.analytic

@@ -1,0 +1,129 @@
+"""Tests for execution-skew evaluation (EA1 relaxation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    CommunicationModel,
+    ConfigurationError,
+    ConvexCombinationOverlap,
+    OperatorSpec,
+    SchedulingError,
+    WorkVector,
+    clone_work_vectors,
+    skewed_clone_work_vectors,
+    skewed_makespan,
+    skewed_response_time,
+    tree_schedule,
+    vector_sum,
+    zipf_weights,
+)
+
+COMM = CommunicationModel(alpha=0.015, beta=0.6e-6)
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def spec(name="op", cpu=8.0, disk=4.0, data=1e6):
+    return OperatorSpec(name=name, work=WorkVector([cpu, disk, 0.0]), data_volume=data)
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero(self):
+        assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_normalized(self):
+        for theta in (0.0, 0.5, 1.0, 2.0):
+            assert math.fsum(zipf_weights(7, theta)) == pytest.approx(1.0)
+
+    def test_non_increasing(self):
+        w = zipf_weights(6, 1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_more_theta_more_concentration(self):
+        mild = zipf_weights(6, 0.3)
+        strong = zipf_weights(6, 1.5)
+        assert strong[0] > mild[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(3, -0.1)
+
+    @given(st.integers(min_value=1, max_value=32), st.floats(min_value=0.0, max_value=3.0))
+    def test_always_valid_distribution(self, n, theta):
+        w = zipf_weights(n, theta)
+        assert len(w) == n
+        assert math.fsum(w) == pytest.approx(1.0)
+        assert all(x > 0 for x in w)
+
+
+class TestSkewedClones:
+    def test_theta_zero_matches_uniform(self):
+        s = spec()
+        uniform = clone_work_vectors(s, 4, COMM)
+        skewed = skewed_clone_work_vectors(s, 4, COMM, 0.0)
+        for a, b in zip(uniform, skewed):
+            assert a.isclose(b)
+
+    def test_total_work_invariant_in_theta(self):
+        s = spec()
+        for theta in (0.0, 0.5, 1.2):
+            clones = skewed_clone_work_vectors(s, 5, COMM, theta)
+            assert vector_sum(clones).isclose(
+                vector_sum(clone_work_vectors(s, 5, COMM)), rel_tol=1e-9
+            )
+
+    def test_coordinator_heaviest(self):
+        clones = skewed_clone_work_vectors(spec(), 4, COMM, 1.0)
+        assert clones[0].length() >= max(c.length() for c in clones[1:])
+
+
+class TestSkewedEvaluation:
+    @pytest.fixture
+    def scheduled(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=12, comm=comm, overlap=overlap, f=0.7,
+        )
+        specs = {op.name: op.spec for op in annotated_query.operator_tree.operators}
+        return result, specs
+
+    def test_theta_zero_reproduces_planned_response(self, scheduled, comm, overlap):
+        result, specs = scheduled
+        evaluated = skewed_response_time(
+            result.phased_schedule, specs, 0.0, comm, overlap
+        )
+        assert evaluated == pytest.approx(result.response_time)
+
+    def test_monotone_in_theta(self, scheduled, comm, overlap):
+        result, specs = scheduled
+        times = [
+            skewed_response_time(result.phased_schedule, specs, theta, comm, overlap)
+            for theta in (0.0, 0.3, 0.6, 1.0, 1.5)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+        assert times[-1] > times[0]
+
+    def test_per_phase_consistency(self, scheduled, comm, overlap):
+        result, specs = scheduled
+        total = skewed_response_time(
+            result.phased_schedule, specs, 0.7, comm, overlap
+        )
+        by_phase = sum(
+            skewed_makespan(s, specs, 0.7, comm, overlap)
+            for s in result.phased_schedule.phases
+        )
+        assert total == pytest.approx(by_phase)
+
+    def test_missing_spec_rejected(self, scheduled, comm, overlap):
+        result, specs = scheduled
+        incomplete = dict(list(specs.items())[:-1])
+        with pytest.raises(SchedulingError):
+            skewed_response_time(
+                result.phased_schedule, incomplete, 0.5, comm, overlap
+            )

@@ -1,0 +1,105 @@
+"""Tests for workload statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    JoinNode,
+    PAPER_PARAMETERS,
+    PlanStructureError,
+    Relation,
+    annotate_plan,
+    describe_query,
+    generate_query,
+    resource_mix,
+)
+from repro.plans.operator_tree import OperatorTree
+
+
+class TestDescribeQuery:
+    def test_counts_consistent(self):
+        q = generate_query(10, np.random.default_rng(0))
+        stats = describe_query(q)
+        assert stats.num_joins == 10
+        assert stats.num_operators == 11 + 10 + 10
+        assert stats.num_tasks == len(q.task_tree)
+        assert stats.task_tree_height == q.task_tree.height
+        assert sum(stats.phase_widths) == stats.num_tasks
+        assert stats.total_base_tuples == q.catalog.total_tuples()
+
+    def test_largest_intermediate(self):
+        q = generate_query(10, np.random.default_rng(0))
+        stats = describe_query(q)
+        assert stats.largest_intermediate_tuples == max(
+            j.output_tuples for j in q.plan.joins()
+        )
+        # Key joins: the largest intermediate equals the largest base.
+        assert stats.largest_intermediate_tuples == max(
+            r.tuples for r in q.catalog
+        )
+
+    def test_bushiness_extremes(self):
+        q = generate_query(1, np.random.default_rng(0))
+        assert describe_query(q).bushiness == 1.0
+
+    def test_bushiness_left_deep_is_zero(self):
+        node = BaseRelationNode(Relation("R0", 1000))
+        for i in range(4):
+            node = JoinNode(f"J{i}", node, BaseRelationNode(Relation(f"B{i}", 100)))
+        from repro import build_task_tree, expand_plan
+        from repro.plans.generator import GeneratedQuery
+        from repro.plans.query_graph import QueryGraph
+        from repro import Catalog
+
+        # Assemble a GeneratedQuery by hand around the explicit plan.
+        catalog = Catalog(
+            [Relation("R0", 1000)] + [Relation(f"B{i}", 100) for i in range(4)]
+        )
+        graph = QueryGraph(
+            catalog.names, [("R0", "B0"), ("B0", "B1"), ("B1", "B2"), ("B2", "B3")]
+        )
+        op_tree = expand_plan(node)
+        query = GeneratedQuery(
+            catalog=catalog,
+            graph=graph,
+            plan=node,
+            operator_tree=op_tree,
+            task_tree=build_task_tree(op_tree),
+        )
+        assert describe_query(query).bushiness == 0.0
+
+    def test_mean_phase_width(self):
+        q = generate_query(8, np.random.default_rng(1))
+        stats = describe_query(q)
+        assert stats.mean_phase_width == pytest.approx(
+            stats.num_tasks / (stats.task_tree_height + 1)
+        )
+
+
+class TestResourceMix:
+    def test_kinds_sum_to_total(self):
+        q = generate_query(6, np.random.default_rng(2))
+        annotate_plan(q.operator_tree, PAPER_PARAMETERS)
+        mix = resource_mix(q.operator_tree)
+        summed = mix["scan"] + mix["build"] + mix["probe"]
+        assert summed.isclose(mix["total"], rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_only_scans_touch_disk(self):
+        q = generate_query(6, np.random.default_rng(2))
+        annotate_plan(q.operator_tree, PAPER_PARAMETERS)
+        mix = resource_mix(q.operator_tree)
+        assert mix["scan"][1] > 0
+        assert mix["build"][1] == 0.0
+        assert mix["probe"][1] == 0.0
+
+    def test_unannotated_rejected(self):
+        q = generate_query(3, np.random.default_rng(2))
+        with pytest.raises(PlanStructureError):
+            resource_mix(q.operator_tree)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(PlanStructureError):
+            resource_mix(OperatorTree())

@@ -1,0 +1,175 @@
+"""Tests for the SYNCHRONOUS one-dimensional adversary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConvexCombinationOverlap,
+    OperatorKind,
+    SchedulingError,
+    synchronous_schedule,
+)
+
+
+class TestStructure:
+    def test_phases_match_minshelf(self, annotated_query, comm, overlap):
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=16,
+            comm=comm,
+            overlap=overlap,
+        )
+        assert result.num_phases == annotated_query.task_tree.height + 1
+
+    def test_all_operators_scheduled(self, annotated_query, comm, overlap):
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=16,
+            comm=comm,
+            overlap=overlap,
+        )
+        assert set(result.homes) == {
+            op.name for op in annotated_query.operator_tree.operators
+        }
+        assert set(result.degrees) == set(result.homes)
+
+    def test_schedules_validate(self, annotated_query, comm, overlap):
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=16,
+            comm=comm,
+            overlap=overlap,
+        )
+        result.phased_schedule.validate()
+
+    def test_probe_rooted_at_build_home(self, annotated_query, comm, overlap):
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=16,
+            comm=comm,
+            overlap=overlap,
+        )
+        for op in annotated_query.operator_tree.iter_probes():
+            probe_home = result.homes[op.name]
+            build_home = result.homes[f"build({op.join_id})"]
+            assert probe_home.site_indices == build_home.site_indices
+
+    def test_response_time_positive_and_summed(self, annotated_query, comm, overlap):
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=16,
+            comm=comm,
+            overlap=overlap,
+        )
+        assert result.response_time == pytest.approx(
+            sum(result.phased_schedule.phase_makespans())
+        )
+        assert result.response_time > 0
+
+
+class TestDisjointness:
+    def test_no_sharing_between_floating_operators(self, annotated_query, comm, overlap):
+        """The 1-D baseline gives concurrent floating operators disjoint
+        sites (rooted probes may overlay, as their homes are inherited)."""
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=32,
+            comm=comm,
+            overlap=overlap,
+        )
+        probe_names = {
+            op.name for op in annotated_query.operator_tree.iter_probes()
+        }
+        for schedule in result.phased_schedule.phases:
+            floating_sets = {
+                name: set(home.site_indices)
+                for name, home in schedule.homes().items()
+                if name not in probe_names
+            }
+            names = list(floating_sets)
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    assert not (floating_sets[a] & floating_sets[b]), (
+                        f"{a} and {b} share sites under SYNCHRONOUS"
+                    )
+
+
+class TestScaling:
+    def test_more_sites_never_much_worse(self, annotated_query_factory, comm, overlap):
+        query = annotated_query_factory(12, 5)
+        times = [
+            synchronous_schedule(
+                query.operator_tree, query.task_tree, p=p, comm=comm, overlap=overlap
+            ).response_time
+            for p in (4, 16, 64)
+        ]
+        assert times[2] < times[0]
+
+    def test_single_site(self, annotated_query, comm, overlap):
+        result = synchronous_schedule(
+            annotated_query.operator_tree,
+            annotated_query.task_tree,
+            p=1,
+            comm=comm,
+            overlap=overlap,
+        )
+        assert all(home.degree == 1 for home in result.homes.values())
+
+    def test_more_tasks_than_sites_handled(self, annotated_query_factory, comm, overlap):
+        # 30-join query has phases with many concurrent tasks; P=2 forces
+        # the LPT fallback path.
+        query = annotated_query_factory(30, 9)
+        result = synchronous_schedule(
+            query.operator_tree, query.task_tree, p=2, comm=comm, overlap=overlap
+        )
+        result.phased_schedule.validate()
+        assert result.response_time > 0
+
+
+class TestErrors:
+    def test_unannotated_plan_rejected(self, params, comm, overlap):
+        import repro
+
+        query = repro.generate_query(4, np.random.default_rng(0))
+        from repro.exceptions import PlanStructureError
+
+        with pytest.raises(PlanStructureError):
+            synchronous_schedule(
+                query.operator_tree, query.task_tree, p=4, comm=comm, overlap=overlap
+            )
+
+
+class TestOneDimensionalBlindness:
+    def test_ignores_resource_mix(self, comm):
+        """SYNCHRONOUS treats operators as scalars: its placement is
+        identical whether the work sits on CPU or disk."""
+        import repro
+
+        query = repro.generate_query(6, np.random.default_rng(11))
+        repro.annotate_plan(query.operator_tree, repro.PAPER_PARAMETERS)
+        overlap = ConvexCombinationOverlap(0.5)
+        r1 = synchronous_schedule(
+            query.operator_tree, query.task_tree, p=8, comm=comm, overlap=overlap
+        )
+        # Swap CPU and disk components of every spec: scalar work unchanged.
+        for op in query.operator_tree.operators:
+            w = op.spec.work
+            op.spec = repro.OperatorSpec(
+                name=op.spec.name,
+                work=repro.WorkVector([w[1], w[0], w[2]]),
+                data_volume=op.spec.data_volume,
+            )
+        r2 = synchronous_schedule(
+            query.operator_tree, query.task_tree, p=8, comm=comm, overlap=overlap
+        )
+        assert {k: v.site_indices for k, v in r1.homes.items()} == {
+            k: v.site_indices for k, v in r2.homes.items()
+        }

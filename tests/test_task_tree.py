@@ -1,0 +1,157 @@
+"""Tests for query task trees (Figure 1(b) -> 1(c))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    JoinNode,
+    OperatorKind,
+    PlanStructureError,
+    Relation,
+    build_task_tree,
+    expand_plan,
+    generate_query,
+)
+
+
+def right_deep_plan(k):
+    """k joins with every join's inner a base relation (one long pipeline)."""
+    node = BaseRelationNode(Relation("R0", 1000))
+    for i in range(k):
+        inner = BaseRelationNode(Relation(f"B{i}", 100))
+        node = JoinNode(f"J{i}", inner, node)
+    return node
+
+
+def left_deep_plan(k):
+    """k joins where each join's inner is the previous join's output."""
+    node = BaseRelationNode(Relation("R0", 1000))
+    for i in range(k):
+        outer = BaseRelationNode(Relation(f"B{i}", 100))
+        node = JoinNode(f"J{i}", node, outer)
+    return node
+
+
+class TestStructure:
+    def test_single_scan_single_task(self):
+        tree = build_task_tree(expand_plan(BaseRelationNode(Relation("A", 10))))
+        assert len(tree) == 1
+        assert tree.height == 0
+        assert tree.root.sink.kind is OperatorKind.SCAN
+
+    def test_right_deep_two_level(self):
+        """Right-deep: all builds are fed by base scans, so every build
+        task is a leaf and all probes chain into one root task."""
+        op_tree = expand_plan(right_deep_plan(4))
+        tree = build_task_tree(op_tree)
+        # 4 build tasks (scan+build) + 1 probe chain task.
+        assert len(tree) == 5
+        assert tree.height == 1
+        root_ops = [op.kind for op in tree.root.operators]
+        assert root_ops.count(OperatorKind.PROBE) == 4
+
+    def test_left_deep_chain(self):
+        """Left-deep: each probe feeds the next build, so tasks chain."""
+        op_tree = expand_plan(left_deep_plan(4))
+        tree = build_task_tree(op_tree)
+        assert len(tree) == 5
+        assert tree.height == 4
+
+    def test_task_count_equals_builds_plus_root(self):
+        for seed in range(4):
+            query = generate_query(10, np.random.default_rng(seed))
+            n_builds = len(list(query.operator_tree.iter_builds()))
+            assert len(query.task_tree) == n_builds + 1
+
+    def test_sink_is_build_or_root(self):
+        query = generate_query(10, np.random.default_rng(3))
+        root_op = query.operator_tree.root
+        for task in query.task_tree.tasks:
+            sink = task.sink
+            assert sink is root_op or sink.kind is OperatorKind.BUILD
+
+    def test_operators_partitioned(self):
+        query = generate_query(10, np.random.default_rng(3))
+        seen = []
+        for task in query.task_tree.tasks:
+            seen.extend(task.operators)
+        assert len(seen) == len(query.operator_tree)
+        assert len({id(op) for op in seen}) == len(seen)
+
+    def test_pipeline_order_within_task(self):
+        query = generate_query(10, np.random.default_rng(3))
+        topo = {op: i for i, op in enumerate(query.operator_tree.operators)}
+        for task in query.task_tree.tasks:
+            indices = [topo[op] for op in task.operators]
+            assert indices == sorted(indices)
+
+
+class TestRelations:
+    def test_parent_child_symmetry(self):
+        query = generate_query(8, np.random.default_rng(1))
+        tree = query.task_tree
+        for task in tree.tasks:
+            for child in tree.children(task):
+                assert tree.parent(child) is task
+
+    def test_root_has_no_parent(self):
+        query = generate_query(8, np.random.default_rng(1))
+        assert query.task_tree.parent(query.task_tree.root) is None
+
+    def test_depths_consistent(self):
+        query = generate_query(8, np.random.default_rng(1))
+        tree = query.task_tree
+        assert tree.depth(tree.root) == 0
+        for task in tree.tasks:
+            parent = tree.parent(task)
+            if parent is not None:
+                assert tree.depth(task) == tree.depth(parent) + 1
+        assert tree.height == max(tree.depth(t) for t in tree.tasks)
+
+    def test_independence(self):
+        op_tree = expand_plan(right_deep_plan(3))
+        tree = build_task_tree(op_tree)
+        leaves = [t for t in tree.tasks if t is not tree.root]
+        # Leaf tasks are pairwise independent; none independent of itself.
+        assert tree.independent(leaves[0], leaves[1])
+        assert not tree.independent(leaves[0], leaves[0])
+        assert not tree.independent(leaves[0], tree.root)
+
+    def test_task_of(self):
+        query = generate_query(6, np.random.default_rng(2))
+        for task in query.task_tree.tasks:
+            for op in task.operators:
+                assert query.task_tree.task_of(op) is task
+
+    def test_task_of_unknown(self):
+        query = generate_query(3, np.random.default_rng(2))
+        from repro.plans.physical_ops import scan_op
+
+        stray = scan_op(Relation("ZZ", 1))
+        with pytest.raises(PlanStructureError):
+            query.task_tree.task_of(stray)
+
+    def test_task_container_protocol(self):
+        query = generate_query(4, np.random.default_rng(2))
+        task = query.task_tree.root
+        assert task.sink in task
+        assert len(task) == len(task.operators)
+        assert task.operator_names[-1] == task.sink.name
+
+    def test_figure_one_shape(self):
+        """A two-join plan whose builds both read base relations executes
+        as leaf tasks plus one root task — the Figure 1 structure."""
+        a = BaseRelationNode(Relation("A", 100))
+        b = BaseRelationNode(Relation("B", 200))
+        c = BaseRelationNode(Relation("C", 300))
+        d = BaseRelationNode(Relation("D", 400))
+        plan = JoinNode("J2", JoinNode("J0", a, b), JoinNode("J1", c, d))
+        tree = build_task_tree(expand_plan(plan))
+        # build(J0) task {scan(A), build(J0)}; J0's probe chain feeds
+        # build(J2); build(J1) task; root = probes of J1-side + probe(J2).
+        assert tree.height >= 1
+        depths = sorted(tree.depth(t) for t in tree.tasks)
+        assert depths[0] == 0

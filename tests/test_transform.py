@@ -1,0 +1,100 @@
+"""Tests for the auto-materialization plan transformation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaseRelationNode,
+    ConfigurationError,
+    JoinMethod,
+    JoinNode,
+    Relation,
+    auto_materialize,
+    build_task_tree,
+    expand_plan,
+    generate_query,
+)
+
+
+def right_deep(k, inner_tuples=5_000, outer_tuples=20_000):
+    node = BaseRelationNode(Relation("R0", outer_tuples))
+    for i in range(k):
+        inner = BaseRelationNode(Relation(f"B{i}", inner_tuples))
+        node = JoinNode(f"J{i}", inner, node)
+    return node
+
+
+class TestAutoMaterialize:
+    def test_breaks_long_probe_chains(self):
+        plan = auto_materialize(right_deep(8), max_chain=3)
+        tree = expand_plan(plan)
+        tasks = build_task_tree(tree)
+        assert max(len(t) for t in tasks.tasks) <= 2 * 3 + 3  # bounded pipelines
+        flags = [j.materialize_output for j in plan.joins()]
+        assert any(flags)
+
+    def test_chain_bound_respected(self):
+        for max_chain in (1, 2, 4):
+            plan = auto_materialize(right_deep(9), max_chain=max_chain)
+            tree = expand_plan(plan)
+            tasks = build_task_tree(tree)
+            # Each task holds at most max_chain probes.
+            from repro import OperatorKind
+
+            for task in tasks.tasks:
+                probes = sum(
+                    1 for op in task.operators if op.kind is OperatorKind.PROBE
+                )
+                assert probes <= max_chain
+
+    def test_short_plans_untouched(self):
+        plan = auto_materialize(right_deep(2), max_chain=3)
+        assert not any(j.materialize_output for j in plan.joins())
+
+    def test_input_not_mutated(self):
+        original = right_deep(8)
+        auto_materialize(original, max_chain=2)
+        assert not any(j.materialize_output for j in original.joins())
+
+    def test_structure_preserved(self):
+        original = right_deep(6)
+        rebuilt = auto_materialize(original, max_chain=2)
+        assert rebuilt.num_joins == original.num_joins
+        assert rebuilt.output_tuples == original.output_tuples
+        assert sorted(j.join_id for j in rebuilt.joins()) == sorted(
+            j.join_id for j in original.joins()
+        )
+
+    def test_existing_flags_preserved_and_reset_chains(self):
+        plan = right_deep(6)
+        # Pre-materialize the middle join by hand.
+        mid = [j for j in plan.joins() if j.join_id == "J2"][0]
+        mid.materialize_output = True
+        rebuilt = auto_materialize(plan, max_chain=4)
+        rebuilt_mid = [j for j in rebuilt.joins() if j.join_id == "J2"][0]
+        assert rebuilt_mid.materialize_output
+
+    def test_methods_preserved(self):
+        a = BaseRelationNode(Relation("A", 1_000))
+        b = BaseRelationNode(Relation("B", 2_000))
+        c = BaseRelationNode(Relation("C", 3_000))
+        plan = JoinNode(
+            "J1", a, JoinNode("J0", b, c, method=JoinMethod.SORT_MERGE)
+        )
+        rebuilt = auto_materialize(plan, max_chain=1)
+        inner = [j for j in rebuilt.joins() if j.join_id == "J0"][0]
+        assert inner.method is JoinMethod.SORT_MERGE
+
+    def test_invalid_max_chain(self):
+        with pytest.raises(ConfigurationError):
+            auto_materialize(right_deep(3), max_chain=0)
+
+    def test_random_plans_expand_after_transform(self):
+        for seed in range(4):
+            query = generate_query(12, np.random.default_rng(seed))
+            rebuilt = auto_materialize(query.plan, max_chain=2)
+            tree = expand_plan(rebuilt)
+            tree.validate()
+            build_task_tree(tree)

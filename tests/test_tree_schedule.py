@@ -1,0 +1,178 @@
+"""Tests for the TREESCHEDULE algorithm (Section 5.4, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConvexCombinationOverlap,
+    OperatorKind,
+    PlanStructureError,
+    opt_bound,
+    synchronous_schedule,
+    tree_schedule,
+)
+
+
+class TestStructure:
+    def test_phase_count(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert result.num_phases == annotated_query.task_tree.height + 1
+        assert len(result.phase_labels) == result.num_phases
+
+    def test_all_operators_scheduled_once(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        expected = {op.name for op in annotated_query.operator_tree.operators}
+        assert set(result.homes) == expected
+        assert set(result.degrees) == expected
+
+    def test_schedules_validate(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        result.phased_schedule.validate()
+
+    def test_probe_rooted_at_build_home(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        for op in annotated_query.operator_tree.iter_probes():
+            assert (
+                result.homes[op.name].site_indices
+                == result.homes[f"build({op.join_id})"].site_indices
+            )
+
+    def test_response_is_phase_sum(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert result.response_time == pytest.approx(
+            sum(result.phased_schedule.phase_makespans())
+        )
+
+    def test_unannotated_rejected(self, comm, overlap):
+        import repro
+
+        query = repro.generate_query(4, np.random.default_rng(0))
+        with pytest.raises(PlanStructureError):
+            tree_schedule(
+                query.operator_tree, query.task_tree,
+                p=4, comm=comm, overlap=overlap,
+            )
+
+    def test_tasks_in_phase_labels(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        labelled = {tid for label in result.phase_labels for tid in label.split(",")}
+        assert labelled == {t.task_id for t in annotated_query.task_tree.tasks}
+
+
+class TestDegrees:
+    def test_degrees_within_limits(self, annotated_query, comm, overlap):
+        p = 16
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=p, comm=comm, overlap=overlap, f=0.7,
+        )
+        for name, n in result.degrees.items():
+            assert 1 <= n <= p
+            assert result.homes[name].degree == n
+
+    def test_build_probe_degrees_match(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        for op in annotated_query.operator_tree.iter_probes():
+            assert result.degrees[op.name] == result.degrees[f"build({op.join_id})"]
+
+    def test_small_f_restricts_degrees(self, annotated_query, comm, overlap):
+        loose = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=32, comm=comm, overlap=overlap, f=0.9,
+        )
+        tight = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=32, comm=comm, overlap=overlap, f=0.05,
+        )
+        assert sum(tight.degrees.values()) < sum(loose.degrees.values())
+
+
+class TestPerformanceShapes:
+    def test_scales_with_sites(self, annotated_query_factory, comm, overlap):
+        query = annotated_query_factory(15, 4)
+        times = [
+            tree_schedule(
+                query.operator_tree, query.task_tree, p=p,
+                comm=comm, overlap=overlap, f=0.7,
+            ).response_time
+            for p in (2, 8, 32)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_above_opt_bound(self, annotated_query_factory, comm, overlap):
+        for seed in range(5):
+            query = annotated_query_factory(10, 100 + seed)
+            for p in (4, 16, 64):
+                ts = tree_schedule(
+                    query.operator_tree, query.task_tree, p=p,
+                    comm=comm, overlap=overlap, f=0.7,
+                ).response_time
+                lb = opt_bound(
+                    query.operator_tree, query.task_tree, p=p, f=0.7,
+                    comm=comm, overlap=overlap,
+                )
+                assert ts >= lb * (1 - 1e-9)
+
+    def test_beats_synchronous_on_average(self, annotated_query_factory, comm):
+        """The paper's headline claim, on a small seeded cohort."""
+        overlap = ConvexCombinationOverlap(0.3)
+        wins = 0
+        total = 0
+        for seed in range(8):
+            query = annotated_query_factory(12, 200 + seed)
+            for p in (8, 24):
+                ts = tree_schedule(
+                    query.operator_tree, query.task_tree, p=p,
+                    comm=comm, overlap=overlap, f=0.7,
+                ).response_time
+                sy = synchronous_schedule(
+                    query.operator_tree, query.task_tree, p=p,
+                    comm=comm, overlap=overlap,
+                ).response_time
+                wins += ts <= sy
+                total += 1
+        assert wins / total >= 0.75
+
+    def test_single_site_still_schedules(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=1, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert all(h.degree == 1 for h in result.homes.values())
+
+    def test_deterministic(self, annotated_query, comm, overlap):
+        r1 = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        r2 = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=16, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert r1.response_time == r2.response_time
+        assert {k: v.site_indices for k, v in r1.homes.items()} == {
+            k: v.site_indices for k, v in r2.homes.items()
+        }

@@ -1,0 +1,180 @@
+"""Tests for the generic d-dimensional packing heuristics (ablation grid)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CloneItem,
+    ConvexCombinationOverlap,
+    InfeasibleScheduleError,
+    PERFECT_OVERLAP,
+    PlacementRule,
+    SchedulingError,
+    SortKey,
+    WorkVector,
+    pack_vectors,
+)
+
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def item(op, comps, k=0):
+    return CloneItem(operator=op, clone_index=k, work=WorkVector(comps))
+
+
+items_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=2, max_size=2),
+    ),
+    min_size=1,
+    max_size=10,
+).map(
+    lambda raw: [
+        item(f"op{op}-{i}", comps, k=0) for i, (op, comps) in enumerate(raw)
+    ]
+)
+
+
+class TestPaperRule:
+    def test_reproduces_figure3_packing(self):
+        """MAX_COMPONENT + LEAST_LOADED_LENGTH equals the paper's rule."""
+        items = [
+            item("a", [10.0, 0.0]),
+            item("b", [8.0, 0.0]),
+            item("c", [6.0, 0.0]),
+            item("d", [4.0, 0.0]),
+        ]
+        schedule = pack_vectors(items, p=2, overlap=PERFECT_OVERLAP)
+        lengths = sorted(site.length() for site in schedule.sites)
+        # LPT: {10, 4} and {8, 6}.
+        assert lengths == [14.0, 14.0]
+
+    def test_constraint_a_respected(self):
+        items = [item("a", [1.0, 1.0], k=0), item("a", [1.0, 1.0], k=1)]
+        schedule = pack_vectors(items, p=2, overlap=OVERLAP)
+        sites = {schedule.home("a").site_indices}
+        assert len(schedule.home("a").site_indices) == 2
+
+    def test_infeasible_when_degree_exceeds_sites(self):
+        items = [item("a", [1.0, 1.0], k=0), item("a", [1.0, 1.0], k=1)]
+        with pytest.raises(InfeasibleScheduleError):
+            pack_vectors(items, p=1, overlap=OVERLAP)
+
+
+class TestSortKeys:
+    def test_total_sort(self):
+        items = [item("a", [5.0, 0.0]), item("b", [3.0, 3.0])]
+        schedule = pack_vectors(
+            items, p=2, overlap=OVERLAP, sort=SortKey.TOTAL
+        )
+        assert schedule.clone_count() == 2
+
+    def test_input_order(self):
+        items = [item("a", [1.0, 0.0]), item("b", [9.0, 0.0])]
+        schedule = pack_vectors(
+            items, p=2, overlap=OVERLAP, sort=SortKey.INPUT_ORDER,
+            rule=PlacementRule.FIRST_FIT,
+        )
+        # First fit with input order: 'a' lands on site 0 first.
+        assert schedule.home("a").site_indices == (0,)
+
+    def test_random_needs_rng(self):
+        with pytest.raises(SchedulingError):
+            pack_vectors([item("a", [1.0, 1.0])], p=1, overlap=OVERLAP, sort=SortKey.RANDOM)
+
+    def test_random_with_rng(self):
+        rng = random.Random(5)
+        schedule = pack_vectors(
+            [item(f"op{i}", [1.0, 1.0]) for i in range(5)],
+            p=2,
+            overlap=OVERLAP,
+            sort=SortKey.RANDOM,
+            rng=rng,
+        )
+        assert schedule.clone_count() == 5
+
+
+class TestPlacementRules:
+    def test_round_robin_cycles(self):
+        items = [item(f"op{i}", [1.0, 0.0]) for i in range(4)]
+        schedule = pack_vectors(
+            items, p=2, overlap=OVERLAP, rule=PlacementRule.ROUND_ROBIN
+        )
+        assert [len(site) for site in schedule.sites] == [2, 2]
+
+    def test_first_fit_piles_up(self):
+        items = [item(f"op{i}", [1.0, 0.0]) for i in range(3)]
+        schedule = pack_vectors(
+            items, p=3, overlap=OVERLAP, rule=PlacementRule.FIRST_FIT
+        )
+        assert len(schedule.site(0)) == 3
+
+    def test_min_resulting_length_avoids_congestion(self):
+        # One site already holds disk work; a disk-heavy item should go to
+        # the other site under MIN_RESULTING_LENGTH even if that site has
+        # a larger current length.
+        items = [
+            item("base", [0.0, 6.0]),   # placed first (largest component)
+            item("cpuish", [5.0, 0.0]),
+            item("diskish", [0.0, 5.0]),
+        ]
+        schedule = pack_vectors(
+            items, p=2, overlap=PERFECT_OVERLAP, rule=PlacementRule.MIN_RESULTING_LENGTH
+        )
+        # diskish must avoid the site holding base.
+        base_site = schedule.home("base").site_indices[0]
+        disk_site = schedule.home("diskish").site_indices[0]
+        assert base_site != disk_site
+
+    def test_random_rule_needs_rng(self):
+        with pytest.raises(SchedulingError):
+            pack_vectors([item("a", [1.0, 1.0])], p=1, overlap=OVERLAP, rule=PlacementRule.RANDOM)
+
+    def test_round_robin_skips_conflicts(self):
+        items = [item("a", [1.0, 0.0], k=0), item("a", [1.0, 0.0], k=1)]
+        schedule = pack_vectors(
+            items, p=2, overlap=OVERLAP, rule=PlacementRule.ROUND_ROBIN
+        )
+        assert schedule.home("a").degree == 2
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            pack_vectors([], p=2, overlap=OVERLAP)
+
+    def test_dimension_mismatch_rejected(self):
+        items = [item("a", [1.0, 1.0]), item("b", [1.0, 1.0, 1.0])]
+        with pytest.raises(SchedulingError):
+            pack_vectors(items, p=2, overlap=OVERLAP)
+
+    @settings(max_examples=30)
+    @given(items_strategy, st.integers(min_value=6, max_value=10))
+    def test_all_rules_produce_valid_schedules(self, items, p):
+        for rule in PlacementRule:
+            rng = random.Random(0)
+            schedule = pack_vectors(
+                items, p=p, overlap=OVERLAP, rule=rule, rng=rng
+            )
+            schedule.validate()
+            assert schedule.clone_count() == len(items)
+
+    @settings(max_examples=30)
+    @given(items_strategy, st.integers(min_value=6, max_value=10))
+    def test_paper_rule_never_worse_than_random_by_bound(self, items, p):
+        """The paper's rule obeys the same (2d+1)-style LB relation."""
+        schedule = pack_vectors(items, p=p, overlap=OVERLAP)
+        total = WorkVector.zeros(2)
+        for it in items:
+            total = total + it.work
+        lb = max(
+            total.length() / p,
+            max(OVERLAP.t_seq(it.work) for it in items),
+        )
+        d = 2
+        assert schedule.makespan() <= (2 * d + 1) * lb + 1e-9

@@ -1,0 +1,250 @@
+"""Unit and property tests for work vectors (Section 4.1 / 5.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import InvalidWorkVectorError, Resource, WorkVector, dominates, set_length, vector_sum
+from repro.core.work_vector import as_work_vector
+
+components = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+def vectors(d: int | None = None):
+    if d is None:
+        return components.map(WorkVector)
+    return st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=d,
+        max_size=d,
+    ).map(WorkVector)
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = WorkVector([1.0, 2.0, 3.0])
+        assert w.components == (1.0, 2.0, 3.0)
+        assert w.d == 3
+
+    def test_of_constructor(self):
+        assert WorkVector.of(1.0, 2.0) == WorkVector([1.0, 2.0])
+
+    def test_zeros(self):
+        w = WorkVector.zeros(4)
+        assert w.components == (0.0, 0.0, 0.0, 0.0)
+
+    def test_unit(self):
+        w = WorkVector.unit(3, Resource.DISK, 5.0)
+        assert w.components == (0.0, 5.0, 0.0)
+
+    def test_unit_bad_axis(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector.unit(3, 3, 1.0)
+
+    def test_unit_negative_axis(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector.unit(3, -1, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([1.0, -0.5])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([float("inf")])
+
+    def test_zeros_bad_dimension(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector.zeros(0)
+
+    def test_int_components_coerced(self):
+        w = WorkVector([1, 2])
+        assert w.components == (1.0, 2.0)
+        assert all(isinstance(c, float) for c in w.components)
+
+    def test_as_work_vector_passthrough(self):
+        w = WorkVector([1.0])
+        assert as_work_vector(w) is w
+
+    def test_as_work_vector_from_sequence(self):
+        assert as_work_vector([1.0, 2.0]) == WorkVector([1.0, 2.0])
+
+
+class TestMetrics:
+    def test_length_is_max_component(self):
+        assert WorkVector([1.0, 7.0, 3.0]).length() == 7.0
+
+    def test_total_is_sum(self):
+        assert WorkVector([1.0, 7.0, 3.0]).total() == 11.0
+
+    def test_argmax_first_of_ties(self):
+        assert WorkVector([5.0, 5.0, 1.0]).argmax() == 0
+
+    def test_argmax_picks_maximum(self):
+        assert WorkVector([1.0, 2.0, 9.0]).argmax() == 2
+
+    def test_is_zero(self):
+        assert WorkVector.zeros(3).is_zero()
+        assert not WorkVector([0.0, 1e-3]).is_zero()
+        assert WorkVector([0.0, 1e-3]).is_zero(tolerance=1e-2)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert WorkVector([1, 2]) + WorkVector([3, 4]) == WorkVector([4, 6])
+
+    def test_subtraction(self):
+        assert WorkVector([3, 4]) - WorkVector([1, 2]) == WorkVector([2, 2])
+
+    def test_subtraction_clamps_roundoff(self):
+        a = WorkVector([0.1 + 0.2])
+        b = WorkVector([0.3])
+        assert (a - b).components[0] >= 0.0
+
+    def test_subtraction_rejects_negative(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([1.0]) - WorkVector([2.0])
+
+    def test_scalar_multiplication(self):
+        assert WorkVector([1, 2]) * 2 == WorkVector([2, 4])
+        assert 2 * WorkVector([1, 2]) == WorkVector([2, 4])
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([1.0]) * -1.0
+
+    def test_division(self):
+        assert WorkVector([2, 4]) / 2 == WorkVector([1, 2])
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([1.0]) / 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(InvalidWorkVectorError):
+            WorkVector([1.0]) + WorkVector([1.0, 2.0])
+
+    def test_add_non_vector_rejected(self):
+        with pytest.raises(TypeError):
+            WorkVector([1.0]) + 3.0  # type: ignore[operator]
+
+
+class TestComparison:
+    def test_dominates(self):
+        assert WorkVector([2, 3]).dominates(WorkVector([1, 3]))
+        assert not WorkVector([2, 3]).dominates(WorkVector([3, 1]))
+        assert dominates(WorkVector([2, 3]), WorkVector([2, 3]))
+
+    def test_equality_and_hash(self):
+        a, b = WorkVector([1, 2]), WorkVector([1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != WorkVector([2, 1])
+
+    def test_equality_with_other_type(self):
+        assert WorkVector([1.0]) != (1.0,)
+
+    def test_isclose(self):
+        a = WorkVector([1.0, 2.0])
+        b = WorkVector([1.0 + 1e-12, 2.0])
+        assert a.isclose(b)
+        assert not a.isclose(WorkVector([1.1, 2.0]))
+
+    def test_repr_roundtrips_visually(self):
+        assert repr(WorkVector([1.5, 0.0])) == "WorkVector([1.5, 0])"
+
+
+class TestAggregates:
+    def test_vector_sum(self):
+        total = vector_sum([WorkVector([1, 2]), WorkVector([3, 4])])
+        assert total == WorkVector([4, 6])
+
+    def test_vector_sum_empty_needs_dimension(self):
+        with pytest.raises(InvalidWorkVectorError):
+            vector_sum([])
+        assert vector_sum([], d=2) == WorkVector.zeros(2)
+
+    def test_vector_sum_dimension_mismatch(self):
+        with pytest.raises(InvalidWorkVectorError):
+            vector_sum([WorkVector([1.0]), WorkVector([1.0, 2.0])])
+
+    def test_set_length(self):
+        # l(S) = max component of the vector sum (Section 5.1).
+        s = [WorkVector([10, 15]), WorkVector([10, 5])]
+        assert set_length(s) == 20.0
+
+    def test_set_length_empty(self):
+        assert set_length([], d=3) == 0.0
+        with pytest.raises(InvalidWorkVectorError):
+            set_length([])
+
+    def test_paper_example_lengths(self):
+        # The Section 5.2.2 example: W1+W2 = [20,20], W1+W3 = [15,25].
+        w1 = WorkVector([10, 15])
+        w2 = WorkVector([10, 5])
+        w3 = WorkVector([5, 10])
+        assert set_length([w1, w2]) == 20.0
+        assert set_length([w1, w3]) == 25.0
+
+
+class TestSequenceProtocol:
+    def test_len_iter_getitem(self):
+        w = WorkVector([1.0, 2.0, 3.0])
+        assert len(w) == 3
+        assert list(w) == [1.0, 2.0, 3.0]
+        assert w[1] == 2.0
+        assert w[Resource.NETWORK] == 3.0
+
+
+class TestProperties:
+    @given(vectors())
+    def test_length_le_total(self, w):
+        assert w.length() <= w.total() + 1e-9
+
+    @given(vectors())
+    def test_length_is_attained(self, w):
+        assert w.length() in w.components
+
+    @given(vectors(3), vectors(3))
+    def test_addition_commutes(self, a, b):
+        assert (a + b).isclose(b + a)
+
+    @given(vectors(3), vectors(3), vectors(3))
+    def test_addition_associates(self, a, b, c):
+        assert ((a + b) + c).isclose(a + (b + c), rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(vectors(3), st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+    def test_scaling_scales_length(self, w, k):
+        assert math.isclose((w * k).length(), w.length() * k, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(vectors(3), vectors(3))
+    def test_sum_dominates_parts(self, a, b):
+        assert (a + b).dominates(a)
+        assert (a + b).dominates(b)
+
+    @given(st.lists(vectors(3), min_size=1, max_size=8))
+    def test_set_length_bounds(self, vs):
+        # max_i l(w_i) <= l(S) <= sum_i l(w_i)
+        total = set_length(vs)
+        assert total >= max(v.length() for v in vs) - 1e-9
+        assert total <= sum(v.length() for v in vs) + 1e-6
+
+    @given(vectors(3), st.integers(min_value=1, max_value=16))
+    def test_division_partition_reassembles(self, w, n):
+        parts = [w / n] * n
+        assert vector_sum(parts).isclose(w, rel_tol=1e-9, abs_tol=1e-9)
