@@ -14,7 +14,10 @@ Everything the Section 6 evaluation compares TREESCHEDULE against:
 
 from repro.baselines.hong import HongResult, hong_schedule
 from repro.baselines.minimax import minimax_allocation, minimax_time
-from repro.baselines.one_dimensional import scalar_list_schedule
+from repro.baselines.one_dimensional import (
+    one_dimensional_tree_schedule,
+    scalar_list_schedule,
+)
 from repro.baselines.opt_bound import congestion_bound, critical_path_time, opt_bound
 from repro.baselines.synchronous import SynchronousResult, synchronous_schedule
 
@@ -24,6 +27,7 @@ __all__ = [
     "minimax_allocation",
     "minimax_time",
     "scalar_list_schedule",
+    "one_dimensional_tree_schedule",
     "opt_bound",
     "congestion_bound",
     "critical_path_time",

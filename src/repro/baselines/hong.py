@@ -28,7 +28,8 @@ The gap TREESCHEDULE keeps over this baseline isolates the value of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.exceptions import SchedulingError
 from repro.core.cloning import (
@@ -44,6 +45,9 @@ from repro.core.operator_schedule import operator_schedule
 from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
 from repro.core.site import PlacedClone
 from repro.core.work_vector import Resource, vector_sum
+from repro.engine.registry import ScheduleRequest, register
+from repro.engine.result import Instrumentation, ScheduleResult
+from repro.plans.generator import GeneratedQuery
 from repro.plans.operator_tree import OperatorTree
 from repro.plans.phases import min_shelf_phases
 from repro.plans.physical_ops import OperatorKind, anchor_operator_name
@@ -53,27 +57,20 @@ from repro.baselines.minimax import minimax_allocation
 __all__ = ["HongResult", "hong_schedule"]
 
 
-@dataclass
-class HongResult:
+@dataclass(kw_only=True, repr=False)
+class HongResult(ScheduleResult):
     """Outcome of the XPRS-style pairing scheduler.
+
+    Extends the engine-wide :class:`~repro.engine.result.ScheduleResult`
+    with the pairing provenance.
 
     Attributes
     ----------
-    phased_schedule, homes, degrees:
-        As in ``TreeScheduleResult``.
     pairs:
         Per phase, the task-id groups that shared a block.
     """
 
-    phased_schedule: PhasedSchedule
-    homes: dict[str, OperatorHome]
-    degrees: dict[str, int]
-    pairs: list[list[tuple[str, ...]]]
-
-    @property
-    def response_time(self) -> float:
-        """The plan's total (summed-phase) response time."""
-        return self.phased_schedule.response_time()
+    pairs: list[list[tuple[str, ...]]] = field(default_factory=list)
 
 
 def _task_floating(task: Task) -> list:
@@ -113,6 +110,7 @@ def hong_schedule(
     """
     if not op_tree.operators:
         raise SchedulingError("cannot schedule an empty operator tree")
+    started = time.perf_counter()
     d = op_tree.operators[0].require_spec().d
     phases = min_shelf_phases(task_tree)
     phased = PhasedSchedule()
@@ -243,8 +241,30 @@ def hong_schedule(
         homes.update(schedule.homes())
 
     return HongResult(
+        algorithm="hong",
         phased_schedule=phased,
         homes=homes,
         degrees=degrees,
         pairs=all_pairs,
+        instrumentation=Instrumentation(
+            wall_clock_seconds=time.perf_counter() - started
+        ),
+    )
+
+
+@register(
+    "hong",
+    description="Static XPRS-style analog [Hon92]: pair IO-bound with "
+    "CPU-bound tasks, share resources inside a pair only",
+)
+def _hong(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
+    assert request.policy is not None
+    return hong_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=request.p,
+        comm=request.comm,
+        overlap=request.overlap,
+        f=request.f,
+        policy=request.policy,
     )

@@ -10,7 +10,10 @@ load, blind to which resources the load sits on.
 
 Any gap between this scheduler and OPERATORSCHEDULE on the same input is
 therefore attributable purely to multi-dimensional (per-resource) load
-balancing.
+balancing.  :func:`one_dimensional_tree_schedule` lifts the packer to
+full bushy plans by plugging it into the engine's synchronized-phase
+driver, so the ablation is available at the workload level too
+(registered as ``"onedim"``).
 """
 
 from __future__ import annotations
@@ -26,16 +29,24 @@ from repro.core.cloning import (
     coarse_grain_degree,
 )
 from repro.core.granularity import CommunicationModel
-from repro.core.operator_schedule import OperatorScheduleResult
+from repro.core.operator_schedule import OperatorScheduleResult, RootedPlacement
 from repro.core.resource_model import OverlapModel
 from repro.core.schedule import Schedule
 from repro.core.site import PlacedClone
+from repro.engine.driver import schedule_phases
+from repro.engine.metrics import MetricsRecorder
+from repro.engine.registry import ScheduleRequest, register
+from repro.engine.result import ScheduleResult
+from repro.plans.generator import GeneratedQuery
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.task_tree import TaskTree
 
-__all__ = ["scalar_list_schedule"]
+__all__ = ["scalar_list_schedule", "one_dimensional_tree_schedule"]
 
 
 def scalar_list_schedule(
     floating: Sequence[OperatorSpec],
+    rooted: Sequence[RootedPlacement] = (),
     *,
     p: int,
     comm: CommunicationModel,
@@ -44,27 +55,57 @@ def scalar_list_schedule(
     degrees: Mapping[str, int] | None = None,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
 ) -> OperatorScheduleResult:
-    """Schedule independent operators by scalar-work list scheduling.
+    """Schedule concurrent operators by scalar-work list scheduling.
 
     Identical inputs and outputs to
-    :func:`repro.core.operator_schedule.operator_schedule` (floating
-    operators only), but clones are ordered by non-increasing *total*
-    work and each is packed onto the allowable site with minimal total
-    scalar load — the classical LPT/Graham rule applied to the scalar
-    metric.
+    :func:`repro.core.operator_schedule.operator_schedule` — rooted
+    operators are placed first at their fixed homes — but floating clones
+    are ordered by non-increasing *total* work and each is packed onto
+    the allowable site with minimal total scalar load — the classical
+    LPT/Graham rule applied to the scalar metric.
     """
-    if not floating:
+    if not floating and not rooted:
         raise SchedulingError("nothing to schedule")
-    d = floating[0].d
-    for spec in floating:
+    specs = [*floating, *(r.spec for r in rooted)]
+    d = specs[0].d
+    for spec in specs:
         if spec.d != d:
             raise SchedulingError(f"operator {spec.name!r} has d={spec.d}; expected {d}")
-    names = [spec.name for spec in floating]
+    names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise SchedulingError("duplicate operator names")
 
     schedule = Schedule(p, d)
     chosen: dict[str, int] = {}
+    scalar_load = [0.0] * p
+
+    # Rooted operators first: fixed homes, scalar load still accrues so
+    # the packer routes floating clones away from them.
+    for placement in rooted:
+        n = placement.degree
+        if n > p:
+            raise InfeasibleScheduleError(
+                f"rooted operator {placement.spec.name!r} has degree {n} > P={p}"
+            )
+        clones = clone_work_vectors(placement.spec, n, comm, policy)
+        for k, (site_index, work) in enumerate(zip(placement.site_indices, clones)):
+            if not 0 <= site_index < p:
+                raise InfeasibleScheduleError(
+                    f"rooted operator {placement.spec.name!r}: site {site_index} "
+                    f"outside 0..{p - 1}"
+                )
+            schedule.place(
+                site_index,
+                PlacedClone(
+                    operator=placement.spec.name,
+                    clone_index=k,
+                    work=work,
+                    t_seq=overlap.t_seq(work),
+                ),
+            )
+            scalar_load[site_index] += work.total()
+        chosen[placement.spec.name] = n
+
     pending = []
     for spec in floating:
         if degrees is not None and spec.name in degrees:
@@ -80,7 +121,6 @@ def scalar_list_schedule(
             pending.append((work.total(), spec.name, k, work))
     pending.sort(key=lambda item: (-item[0], item[1], item[2]))
 
-    scalar_load = [0.0] * p
     for total, op_name, k, work in pending:
         best = None
         best_load = None
@@ -104,4 +144,69 @@ def scalar_list_schedule(
 
     return OperatorScheduleResult(
         schedule=schedule, degrees=chosen, makespan=schedule.makespan()
+    )
+
+
+def one_dimensional_tree_schedule(
+    op_tree: OperatorTree,
+    task_tree: TaskTree,
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    f: float = 0.7,
+    shelf: str = "min",
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    metrics: MetricsRecorder | None = None,
+) -> ScheduleResult:
+    """TREESCHEDULE's phase walk with the scalar packer (1-D ablation).
+
+    Same inputs as :func:`repro.core.tree_schedule.tree_schedule`; only
+    the per-shelf packing rule differs, so any response-time gap at the
+    plan level is attributable to multi-dimensional load balancing.
+    """
+
+    def pack(floating, rooted, forced, n_sites):
+        return scalar_list_schedule(
+            floating,
+            rooted,
+            p=n_sites,
+            comm=comm,
+            overlap=overlap,
+            f=f,
+            degrees=forced,
+            policy=policy,
+        )
+
+    return schedule_phases(
+        op_tree,
+        task_tree,
+        p=p,
+        comm=comm,
+        overlap=overlap,
+        f=f,
+        shelf=shelf,
+        policy=policy,
+        pack_phase=pack,
+        algorithm="onedim",
+        metrics=metrics,
+    )
+
+
+@register(
+    "onedim",
+    description="Scalar-work ablation: TREESCHEDULE's phase walk with "
+    "one-dimensional LPT packing instead of the vector rule",
+)
+def _onedim(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
+    assert request.policy is not None
+    return one_dimensional_tree_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=request.p,
+        comm=request.comm,
+        overlap=request.overlap,
+        f=request.f,
+        policy=request.policy,
+        metrics=request.metrics,
     )

@@ -39,6 +39,8 @@ Two details make the ceiling in ``T(CP)`` delicate:
 
 from __future__ import annotations
 
+import time
+
 from repro.exceptions import SchedulingError
 from repro.core.cloning import (
     DEFAULT_COORDINATOR_POLICY,
@@ -50,6 +52,9 @@ from repro.core.cloning import (
 from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import OverlapModel
 from repro.core.work_vector import vector_sum
+from repro.engine.registry import ScheduleRequest, register
+from repro.engine.result import ScheduleResult
+from repro.plans.generator import GeneratedQuery
 from repro.plans.operator_tree import OperatorTree
 from repro.plans.physical_ops import OperatorKind, PhysicalOperator
 from repro.plans.task_tree import Task, TaskTree
@@ -197,4 +202,27 @@ def opt_bound(
             policy=policy,
             respect_granularity=respect_granularity,
         ),
+    )
+
+
+@register(
+    "optbound",
+    description="Section 6.2 lower bound on the optimal CG_f execution: "
+    "max of congestion bound and critical-path time",
+    kind="bound",
+)
+def _optbound(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
+    assert request.policy is not None
+    started = time.perf_counter()
+    value = opt_bound(
+        query.operator_tree,
+        query.task_tree,
+        p=request.p,
+        f=request.f,
+        comm=request.comm,
+        overlap=request.overlap,
+        policy=request.policy,
+    )
+    return ScheduleResult.from_value(
+        "optbound", value, wall_clock_seconds=time.perf_counter() - started
     )

@@ -36,7 +36,7 @@ Concretely, per MinShelf phase:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 
 from repro.exceptions import SchedulingError
 from repro.core.cloning import (
@@ -50,6 +50,9 @@ from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import OverlapModel
 from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
 from repro.core.site import PlacedClone
+from repro.engine.registry import ScheduleRequest, register
+from repro.engine.result import Instrumentation, ScheduleResult
+from repro.plans.generator import GeneratedQuery
 from repro.plans.operator_tree import OperatorTree
 from repro.plans.phases import min_shelf_phases
 from repro.plans.physical_ops import OperatorKind, anchor_operator_name
@@ -58,37 +61,8 @@ from repro.baselines.minimax import minimax_allocation
 
 __all__ = ["SynchronousResult", "synchronous_schedule"]
 
-
-@dataclass
-class SynchronousResult:
-    """Outcome of one SYNCHRONOUS run (mirrors ``TreeScheduleResult``).
-
-    Attributes
-    ----------
-    phased_schedule:
-        Per-phase schedules; response time is the sum of phase makespans.
-    homes:
-        Home of every operator.
-    degrees:
-        Degree of parallelism per operator.
-    phase_labels:
-        Task ids per phase.
-    """
-
-    phased_schedule: PhasedSchedule
-    homes: dict[str, OperatorHome]
-    degrees: dict[str, int]
-    phase_labels: list[str]
-
-    @property
-    def response_time(self) -> float:
-        """The plan's total (summed-phase) response time."""
-        return self.phased_schedule.response_time()
-
-    @property
-    def num_phases(self) -> int:
-        """Number of synchronized phases."""
-        return self.phased_schedule.num_phases
+#: Historical alias: SYNCHRONOUS now returns the engine-wide result type.
+SynchronousResult = ScheduleResult
 
 
 def _scalar_work(spec: OperatorSpec, comm: CommunicationModel) -> float:
@@ -254,7 +228,7 @@ def synchronous_schedule(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
-) -> SynchronousResult:
+) -> ScheduleResult:
     """Schedule a bushy plan with the one-dimensional SYNCHRONOUS method.
 
     Inputs mirror :func:`repro.core.tree_schedule.tree_schedule` except
@@ -263,10 +237,11 @@ def synchronous_schedule(
 
     Returns
     -------
-    SynchronousResult
+    ScheduleResult
     """
     if not op_tree.operators:
         raise SchedulingError("cannot schedule an empty operator tree")
+    started = time.perf_counter()
     d = op_tree.operators[0].require_spec().d
     phases = min_shelf_phases(task_tree)
     phased = PhasedSchedule()
@@ -284,9 +259,30 @@ def synchronous_schedule(
         labels.append(label)
         homes.update(schedule.homes())
 
-    return SynchronousResult(
+    return ScheduleResult(
+        algorithm="synchronous",
         phased_schedule=phased,
         homes=homes,
         degrees=degrees,
         phase_labels=labels,
+        instrumentation=Instrumentation(
+            wall_clock_seconds=time.perf_counter() - started
+        ),
+    )
+
+
+@register(
+    "synchronous",
+    description="Section 6.1 one-dimensional adversary: synchronous "
+    "execution time [HCY94] + two-phase minimax [LCRY93], disjoint blocks",
+)
+def _synchronous(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
+    assert request.policy is not None
+    return synchronous_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=request.p,
+        comm=request.comm,
+        overlap=request.overlap,
+        policy=request.policy,
     )

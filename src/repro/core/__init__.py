@@ -41,6 +41,7 @@ from repro.core.malleable import (
     ParallelizationCandidate,
     candidate_parallelizations,
     malleable_schedule,
+    malleable_tree_schedule,
     select_parallelization,
 )
 from repro.core.operator_schedule import (
@@ -135,6 +136,7 @@ __all__ = [
     "candidate_parallelizations",
     "select_parallelization",
     "malleable_schedule",
+    "malleable_tree_schedule",
     "MalleableResult",
     # optimal
     "OptimalResult",

@@ -42,14 +42,23 @@ from repro.core.cloning import (
     total_work_vector,
 )
 from repro.core.granularity import CommunicationModel
-from repro.core.operator_schedule import OperatorScheduleResult, operator_schedule
+from repro.core.operator_schedule import (
+    OperatorScheduleResult,
+    RootedPlacement,
+    operator_schedule,
+)
 from repro.core.resource_model import OverlapModel
+from repro.engine.driver import schedule_phases
+from repro.engine.metrics import MetricsRecorder
+from repro.engine.registry import ScheduleRequest, register
+from repro.engine.result import ScheduleResult
 
 __all__ = [
     "ParallelizationCandidate",
     "candidate_parallelizations",
     "select_parallelization",
     "malleable_schedule",
+    "malleable_tree_schedule",
     "MalleableResult",
 ]
 
@@ -193,6 +202,7 @@ class MalleableResult:
 
 def malleable_schedule(
     specs: Sequence[OperatorSpec],
+    rooted: Sequence[RootedPlacement] = (),
     *,
     p: int,
     comm: CommunicationModel,
@@ -211,6 +221,10 @@ def malleable_schedule(
 
     Parameters
     ----------
+    rooted:
+        Operators with fixed homes (and hence fixed degrees); they take
+        no part in the greedy-family search but are placed alongside the
+        floating operators by the list rule.
     selection:
         ``"lower_bound"`` (the paper's rule): pick the family member with
         minimal ``LB(N̄)`` and list-schedule it — cheapest, and the form
@@ -227,7 +241,7 @@ def malleable_schedule(
         candidate, examined = select_parallelization(specs, p, comm, overlap, policy)
         result = operator_schedule(
             specs,
-            (),
+            rooted,
             p=p,
             comm=comm,
             overlap=overlap,
@@ -247,7 +261,7 @@ def malleable_schedule(
             examined += 1
             result = operator_schedule(
                 specs,
-                (),
+                rooted,
                 p=p,
                 comm=comm,
                 overlap=overlap,
@@ -265,4 +279,73 @@ def malleable_schedule(
         )
     raise SchedulingError(
         f"unknown selection {selection!r}; expected 'lower_bound' or 'makespan'"
+    )
+
+
+def malleable_tree_schedule(
+    op_tree,
+    task_tree,
+    *,
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    selection: str = "lower_bound",
+    shelf: str = "min",
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    metrics: MetricsRecorder | None = None,
+) -> ScheduleResult:
+    """Full-plan malleable scheduling via the synchronized-phase driver.
+
+    Each shelf's floating operators are re-parallelized with the Section 7
+    greedy family (the CG_f forced degrees computed by the driver are
+    deliberately ignored — malleability means the degree choice is free);
+    rooted operators keep their inherited homes.  Phases without floating
+    work degrade to plain rooted placement.
+    """
+
+    def pack(floating, rooted, forced, n_sites):
+        del forced  # malleable: degrees are chosen by the greedy family
+        if not floating:
+            return operator_schedule(
+                (), rooted, p=n_sites, comm=comm, overlap=overlap, policy=policy
+            )
+        return malleable_schedule(
+            floating,
+            rooted,
+            p=n_sites,
+            comm=comm,
+            overlap=overlap,
+            selection=selection,
+            policy=policy,
+        ).schedule_result
+
+    return schedule_phases(
+        op_tree,
+        task_tree,
+        p=p,
+        comm=comm,
+        overlap=overlap,
+        shelf=shelf,
+        policy=policy,
+        pack_phase=pack,
+        algorithm="malleable",
+        metrics=metrics,
+    )
+
+
+@register(
+    "malleable",
+    description="Section 7 malleable variant: per-shelf greedy-family "
+    "parallelization (no CG_f restriction) + list packing",
+)
+def _malleable(query, request: ScheduleRequest) -> ScheduleResult:
+    assert request.policy is not None
+    return malleable_tree_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=request.p,
+        comm=request.comm,
+        overlap=request.overlap,
+        policy=request.policy,
+        metrics=request.metrics,
     )

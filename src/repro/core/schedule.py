@@ -294,6 +294,22 @@ class PhasedSchedule:
         """Per-phase makespans in execution order."""
         return [s.makespan() for s in self.phases]
 
+    def total_work(self) -> WorkVector:
+        """Componentwise work totals summed over all phases.
+
+        Raises
+        ------
+        SchedulingError
+            If the schedule has no phases (no dimensionality to sum in).
+        """
+        if not self.phases:
+            raise SchedulingError("total_work() of an empty PhasedSchedule")
+        acc = [0.0] * self.phases[0].d
+        for schedule in self.phases:
+            for i, c in enumerate(schedule.total_work().components):
+                acc[i] += c
+        return WorkVector(acc)
+
     def validate(self) -> None:
         """Validate every phase's structural constraints."""
         for schedule in self.phases:

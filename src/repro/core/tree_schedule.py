@@ -21,6 +21,11 @@ heavier — probe to a handful of sites and is not what a parallel hash
 join does physically (both inputs are partitioned by the same hash
 function across the same sites [DGS+90, Sch90]).
 
+The phase walk itself (classify floating vs. rooted, apply the join-stage
+granularity rule, pack each shelf) lives in
+:func:`repro.engine.driver.schedule_phases`; TREESCHEDULE is that driver
+with its default packer, the Figure 3 multi-dimensional list rule.
+
 The response time of the resulting :class:`~repro.core.schedule.PhasedSchedule`
 is the sum of the per-phase Equation (3) makespans.  Proposition 5.2:
 TREESCHEDULE runs in ``O(J P (J + log P))`` time for a ``J``-node plan.
@@ -28,68 +33,21 @@ TREESCHEDULE runs in ``O(J P (J + log P))`` time for a ``J``-node plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.exceptions import SchedulingError
-from repro.core.cloning import (
-    DEFAULT_COORDINATOR_POLICY,
-    CoordinatorPolicy,
-    OperatorSpec,
-    coarse_grain_degree,
-)
+from repro.core.cloning import DEFAULT_COORDINATOR_POLICY, CoordinatorPolicy
 from repro.core.granularity import CommunicationModel
-from repro.core.operator_schedule import (
-    RootedPlacement,
-    operator_schedule,
-)
 from repro.core.resource_model import OverlapModel
-from repro.core.schedule import OperatorHome, PhasedSchedule
+from repro.engine.driver import SHELF_POLICIES, schedule_phases
+from repro.engine.metrics import MetricsRecorder
+from repro.engine.registry import ScheduleRequest, register
+from repro.engine.result import ScheduleResult
+from repro.plans.generator import GeneratedQuery
 from repro.plans.operator_tree import OperatorTree
-from repro.plans.phases import eager_shelf_phases, min_shelf_phases
-from repro.plans.physical_ops import OperatorKind, anchor_operator_name
 from repro.plans.task_tree import TaskTree
 
-#: Shelf (phase-decomposition) policies accepted by :func:`tree_schedule`.
-SHELF_POLICIES = {
-    "min": min_shelf_phases,
-    "eager": eager_shelf_phases,
-}
+__all__ = ["SHELF_POLICIES", "TreeScheduleResult", "tree_schedule"]
 
-__all__ = ["TreeScheduleResult", "tree_schedule"]
-
-
-@dataclass
-class TreeScheduleResult:
-    """Outcome of one TREESCHEDULE run.
-
-    Attributes
-    ----------
-    phased_schedule:
-        Per-phase schedules in execution order; total response time is
-        the sum of phase makespans.
-    homes:
-        Final home of every operator (used by dependent phases, exposed
-        for inspection and testing).
-    degrees:
-        Chosen degree of partitioned parallelism per operator.
-    phase_labels:
-        Task ids scheduled in each phase.
-    """
-
-    phased_schedule: PhasedSchedule
-    homes: dict[str, OperatorHome]
-    degrees: dict[str, int]
-    phase_labels: list[str]
-
-    @property
-    def response_time(self) -> float:
-        """The plan's total (summed-phase) response time."""
-        return self.phased_schedule.response_time()
-
-    @property
-    def num_phases(self) -> int:
-        """Number of synchronized phases."""
-        return self.phased_schedule.num_phases
+#: Historical alias: TREESCHEDULE now returns the engine-wide result type.
+TreeScheduleResult = ScheduleResult
 
 
 def tree_schedule(
@@ -102,7 +60,8 @@ def tree_schedule(
     f: float = 0.7,
     shelf: str = "min",
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
-) -> TreeScheduleResult:
+    metrics: MetricsRecorder | None = None,
+) -> ScheduleResult:
     """Schedule a bushy plan's operator tree in synchronized phases.
 
     Parameters
@@ -127,10 +86,13 @@ def tree_schedule(
         early as possible; see :func:`repro.plans.phases.eager_shelf_phases`).
     policy:
         Startup charging policy (EA1 default).
+    metrics:
+        Optional :class:`~repro.engine.metrics.MetricsRecorder` for
+        construction-time instrumentation.
 
     Returns
     -------
-    TreeScheduleResult
+    ScheduleResult
 
     Raises
     ------
@@ -138,74 +100,34 @@ def tree_schedule(
         If a probe's build has not been scheduled by the time the probe's
         phase is reached (would indicate a malformed task tree).
     """
-    try:
-        shelf_fn = SHELF_POLICIES[shelf]
-    except KeyError:
-        raise SchedulingError(
-            f"unknown shelf policy {shelf!r}; expected one of {sorted(SHELF_POLICIES)}"
-        ) from None
-    phases = shelf_fn(task_tree)
-    phased = PhasedSchedule()
-    homes: dict[str, OperatorHome] = {}
-    degrees: dict[str, int] = {}
-    labels: list[str] = []
+    return schedule_phases(
+        op_tree,
+        task_tree,
+        p=p,
+        comm=comm,
+        overlap=overlap,
+        f=f,
+        shelf=shelf,
+        policy=policy,
+        algorithm="treeschedule",
+        metrics=metrics,
+    )
 
-    for phase_tasks in phases:
-        floating = []
-        rooted = []
-        forced_degrees: dict[str, int] = {}
-        for task in phase_tasks:
-            for op in task.operators:
-                spec = op.require_spec()
-                if op.kind is OperatorKind.BUILD:
-                    # Size the build by the whole join stage: the probe
-                    # will be rooted at this home in a later phase.
-                    probe_spec = op_tree.probe_of(op.join_id).require_spec()
-                    stage = OperatorSpec(
-                        name=f"stage({op.join_id})",
-                        work=spec.work + probe_spec.work,
-                        data_volume=spec.data_volume + probe_spec.data_volume,
-                    )
-                    forced_degrees[spec.name] = coarse_grain_degree(
-                        stage, p, f, comm, overlap, policy
-                    )
-                    floating.append(spec)
-                elif (anchor := anchor_operator_name(op)) is not None:
-                    # Probes run at their builds' homes (hash tables);
-                    # rescans at their stores' homes (materialized pages).
-                    try:
-                        anchor_home = homes[anchor]
-                    except KeyError:
-                        raise SchedulingError(
-                            f"{op.name!r} scheduled before its anchor "
-                            f"{anchor!r}; task tree is inconsistent"
-                        ) from None
-                    rooted.append(
-                        RootedPlacement(
-                            spec=spec, site_indices=anchor_home.site_indices
-                        )
-                    )
-                else:
-                    floating.append(spec)
-        result = operator_schedule(
-            floating,
-            rooted,
-            p=p,
-            comm=comm,
-            overlap=overlap,
-            f=f,
-            degrees=forced_degrees,
-            policy=policy,
-        )
-        label = ",".join(task.task_id for task in phase_tasks)
-        phased.append(result.schedule, label)
-        labels.append(label)
-        homes.update(result.schedule.homes())
-        degrees.update(result.degrees)
 
-    return TreeScheduleResult(
-        phased_schedule=phased,
-        homes=homes,
-        degrees=degrees,
-        phase_labels=labels,
+@register(
+    "treeschedule",
+    description="Section 5.4 TREESCHEDULE: MinShelf phases + "
+    "multi-dimensional list packing with the coarse-grain rule",
+)
+def _treeschedule(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
+    assert request.policy is not None
+    return tree_schedule(
+        query.operator_tree,
+        query.task_tree,
+        p=request.p,
+        comm=request.comm,
+        overlap=request.overlap,
+        f=request.f,
+        policy=request.policy,
+        metrics=request.metrics,
     )

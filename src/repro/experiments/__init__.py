@@ -20,11 +20,13 @@ from repro.experiments.report import (
     render_figure,
     render_parameters,
 )
+from repro.experiments.parallel import ParallelRunner, SweepPoint
 from repro.experiments.runner import (
     ALGORITHMS,
     average_response_time,
     prepare_workload,
     response_time,
+    schedule_query,
 )
 from repro.experiments.plan_selection import (
     PlanCandidate,
@@ -49,8 +51,11 @@ __all__ = [
     "improvement_summary",
     "ALGORITHMS",
     "prepare_workload",
+    "schedule_query",
     "response_time",
     "average_response_time",
+    "ParallelRunner",
+    "SweepPoint",
     "SWEEPABLE_FIELDS",
     "parameter_sensitivity",
     "PlanCandidate",

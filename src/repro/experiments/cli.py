@@ -13,6 +13,15 @@ Regenerate every figure with the paper's full sweep and save the report::
 Print the Table 2 configuration::
 
     repro-experiments table2
+
+List the registered scheduling algorithms::
+
+    repro-experiments algorithms
+
+Fan a figure's sweep grid over four worker processes (results are
+bit-identical to the serial run)::
+
+    repro-experiments fig5a --workers 4
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import sys
 import time
 from collections.abc import Sequence
 
+from repro.engine.registry import describe_algorithms
 from repro.experiments.config import PAPER_CONFIG, quick_config
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import render_figure, render_parameters
@@ -50,10 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*FIGURES, *SENSITIVITY_TARGETS, "all", "table2"],
+        choices=[*FIGURES, *SENSITIVITY_TARGETS, "all", "table2", "algorithms"],
         help=(
             "figure to regenerate, a sensitivity sweep (sens-*), 'all' for "
-            "every figure, or 'table2' for the configuration"
+            "every figure, 'table2' for the configuration, or 'algorithms' "
+            "to list the registered schedulers"
         ),
     )
     parser.add_argument(
@@ -83,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the series as JSON instead of ASCII tables",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate sweep points over N processes (identical results)",
+    )
     return parser
 
 
@@ -104,6 +122,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_parameters(config.params))
         return 0
 
+    if args.target == "algorithms":
+        entries = describe_algorithms()
+        width = max(len(name) for name in entries)
+        for name, entry in entries.items():
+            suffix = " (lower bound)" if entry.kind == "bound" else ""
+            print(f"{name.ljust(width)}  {entry.description}{suffix}")
+        return 0
+
     def emit(figure, elapsed: float) -> None:
         if args.json:
             from repro.serialization import figure_to_dict
@@ -117,14 +143,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.target in SENSITIVITY_TARGETS:
         field, multipliers = SENSITIVITY_TARGETS[args.target]
         start = time.perf_counter()
-        figure = parameter_sensitivity(field, multipliers, config)
+        figure = parameter_sensitivity(
+            field, multipliers, config, workers=args.workers
+        )
         emit(figure, time.perf_counter() - start)
         return 0
 
     targets = list(FIGURES) if args.target == "all" else [args.target]
     for name in targets:
         start = time.perf_counter()
-        figure = FIGURES[name](config)
+        figure = FIGURES[name](config, workers=args.workers)
         emit(figure, time.perf_counter() - start)
     return 0
 

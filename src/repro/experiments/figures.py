@@ -4,6 +4,12 @@ Each ``figure*`` function regenerates the data behind one paper figure as
 a :class:`FigureData` bundle of labelled series; rendering (ASCII tables)
 lives in :mod:`repro.experiments.report`.
 
+All figures evaluate their sweep grid through
+:class:`~repro.experiments.parallel.ParallelRunner`: pass ``workers=N``
+to fan the grid over ``N`` processes.  Results are bit-identical for any
+worker count (every sweep point is deterministic), so ``workers`` is
+purely a wall-clock knob.
+
 * :func:`figure5a` — effect of the granularity parameter ``f``
   (40-join queries, ``epsilon = 0.3``): TREESCHEDULE for each ``f`` plus
   SYNCHRONOUS, versus the number of sites.
@@ -19,10 +25,11 @@ lives in :mod:`repro.experiments.report`.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
-from repro.experiments.runner import average_response_time, prepare_workload
+from repro.experiments.parallel import ParallelRunner, SweepPoint
 
 __all__ = ["Series", "FigureData", "figure5a", "figure5b", "figure6a", "figure6b", "FIGURES"]
 
@@ -59,32 +66,42 @@ class FigureData:
         raise KeyError(f"no series labelled {label!r} in {self.figure_id}")
 
 
+def _chunks(values: Sequence[float], size: int) -> Iterator[tuple[float, ...]]:
+    for start in range(0, len(values), size):
+        yield tuple(values[start : start + size])
+
+
 def figure5a(
-    config: ExperimentConfig = PAPER_CONFIG, *, n_joins: int = 40, epsilon: float = 0.3
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    n_joins: int = 40,
+    epsilon: float = 0.3,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 5(a): effect of the granularity parameter ``f``."""
-    queries = prepare_workload(n_joins, config.n_queries, config.seed, config.params)
-    series: list[Series] = []
-    for f in config.f_values:
-        ys = tuple(
-            average_response_time(
-                "treeschedule", queries, p=p, f=f, epsilon=epsilon, params=config.params
-            )
-            for p in config.site_counts
+    sites = tuple(config.site_counts)
+    points = [
+        SweepPoint(
+            "treeschedule", n_joins, config.n_queries, config.seed,
+            p, f, epsilon, config.params,
         )
-        series.append(Series(label=f"TreeSchedule f={f:g}", xs=tuple(config.site_counts), ys=ys))
-    sync_ys = tuple(
-        average_response_time(
-            "synchronous",
-            queries,
-            p=p,
-            f=config.default_f,
-            epsilon=epsilon,
-            params=config.params,
+        for f in config.f_values
+        for p in sites
+    ]
+    points += [
+        SweepPoint(
+            "synchronous", n_joins, config.n_queries, config.seed,
+            p, config.default_f, epsilon, config.params,
         )
-        for p in config.site_counts
-    )
-    series.append(Series(label="Synchronous", xs=tuple(config.site_counts), ys=sync_ys))
+        for p in sites
+    ]
+    values = ParallelRunner(workers).run(points)
+    curves = _chunks(values, len(sites))
+    series = [
+        Series(label=f"TreeSchedule f={f:g}", xs=sites, ys=next(curves))
+        for f in config.f_values
+    ]
+    series.append(Series(label="Synchronous", xs=sites, ys=next(curves)))
     return FigureData(
         figure_id="fig5a",
         title=f"Effect of granularity parameter f ({n_joins} joins, eps={epsilon:g})",
@@ -99,27 +116,34 @@ def figure5a(
 
 
 def figure5b(
-    config: ExperimentConfig = PAPER_CONFIG, *, n_joins: int = 40, f: float | None = None
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    n_joins: int = 40,
+    f: float | None = None,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 5(b): effect of the resource-overlap parameter ``epsilon``."""
     f = config.default_f if f is None else f
-    queries = prepare_workload(n_joins, config.n_queries, config.seed, config.params)
+    sites = tuple(config.site_counts)
+    points = [
+        SweepPoint(
+            algorithm, n_joins, config.n_queries, config.seed,
+            p, f, eps, config.params,
+        )
+        for eps in config.epsilon_values
+        for algorithm in ("treeschedule", "synchronous")
+        for p in sites
+    ]
+    values = ParallelRunner(workers).run(points)
+    curves = _chunks(values, len(sites))
     series: list[Series] = []
     for eps in config.epsilon_values:
-        ts = tuple(
-            average_response_time(
-                "treeschedule", queries, p=p, f=f, epsilon=eps, params=config.params
-            )
-            for p in config.site_counts
+        series.append(
+            Series(label=f"TreeSchedule eps={eps:g}", xs=sites, ys=next(curves))
         )
-        series.append(Series(label=f"TreeSchedule eps={eps:g}", xs=tuple(config.site_counts), ys=ts))
-        sync = tuple(
-            average_response_time(
-                "synchronous", queries, p=p, f=f, epsilon=eps, params=config.params
-            )
-            for p in config.site_counts
+        series.append(
+            Series(label=f"Synchronous eps={eps:g}", xs=sites, ys=next(curves))
         )
-        series.append(Series(label=f"Synchronous eps={eps:g}", xs=tuple(config.site_counts), ys=sync))
     return FigureData(
         figure_id="fig5b",
         title=f"Effect of resource overlap eps ({n_joins} joins, f={f:g})",
@@ -139,26 +163,28 @@ def figure6a(
     p_values: tuple[int, ...] = (20, 80),
     epsilon: float | None = None,
     f: float | None = None,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 6(a): effect of query size at two system sizes."""
     epsilon = config.default_epsilon if epsilon is None else epsilon
     f = config.default_f if f is None else f
+    sizes = tuple(config.query_sizes)
+    points = [
+        SweepPoint(
+            algorithm, size, config.n_queries, config.seed,
+            p, f, epsilon, config.params,
+        )
+        for p in p_values
+        for algorithm in ("treeschedule", "synchronous")
+        for size in sizes
+    ]
+    values = ParallelRunner(workers).run(points)
+    curves = _chunks(values, len(sizes))
+    xs = tuple(float(s) for s in sizes)
     series: list[Series] = []
-    cohorts = {
-        size: prepare_workload(size, config.n_queries, config.seed, config.params)
-        for size in config.query_sizes
-    }
     for p in p_values:
-        for algorithm, label in (("treeschedule", "TreeSchedule"), ("synchronous", "Synchronous")):
-            ys = tuple(
-                average_response_time(
-                    algorithm, cohorts[size], p=p, f=f, epsilon=epsilon, params=config.params
-                )
-                for size in config.query_sizes
-            )
-            series.append(
-                Series(label=f"{label} P={p}", xs=tuple(float(s) for s in config.query_sizes), ys=ys)
-            )
+        for label in ("TreeSchedule", "Synchronous"):
+            series.append(Series(label=f"{label} P={p}", xs=xs, ys=next(curves)))
     return FigureData(
         figure_id="fig6a",
         title=f"Effect of query size (eps={epsilon:g}, f={f:g})",
@@ -178,27 +204,31 @@ def figure6b(
     query_sizes: tuple[int, ...] = (20, 40),
     epsilon: float | None = None,
     f: float | None = None,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 6(b): TREESCHEDULE versus the OPTBOUND lower bound."""
     epsilon = config.default_epsilon if epsilon is None else epsilon
     f = config.default_f if f is None else f
+    sites = tuple(config.site_counts)
+    points = [
+        SweepPoint(
+            algorithm, size, config.n_queries, config.seed,
+            p, f, epsilon, config.params,
+        )
+        for size in query_sizes
+        for algorithm in ("treeschedule", "optbound")
+        for p in sites
+    ]
+    values = ParallelRunner(workers).run(points)
+    curves = _chunks(values, len(sites))
     series: list[Series] = []
     for size in query_sizes:
-        queries = prepare_workload(size, config.n_queries, config.seed, config.params)
-        ts = tuple(
-            average_response_time(
-                "treeschedule", queries, p=p, f=f, epsilon=epsilon, params=config.params
-            )
-            for p in config.site_counts
+        series.append(
+            Series(label=f"TreeSchedule {size} joins", xs=sites, ys=next(curves))
         )
-        series.append(Series(label=f"TreeSchedule {size} joins", xs=tuple(config.site_counts), ys=ts))
-        lb = tuple(
-            average_response_time(
-                "optbound", queries, p=p, f=f, epsilon=epsilon, params=config.params
-            )
-            for p in config.site_counts
+        series.append(
+            Series(label=f"OptBound {size} joins", xs=sites, ys=next(curves))
         )
-        series.append(Series(label=f"OptBound {size} joins", xs=tuple(config.site_counts), ys=lb))
     return FigureData(
         figure_id="fig6b",
         title=f"TreeSchedule vs optimal lower bound (eps={epsilon:g}, f={f:g})",

@@ -1,25 +1,30 @@
-"""Experiment runner: algorithms over seeded workloads, with averaging.
+"""Experiment runner: registered algorithms over seeded workloads.
 
 The comparison metric throughout Section 6 is "the average response times
 of the schedules produced by the algorithms over all queries of the same
 size".  :func:`prepare_workload` draws and cost-annotates a query cohort;
+:func:`schedule_query` runs one registered algorithm on one query;
 :func:`average_response_time` evaluates one algorithm at one sweep point.
-Workloads are cached per ``(n_joins, n_queries, seed)`` because every
-sweep point of a figure reuses the same twenty plans.
+
+Algorithm dispatch goes through :mod:`repro.engine.registry` — the
+experiment layer knows no algorithm names of its own.  Workloads are
+cached per ``(n_joins, n_queries, seed, params)`` because every sweep
+point of a figure reuses the same query cohort; callers receive deep
+copies so the in-place cost annotation of one experiment can never leak
+into another (see :func:`prepare_workload`).
 """
 
 from __future__ import annotations
 
+import copy
 import math
 from collections.abc import Sequence
 from functools import lru_cache
 
 from repro.exceptions import ConfigurationError
-from repro.core.resource_model import ConvexCombinationOverlap
-from repro.core.tree_schedule import tree_schedule
-from repro.baselines.hong import hong_schedule
-from repro.baselines.opt_bound import opt_bound
-from repro.baselines.synchronous import synchronous_schedule
+from repro.engine.metrics import MetricsRecorder
+from repro.engine.registry import ScheduleRequest, available_algorithms, get_algorithm
+from repro.engine.result import ScheduleResult
 from repro.cost.annotate import annotate_plan
 from repro.cost.params import PAPER_PARAMETERS, SystemParameters
 from repro.plans.generator import GeneratedQuery, generate_workload
@@ -27,12 +32,18 @@ from repro.plans.generator import GeneratedQuery, generate_workload
 __all__ = [
     "ALGORITHMS",
     "prepare_workload",
+    "schedule_query",
     "response_time",
     "average_response_time",
 ]
 
-#: Algorithm names accepted by :func:`response_time`.
-ALGORITHMS = ("treeschedule", "synchronous", "hong", "optbound")
+
+def _algorithms() -> tuple[str, ...]:
+    return available_algorithms()
+
+
+# Historical tuple of algorithm names; now sourced from the registry.
+ALGORITHMS = _algorithms()
 
 
 @lru_cache(maxsize=64)
@@ -53,11 +64,62 @@ def prepare_workload(
 ) -> tuple[GeneratedQuery, ...]:
     """Draw and cost-annotate a reproducible cohort of random queries.
 
-    Results are cached, so repeated sweep points share one workload
-    object (annotation attaches specs in place; all algorithms read the
-    same specs).
+    Generation and annotation are cached per argument tuple, but callers
+    receive a *deep copy* of the cached cohort: annotation attaches
+    mutable :class:`~repro.core.cloning.OperatorSpec` objects to the
+    operator tree in place, so handing out the cached trees themselves
+    would alias every caller's workload onto one set of specs — a caller
+    re-annotating (e.g. a sensitivity sweep scaling one cost parameter)
+    would silently rewrite everyone else's cohort.  The copy preserves
+    the internal sharing between each query's ``operator_tree`` and
+    ``task_tree`` (they reference the same operator objects).
     """
-    return _cached_workload(n_joins, n_queries, seed, params)
+    return copy.deepcopy(_cached_workload(n_joins, n_queries, seed, params))
+
+
+def schedule_query(
+    algorithm: str,
+    query: GeneratedQuery,
+    *,
+    p: int,
+    f: float,
+    epsilon: float,
+    params: SystemParameters = PAPER_PARAMETERS,
+    metrics: MetricsRecorder | None = None,
+) -> ScheduleResult:
+    """Run one registered algorithm on one annotated query.
+
+    Parameters
+    ----------
+    algorithm:
+        Any name in :func:`repro.engine.registry.available_algorithms`
+        (``"treeschedule"``, ``"synchronous"``, ``"hong"``,
+        ``"optbound"``, ``"onedim"``, ``"malleable"``, plus anything
+        registered by the caller).
+    query:
+        A cost-annotated :class:`~repro.plans.generator.GeneratedQuery`.
+    p:
+        Number of sites.
+    f:
+        Granularity parameter (ignored by algorithms that do not respect
+        granularity, e.g. ``synchronous`` and ``malleable``).
+    epsilon:
+        Resource-overlap parameter (EA2).
+    params:
+        Table 2 system parameters (supplies the communication model).
+    metrics:
+        Optional recorder threaded into the algorithm.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``algorithm`` is not registered.
+    """
+    scheduler = get_algorithm(algorithm)
+    request = ScheduleRequest(
+        p=p, f=f, epsilon=epsilon, params=params, metrics=metrics
+    )
+    return scheduler(query, request)
 
 
 def response_time(
@@ -69,55 +131,11 @@ def response_time(
     epsilon: float,
     params: SystemParameters = PAPER_PARAMETERS,
 ) -> float:
-    """Evaluate one algorithm on one annotated query.
-
-    Parameters
-    ----------
-    algorithm:
-        ``"treeschedule"``, ``"synchronous"``, ``"hong"`` (the XPRS-style
-        pairing baseline), or ``"optbound"``.
-    query:
-        A cost-annotated :class:`~repro.plans.generator.GeneratedQuery`.
-    p:
-        Number of sites.
-    f:
-        Granularity parameter (ignored by ``synchronous``).
-    epsilon:
-        Resource-overlap parameter (EA2).
-    params:
-        Table 2 system parameters (supplies the communication model).
-    """
-    comm = params.communication_model()
-    overlap = ConvexCombinationOverlap(epsilon)
-    if algorithm == "treeschedule":
-        return tree_schedule(
-            query.operator_tree,
-            query.task_tree,
-            p=p,
-            comm=comm,
-            overlap=overlap,
-            f=f,
-        ).response_time
-    if algorithm == "synchronous":
-        return synchronous_schedule(
-            query.operator_tree, query.task_tree, p=p, comm=comm, overlap=overlap
-        ).response_time
-    if algorithm == "hong":
-        return hong_schedule(
-            query.operator_tree, query.task_tree, p=p, comm=comm, overlap=overlap, f=f
-        ).response_time
-    if algorithm == "optbound":
-        return opt_bound(
-            query.operator_tree,
-            query.task_tree,
-            p=p,
-            f=f,
-            comm=comm,
-            overlap=overlap,
-        )
-    raise ConfigurationError(
-        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    """Evaluate one algorithm on one annotated query (headline number)."""
+    result = schedule_query(
+        algorithm, query, p=p, f=f, epsilon=epsilon, params=params
     )
+    return result.makespan
 
 
 def average_response_time(

@@ -19,14 +19,10 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.exceptions import ConfigurationError
-from repro.core.resource_model import ConvexCombinationOverlap
-from repro.core.tree_schedule import tree_schedule
-from repro.baselines.synchronous import synchronous_schedule
-from repro.cost.annotate import annotate_plan
 from repro.cost.params import SystemParameters
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.figures import FigureData, Series
-from repro.plans.generator import generate_workload
+from repro.experiments.parallel import ParallelRunner, SweepPoint
 
 __all__ = ["SWEEPABLE_FIELDS", "parameter_sensitivity"]
 
@@ -46,6 +42,7 @@ def parameter_sensitivity(
     *,
     n_joins: int = 20,
     p: int = 40,
+    workers: int = 1,
 ) -> FigureData:
     """Sweep one hardware parameter and compare the two schedulers.
 
@@ -60,6 +57,9 @@ def parameter_sensitivity(
         Supplies workload size, seed, and the base parameters.
     n_joins, p:
         Workload and system size of the sweep.
+    workers:
+        Process count for the sweep grid (results are identical for any
+        value; see :class:`~repro.experiments.parallel.ParallelRunner`).
 
     Returns
     -------
@@ -73,31 +73,24 @@ def parameter_sensitivity(
     if not multipliers or any(m <= 0 for m in multipliers):
         raise ConfigurationError("multipliers must be positive and non-empty")
 
-    overlap = ConvexCombinationOverlap(config.default_epsilon)
-    # Fresh (uncached) workload: annotation is parameter-dependent and
-    # mutates operator specs in place, so this sweep owns its own copy.
-    queries = generate_workload(n_joins, config.n_queries, config.seed)
-
-    ts_ys = []
-    sy_ys = []
-    for m in multipliers:
-        params: SystemParameters = replace(
-            config.params, **{field: getattr(config.params, field) * m}
+    # Each multiplier is its own sweep point: the scaled parameters drive
+    # annotation *and* scheduling, and the per-process workload cache
+    # keys on the parameter value, so sweep points never share specs.
+    scaled: list[SystemParameters] = [
+        replace(config.params, **{field: getattr(config.params, field) * m})
+        for m in multipliers
+    ]
+    points = [
+        SweepPoint(
+            algorithm, n_joins, config.n_queries, config.seed,
+            p, config.default_f, config.default_epsilon, params,
         )
-        comm = params.communication_model()
-        ts_total = 0.0
-        sy_total = 0.0
-        for q in queries:
-            annotate_plan(q.operator_tree, params)
-            ts_total += tree_schedule(
-                q.operator_tree, q.task_tree, p=p, comm=comm, overlap=overlap,
-                f=config.default_f,
-            ).response_time
-            sy_total += synchronous_schedule(
-                q.operator_tree, q.task_tree, p=p, comm=comm, overlap=overlap
-            ).response_time
-        ts_ys.append(ts_total / len(queries))
-        sy_ys.append(sy_total / len(queries))
+        for algorithm in ("treeschedule", "synchronous")
+        for params in scaled
+    ]
+    values = ParallelRunner(workers).run(points)
+    ts_ys = values[: len(multipliers)]
+    sy_ys = values[len(multipliers) :]
 
     xs = tuple(float(m) for m in multipliers)
     return FigureData(

@@ -17,9 +17,10 @@ from typing import Any
 
 from repro.exceptions import ConfigurationError
 from repro.core.cloning import OperatorSpec
-from repro.core.schedule import PhasedSchedule, Schedule
+from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
 from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
+from repro.engine.result import Instrumentation, ScheduleResult
 from repro.experiments.figures import FigureData, Series
 
 __all__ = [
@@ -31,6 +32,10 @@ __all__ = [
     "schedule_from_dict",
     "phased_schedule_to_dict",
     "phased_schedule_from_dict",
+    "instrumentation_to_dict",
+    "instrumentation_from_dict",
+    "schedule_result_to_dict",
+    "schedule_result_from_dict",
     "figure_to_dict",
     "figure_from_dict",
 ]
@@ -129,6 +134,84 @@ def phased_schedule_from_dict(payload: dict[str, Any]) -> PhasedSchedule:
         label = labels[i] if i < len(labels) else ""
         phased.append(schedule_from_dict(item), label)
     return phased
+
+
+def instrumentation_to_dict(inst: Instrumentation) -> dict[str, Any]:
+    """Serialize scheduler-run instrumentation."""
+    return {
+        "wall_clock_seconds": inst.wall_clock_seconds,
+        "operators_scheduled": inst.operators_scheduled,
+        "clones_created": inst.clones_created,
+        "bins_opened": inst.bins_opened,
+        "counters": dict(inst.counters),
+        "timers": dict(inst.timers),
+    }
+
+
+def instrumentation_from_dict(payload: dict[str, Any]) -> Instrumentation:
+    """Deserialize scheduler-run instrumentation (all fields optional)."""
+    return Instrumentation(
+        wall_clock_seconds=float(payload.get("wall_clock_seconds", 0.0)),
+        operators_scheduled=int(payload.get("operators_scheduled", 0)),
+        clones_created=int(payload.get("clones_created", 0)),
+        bins_opened=int(payload.get("bins_opened", 0)),
+        counters=dict(payload.get("counters", {})),
+        timers=dict(payload.get("timers", {})),
+    )
+
+
+def schedule_result_to_dict(result: ScheduleResult) -> dict[str, Any]:
+    """Serialize a full algorithm result with provenance.
+
+    The attached phased schedule (when present) carries every clone
+    placement, so deserialization rebuilds homes, degrees and timelines
+    exactly; ``response_time`` is stored explicitly so bound-only
+    results round-trip too.
+    """
+    return {
+        "schema": _SCHEMA,
+        "algorithm": result.algorithm,
+        "response_time": result.response_time,
+        "phased_schedule": (
+            None
+            if result.phased_schedule is None
+            else phased_schedule_to_dict(result.phased_schedule)
+        ),
+        "degrees": dict(result.degrees),
+        "phase_labels": list(result.phase_labels),
+        "homes": {
+            op: list(home.site_indices) for op, home in result.homes.items()
+        },
+        "instrumentation": instrumentation_to_dict(result.instrumentation),
+    }
+
+
+def schedule_result_from_dict(payload: dict[str, Any]) -> ScheduleResult:
+    """Deserialize a full algorithm result.
+
+    Round-trips exactly: the makespan, per-phase schedules (hence
+    timelines), homes, degrees and instrumentation all reconstruct to
+    equal values.
+    """
+    phased_payload = _expect(payload, "phased_schedule")
+    phased = (
+        None if phased_payload is None else phased_schedule_from_dict(phased_payload)
+    )
+    homes = {
+        op: OperatorHome(operator=op, site_indices=tuple(sites))
+        for op, sites in payload.get("homes", {}).items()
+    }
+    return ScheduleResult(
+        algorithm=str(payload.get("algorithm", "")),
+        phased_schedule=phased,
+        homes=homes,
+        degrees={k: int(v) for k, v in payload.get("degrees", {}).items()},
+        phase_labels=[str(x) for x in payload.get("phase_labels", [])],
+        response_time=float(_expect(payload, "response_time")),
+        instrumentation=instrumentation_from_dict(
+            payload.get("instrumentation", {})
+        ),
+    )
 
 
 def figure_to_dict(figure: FigureData) -> dict[str, Any]:

@@ -25,6 +25,7 @@ from repro.sim.validate import (
     PolicyComparison,
     sharing_policy_report,
     validate_phased_schedule,
+    validate_schedule_result,
 )
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "simulate_phased",
     "PolicyComparison",
     "validate_phased_schedule",
+    "validate_schedule_result",
     "sharing_policy_report",
     "PreemptabilityModel",
     "simulate_site_degraded",

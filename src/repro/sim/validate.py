@@ -14,10 +14,16 @@ from dataclasses import dataclass
 from repro.exceptions import ModelValidationError, SimulationError
 from repro.core.resource_model import validate_sequential_time
 from repro.core.schedule import PhasedSchedule
+from repro.engine.result import ScheduleResult
 from repro.sim.policies import SharingPolicy
 from repro.sim.simulator import SimulationResult, simulate_phased
 
-__all__ = ["PolicyComparison", "validate_phased_schedule", "sharing_policy_report"]
+__all__ = [
+    "PolicyComparison",
+    "validate_phased_schedule",
+    "validate_schedule_result",
+    "sharing_policy_report",
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +97,38 @@ def validate_phased_schedule(
             f"analytic response time ({analytic})"
         )
     return result
+
+
+def validate_schedule_result(
+    result: ScheduleResult, rel_tolerance: float = 1e-9
+) -> SimulationResult | None:
+    """Validate a registered algorithm's result end to end.
+
+    Checks the structural constraints of every phase (Definition 5.1),
+    that the recorded ``response_time`` matches the attached schedule,
+    and that the fluid simulator reproduces the analytic response time
+    under OPTIMAL_STRETCH.  Bound-only results (``phased_schedule is
+    None``) have nothing to simulate and return ``None``.
+
+    Raises
+    ------
+    SchedulingError
+        On a structural violation.
+    SimulationError
+        On analytic/simulated disagreement beyond ``rel_tolerance``.
+    """
+    if result.phased_schedule is None:
+        return None
+    result.validate()
+    recorded = result.makespan
+    analytic = result.phased_schedule.response_time()
+    scale = max(1.0, abs(analytic))
+    if abs(recorded - analytic) > rel_tolerance * scale:
+        raise SimulationError(
+            f"{result.algorithm or 'schedule'}: recorded response time "
+            f"({recorded}) disagrees with its own schedule ({analytic})"
+        )
+    return validate_phased_schedule(result.phased_schedule, rel_tolerance)
 
 
 def sharing_policy_report(phased: PhasedSchedule) -> PolicyComparison:

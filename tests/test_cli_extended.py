@@ -51,6 +51,28 @@ class TestJsonOutput:
         assert all(len(s.xs) == len(s.ys) for s in figure.series)
 
 
+class TestAlgorithmsTarget:
+    def test_lists_every_registered_name(self, capsys):
+        rc = main(["algorithms"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ALGORITHMS:
+            assert name in out
+        assert "lower bound" in out  # optbound is flagged as a bound
+
+    def test_workers_flag_matches_serial(self, capsys):
+        rc = main(["fig6b", "--quick", "--queries", "1", "--sites", "4", "--json"])
+        assert rc == 0
+        serial = json.loads(capsys.readouterr().out)
+        rc = main([
+            "fig6b", "--quick", "--queries", "1", "--sites", "4", "--json",
+            "--workers", "2",
+        ])
+        assert rc == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+
 class TestHongAlgorithm:
     def test_registered(self):
         assert "hong" in ALGORITHMS

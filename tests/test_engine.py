@@ -1,0 +1,217 @@
+"""Tests for the scheduling engine: registry, ScheduleResult, driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    PAPER_PARAMETERS,
+    SchedulingError,
+    annotate_plan,
+    generate_query,
+    tree_schedule,
+)
+from repro.engine import (
+    Instrumentation,
+    RegisteredScheduler,
+    ScheduleRequest,
+    ScheduleResult,
+    available_algorithms,
+    describe_algorithms,
+    get_algorithm,
+    register,
+)
+from repro.engine.driver import SHELF_POLICIES, schedule_phases
+from repro.engine.registry import _SCHEDULERS
+from repro.sim import validate_schedule_result
+
+BUILTINS = ("treeschedule", "synchronous", "hong", "optbound", "onedim", "malleable")
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        names = available_algorithms()
+        for name in BUILTINS:
+            assert name in names
+
+    def test_builtin_order_canonical(self):
+        names = available_algorithms()
+        assert names[: len(BUILTINS)] == BUILTINS
+
+    def test_get_algorithm_returns_entry(self):
+        entry = get_algorithm("treeschedule")
+        assert isinstance(entry, RegisteredScheduler)
+        assert entry.name == "treeschedule"
+        assert entry.kind == "schedule"
+        assert entry.description
+
+    def test_optbound_is_a_bound(self):
+        assert get_algorithm("optbound").kind == "bound"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_algorithm("magic")
+        message = str(exc.value)
+        assert "magic" in message
+        for name in BUILTINS:
+            assert name in message
+
+    def test_describe_algorithms_covers_available(self):
+        described = describe_algorithms()
+        assert tuple(described) == available_algorithms()
+        assert all(isinstance(v, RegisteredScheduler) for v in described.values())
+
+    def test_register_rejects_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            register("bogus", kind="estimate")
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            register("")
+
+    def test_register_and_dispatch_custom(self):
+        @register("constant42", description="test stub")
+        def _constant(query, request):
+            return ScheduleResult.from_value("", 42.0)
+
+        try:
+            entry = get_algorithm("constant42")
+            result = entry(None, ScheduleRequest(p=4))
+            assert result.makespan == 42.0
+            # The registry entry stamps its name onto anonymous results.
+            assert result.algorithm == "constant42"
+            assert "constant42" in available_algorithms()
+        finally:
+            _SCHEDULERS.pop("constant42", None)
+
+
+class TestScheduleRequest:
+    def test_defaults_filled(self):
+        request = ScheduleRequest(p=16)
+        assert request.params is PAPER_PARAMETERS
+        assert request.policy is not None
+        assert request.f == 0.7
+        assert request.epsilon == 0.5
+
+    def test_derived_models_cached(self):
+        request = ScheduleRequest(p=16, epsilon=0.3)
+        assert request.comm is request.comm
+        assert request.overlap is request.overlap
+        assert request.overlap.epsilon == pytest.approx(0.3)
+
+
+class TestScheduleResult:
+    def test_needs_schedule_or_value(self):
+        with pytest.raises(SchedulingError):
+            ScheduleResult(algorithm="x")
+
+    def test_from_value_is_bound_only(self):
+        result = ScheduleResult.from_value("optbound", 12.5, wall_clock_seconds=0.25)
+        assert result.is_bound_only
+        assert result.makespan == 12.5
+        assert result.num_phases == 0
+        assert result.timelines == ()
+        assert result.phase_makespans() == []
+        assert result.total_work() is None
+        assert result.instrumentation.wall_clock_seconds == 0.25
+        result.validate()  # no schedule -> nothing to check, never raises
+        assert "bound" in repr(result)
+
+    def test_full_result_derivations(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        assert isinstance(result, ScheduleResult)
+        assert result.algorithm == "treeschedule"
+        assert not result.is_bound_only
+        assert result.num_phases == result.phased_schedule.num_phases
+        assert result.makespan == pytest.approx(
+            sum(result.phase_makespans())
+        )
+        # Every operator has a home and a degree consistent with it.
+        for op, home in result.homes.items():
+            assert len(home.site_indices) == result.degrees[op]
+        inst = result.instrumentation
+        assert inst.operators_scheduled == len(result.homes)
+        assert inst.clones_created >= inst.operators_scheduled
+        assert inst.bins_opened >= 1
+        result.validate()
+
+    def test_timelines_match_schedule(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        shelves = result.timelines
+        assert len(shelves) == result.num_phases
+        for shelf, schedule, label in zip(
+            shelves, result.phased_schedule.phases, result.phase_labels
+        ):
+            assert shelf.label == label
+            assert shelf.makespan == pytest.approx(schedule.makespan())
+            assert len(shelf.sites) == schedule.p
+            assert shelf.bins_opened == sum(
+                1 for s in schedule.sites if not s.is_empty()
+            )
+
+    def test_total_work_sums_phases(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        total = result.total_work()
+        per_phase = [s.total_work() for s in result.phased_schedule.phases]
+        acc = per_phase[0]
+        for w in per_phase[1:]:
+            acc = acc + w
+        assert total.isclose(acc, rel_tol=1e-12)
+
+    def test_instrumentation_defaults(self):
+        inst = Instrumentation()
+        assert inst.wall_clock_seconds == 0.0
+        assert inst.counters == {} and inst.timers == {}
+
+
+class TestDriver:
+    def test_unknown_shelf_policy(self, annotated_query, comm, overlap):
+        with pytest.raises(SchedulingError) as exc:
+            schedule_phases(
+                annotated_query.operator_tree, annotated_query.task_tree,
+                p=8, comm=comm, overlap=overlap, shelf="bogus",
+            )
+        assert "bogus" in str(exc.value)
+
+    def test_shelf_policies_exposed(self):
+        assert set(SHELF_POLICIES) == {"min", "eager"}
+
+    def test_metrics_threaded(self, annotated_query, comm, overlap):
+        from repro.engine import MetricsRecorder
+
+        metrics = MetricsRecorder()
+        result = schedule_phases(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, metrics=metrics,
+        )
+        assert metrics.counters["phases"] == result.num_phases
+        assert metrics.timers["pack_phase"] >= 0.0
+        assert result.instrumentation.counters == metrics.counters
+
+
+class TestEveryAlgorithmViaRegistry:
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_registry_output_validates(self, name):
+        query = generate_query(6, np.random.default_rng(3))
+        annotate_plan(query.operator_tree, PAPER_PARAMETERS)
+        result = get_algorithm(name)(query, ScheduleRequest(p=8))
+        assert result.algorithm == name
+        assert result.makespan > 0.0
+        sim = validate_schedule_result(result)
+        if name == "optbound":
+            assert result.is_bound_only
+            assert sim is None
+        else:
+            assert not result.is_bound_only
+            assert sim is not None

@@ -65,10 +65,51 @@ class TestRunner:
         assert len(cohort) == 2
         assert all(op.annotated for q in cohort for op in q.operator_tree.operators)
 
-    def test_prepare_workload_cached(self):
+    def test_prepare_workload_cached_without_aliasing(self):
+        from repro.experiments.runner import _cached_workload
+
+        _cached_workload.cache_clear()
         a = prepare_workload(4, 2, seed=1)
+        hits_after_first = _cached_workload.cache_info().hits
         b = prepare_workload(4, 2, seed=1)
-        assert a is b
+        # Generation and annotation are cached...
+        assert _cached_workload.cache_info().hits == hits_after_first + 1
+        # ...but callers receive independent copies, with equal contents.
+        assert a is not b
+        assert all(qa is not qb for qa, qb in zip(a, b))
+        for qa, qb in zip(a, b):
+            for op_a, op_b in zip(qa.operator_tree.operators, qb.operator_tree.operators):
+                assert op_a is not op_b
+                assert op_a.require_spec() == op_b.require_spec()
+
+    def test_prepare_workload_mutation_does_not_leak(self):
+        """Regression: annotating one caller's cohort in place must not
+        rewrite another caller's specs (the old cache handed out the same
+        tree objects to everyone)."""
+        from repro.cost.annotate import annotate_plan
+        from repro.cost.params import PAPER_PARAMETERS
+        from dataclasses import replace
+
+        a = prepare_workload(4, 2, seed=1)
+        before = a[0].operator_tree.operators[0].require_spec()
+        b = prepare_workload(4, 2, seed=1)
+        # Re-annotate b's trees with wildly different hardware.
+        scaled = replace(PAPER_PARAMETERS, cpu_mips=PAPER_PARAMETERS.cpu_mips * 100)
+        for q in b:
+            annotate_plan(q.operator_tree, scaled)
+        after = a[0].operator_tree.operators[0].require_spec()
+        assert after == before
+
+    def test_prepare_workload_copy_preserves_tree_sharing(self):
+        """The operator objects referenced by the task tree must be the
+        same objects as in the operator tree (rooted scheduling relies on
+        shared specs)."""
+        (query, _) = prepare_workload(4, 2, seed=1)
+        op_ids = {id(op) for op in query.operator_tree.operators}
+        task_op_ids = {
+            id(op) for task in query.task_tree.tasks for op in task.operators
+        }
+        assert task_op_ids <= op_ids
 
     def test_response_time_algorithms(self):
         (query, _) = prepare_workload(4, 2, seed=1)

@@ -1,0 +1,88 @@
+"""Tests for the MetricsRecorder observability hooks."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import MetricsRecorder
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        m = MetricsRecorder()
+        m.count("clones")
+        m.count("clones", 2.5)
+        assert m.counters["clones"] == 3.5
+
+    def test_independent_names(self):
+        m = MetricsRecorder()
+        m.count("a")
+        m.count("b", 7)
+        assert m.counters == {"a": 1.0, "b": 7.0}
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        m = MetricsRecorder()
+        with m.timer("pack"):
+            pass
+        first = m.timers["pack"]
+        assert first >= 0.0
+        with m.timer("pack"):
+            pass
+        assert m.timers["pack"] >= first
+
+    def test_timer_records_on_exception(self):
+        m = MetricsRecorder()
+        try:
+            with m.timer("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert "boom" in m.timers
+
+
+class TestMergeAndExport:
+    def test_merge(self):
+        a = MetricsRecorder()
+        a.count("n", 1)
+        a.timers["t"] = 0.5
+        b = MetricsRecorder()
+        b.count("n", 2)
+        b.count("m", 4)
+        b.timers["t"] = 0.25
+        a.merge(b)
+        assert a.counters == {"n": 3.0, "m": 4.0}
+        assert a.timers["t"] == 0.75
+
+    def test_snapshot_is_a_copy(self):
+        m = MetricsRecorder()
+        m.count("n")
+        snap = m.snapshot()
+        snap["counters"]["n"] = 99.0
+        assert m.counters["n"] == 1.0
+
+    def test_to_json_line(self):
+        m = MetricsRecorder()
+        m.count("points", 3)
+        line = m.to_json_line(algorithm="treeschedule", p=16)
+        payload = json.loads(line)
+        assert payload["algorithm"] == "treeschedule"
+        assert payload["p"] == 16
+        assert payload["counters"] == {"points": 3.0}
+        assert "\n" not in line
+
+    def test_write_json_line_appends(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        m = MetricsRecorder()
+        m.count("n")
+        m.write_json_line(str(path), run=1)
+        m.write_json_line(str(path), run=2)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["run"] == 2
+
+    def test_repr(self):
+        m = MetricsRecorder()
+        m.count("n")
+        assert "counters=1" in repr(m)

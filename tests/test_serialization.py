@@ -13,10 +13,15 @@ from repro import (
     WorkVector,
     tree_schedule,
 )
+from repro.engine import Instrumentation, ScheduleResult
 from repro.experiments.figures import FigureData, Series
 from repro.serialization import (
     figure_from_dict,
     figure_to_dict,
+    instrumentation_from_dict,
+    instrumentation_to_dict,
+    schedule_result_from_dict,
+    schedule_result_to_dict,
     operator_spec_from_dict,
     operator_spec_to_dict,
     phased_schedule_from_dict,
@@ -98,6 +103,75 @@ class TestPhased:
         restored = phased_schedule_from_dict(payload)
         assert restored.response_time() == pytest.approx(result.response_time)
         assert restored.labels == result.phased_schedule.labels
+
+
+class TestInstrumentation:
+    def test_roundtrip(self):
+        inst = Instrumentation(
+            wall_clock_seconds=0.125,
+            operators_scheduled=9,
+            clones_created=21,
+            bins_opened=12,
+            counters={"phases": 4.0},
+            timers={"pack_phase": 0.25},
+        )
+        payload = json.loads(json.dumps(instrumentation_to_dict(inst)))
+        assert instrumentation_from_dict(payload) == inst
+
+    def test_all_fields_optional(self):
+        assert instrumentation_from_dict({}) == Instrumentation()
+
+
+class TestScheduleResult:
+    def test_roundtrip_full_result(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        payload = json.loads(json.dumps(schedule_result_to_dict(result)))
+        restored = schedule_result_from_dict(payload)
+        assert restored.algorithm == "treeschedule"
+        assert restored.makespan == pytest.approx(result.makespan)
+        assert restored.num_phases == result.num_phases
+        assert restored.phase_labels == result.phase_labels
+        assert restored.degrees == result.degrees
+        assert {k: v.site_indices for k, v in restored.homes.items()} == {
+            k: v.site_indices for k, v in result.homes.items()
+        }
+        assert restored.instrumentation == result.instrumentation
+        restored.validate()
+
+    def test_roundtrip_preserves_timelines(self, annotated_query, comm, overlap):
+        result = tree_schedule(
+            annotated_query.operator_tree, annotated_query.task_tree,
+            p=8, comm=comm, overlap=overlap, f=0.7,
+        )
+        payload = json.loads(json.dumps(schedule_result_to_dict(result)))
+        restored = schedule_result_from_dict(payload)
+        for before, after in zip(result.timelines, restored.timelines):
+            assert after.label == before.label
+            assert after.makespan == pytest.approx(before.makespan)
+            assert after.bins_opened == before.bins_opened
+            for sa, sb in zip(after.sites, before.sites):
+                assert sa.site_index == sb.site_index
+                assert sa.clones == sb.clones
+                assert sa.load == pytest.approx(sb.load)
+                assert sa.t_site == pytest.approx(sb.t_site)
+
+    def test_roundtrip_bound_only(self):
+        result = ScheduleResult.from_value(
+            "optbound", 17.25, wall_clock_seconds=0.01
+        )
+        payload = json.loads(json.dumps(schedule_result_to_dict(result)))
+        restored = schedule_result_from_dict(payload)
+        assert restored.is_bound_only
+        assert restored.algorithm == "optbound"
+        assert restored.makespan == 17.25
+        assert restored.timelines == ()
+
+    def test_malformed(self):
+        with pytest.raises(ConfigurationError):
+            schedule_result_from_dict({"algorithm": "x"})
 
 
 class TestFigure:

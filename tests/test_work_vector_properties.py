@@ -1,0 +1,122 @@
+"""Hypothesis property tests for WorkVector invariants (Section 5.1).
+
+Complements the example-based tests in ``test_work_vector.py`` and the
+end-to-end pipeline properties in ``test_properties.py``: these suites
+exercise the vector algebra itself over randomized components.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    CommunicationModel,
+    OperatorSpec,
+    WorkVector,
+    clone_work_vectors,
+    total_work_vector,
+    set_length,
+    vector_sum,
+)
+
+# Bounded, non-negative, finite components: the domain of work vectors.
+components = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+def vectors(d: int):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+        min_size=d,
+        max_size=d,
+    ).map(WorkVector)
+
+
+@given(components)
+def test_length_at_most_total(comps):
+    w = WorkVector(comps)
+    # l(W) = max component can never exceed the processing area (sum).
+    assert w.length() <= w.total() + 1e-6 * max(1.0, w.total())
+
+
+@given(components)
+def test_length_bounds_scaled_total(comps):
+    w = WorkVector(comps)
+    # ...and the total is at most d * l(W).
+    assert w.total() <= w.d * w.length() + 1e-6 * max(1.0, w.total())
+
+
+@given(st.lists(vectors(3), min_size=3, max_size=3))
+def test_vector_sum_associativity(ws):
+    a, b, c = ws
+    left = (a + b) + c
+    right = a + (b + c)
+    assert left.isclose(right, rel_tol=1e-9, abs_tol=1e-9)
+    assert vector_sum(ws).isclose(left, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.lists(vectors(3), min_size=0, max_size=5))
+def test_set_length_subadditive(ws):
+    # l(S) <= sum of individual lengths (triangle-style inequality).
+    total = set_length(ws, d=3)
+    assert total <= math.fsum(w.length() for w in ws) + 1e-6 * max(1.0, total)
+
+
+@given(
+    vectors(3),
+    st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False),
+)
+def test_division_inverts_scaling(w, k):
+    scaled = (w * k) / k
+    assert scaled.isclose(w, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(vectors(3), st.integers(min_value=1, max_value=32))
+def test_division_splits_total(w, n):
+    share = w / n
+    assert math.isclose(share.total() * n, w.total(), rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(share.length() * n, w.length(), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(
+    vectors(3),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.integers(min_value=1, max_value=32),
+)
+def test_clone_vectors_sum_to_total(work, volume, n):
+    """EA1 perfect partitioning: the clones sum to the total work vector."""
+    spec = OperatorSpec(name="op", work=work, data_volume=volume)
+    comm = CommunicationModel(alpha=0.015, beta=0.6e-6)
+    clones = clone_work_vectors(spec, n, comm)
+    assert len(clones) == n
+    total = total_work_vector(spec, n, comm)
+    assert vector_sum(clones).isclose(total, rel_tol=1e-9, abs_tol=1e-9)
+    # Non-coordinator clones are identical shares.
+    for clone in clones[1:]:
+        assert clone == clones[1]
+    # The coordinator carries at least as much work as any other clone.
+    if n > 1:
+        assert clones[0].dominates(clones[1])
+
+
+@given(vectors(3), st.integers(min_value=1, max_value=16))
+def test_total_work_nondecreasing_in_degree(work, n):
+    """Section 7's only model requirement: W̄(n) is monotone in n."""
+    spec = OperatorSpec(name="op", work=work, data_volume=1e6)
+    comm = CommunicationModel(alpha=0.015, beta=0.6e-6)
+    assert total_work_vector(spec, n + 1, comm).dominates(
+        total_work_vector(spec, n, comm)
+    )
+
+
+def test_zero_scaling_rejected():
+    from repro import InvalidWorkVectorError
+
+    with pytest.raises(InvalidWorkVectorError):
+        WorkVector([1.0]) / 0.0
