@@ -1,0 +1,194 @@
+"""Kernel micro-benchmark: pack_vectors wall-clock trajectory.
+
+Times the optimized ``pack_vectors`` kernel (lazy heap + cached vector
+stats + incremental site loads) and the retained naive reference kernel
+(``pack_vectors_reference``: full allowable-list rescan with loads
+recomputed from the placed clones) on the grid
+
+    n ∈ {100, 1000, 5000} clones × p ∈ {8, 64} sites, d = 3,
+
+and writes the medians to ``BENCH_kernels.json`` at the repository root
+so the perf trajectory is recorded commit over commit.  The committed
+file also carries the frozen pre-optimization (PR 1) measurements of the
+original kernel, taken on the same grid before this refactor landed —
+the "before" of the before/after speedup claim.
+
+Usage::
+
+    python benchmarks/kernel_bench.py --write            # refresh BENCH_kernels.json
+    python benchmarks/kernel_bench.py --check [--threshold 5.0]
+        # regression gate: fail when the optimized kernel at the guard
+        # point (n=1000, p=64) exceeds threshold x the committed median
+
+The check threshold is deliberately generous (CI machines are noisy);
+it exists to catch order-of-magnitude regressions — e.g. losing the
+heap, or reintroducing per-query load recomputation — not 20%% drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import (  # noqa: E402
+    CloneItem,
+    ConvexCombinationOverlap,
+    WorkVector,
+    pack_vectors,
+    pack_vectors_reference,
+)
+
+BENCH_PATH = REPO_ROOT / "BENCH_kernels.json"
+SCHEMA = "repro-bench-kernels/1"
+D = 3
+SIZES = (100, 1000, 5000)
+SITE_COUNTS = (8, 64)
+#: The guard point of the CI perf-smoke check.
+GUARD_POINT = "n=1000,p=64"
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+#: Median pack_vectors wall-clock of the ORIGINAL kernel (PR 1, commit
+#: 1094e8d: linear allowable-list scan, uncached WorkVector.length/total,
+#: recomputed min per clone), measured on this container before the PR 2
+#: refactor.  Frozen here because the original code no longer exists in
+#: the tree; the live "before" proxy is pack_vectors_reference.
+PRE_PR2_SECONDS = {
+    "n=100,p=8": 0.0013712,
+    "n=100,p=64": 0.0049045,
+    "n=1000,p=8": 0.0172445,
+    "n=1000,p=64": 0.0562569,
+    "n=5000,p=8": 0.0891891,
+    "n=5000,p=64": 0.2898753,
+}
+
+#: The naive reference recomputes site loads from every placed clone on
+#: every scan, so it is O(n^2·d) per site sweep — timing it above this
+#: clone count adds minutes for no extra information.
+REFERENCE_MAX_N = 1000
+
+
+def make_items(n: int, d: int = D, seed: int = 0) -> list[CloneItem]:
+    """Deterministic mixed-resource clone set (one clone per operator)."""
+    rng = random.Random(seed)
+    return [
+        CloneItem(
+            operator=f"op{i}",
+            clone_index=0,
+            work=WorkVector([rng.uniform(0.1, 10.0) for _ in range(d)]),
+        )
+        for i in range(n)
+    ]
+
+
+def _median_seconds(fn, reps: int) -> float:
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def run_grid(include_reference: bool = True) -> dict[str, dict[str, float]]:
+    """Time the kernel grid; returns per-point medians and speedups."""
+    points: dict[str, dict[str, float]] = {}
+    for n in SIZES:
+        items = make_items(n)
+        reps = 5 if n <= 1000 else 3
+        for p in SITE_COUNTS:
+            key = f"n={n},p={p}"
+            entry: dict[str, float] = {
+                "optimized_s": _median_seconds(
+                    lambda: pack_vectors(items, p=p, overlap=OVERLAP), reps
+                )
+            }
+            if include_reference and n <= REFERENCE_MAX_N:
+                entry["reference_s"] = _median_seconds(
+                    lambda: pack_vectors_reference(items, p=p, overlap=OVERLAP), reps
+                )
+                entry["speedup_vs_reference"] = (
+                    entry["reference_s"] / entry["optimized_s"]
+                )
+            if key in PRE_PR2_SECONDS:
+                entry["pre_pr2_s"] = PRE_PR2_SECONDS[key]
+                entry["speedup_vs_pre_pr2"] = (
+                    PRE_PR2_SECONDS[key] / entry["optimized_s"]
+                )
+            points[key] = entry
+    return points
+
+
+def write_bench(path: pathlib.Path = BENCH_PATH) -> dict:
+    payload = {
+        "schema": SCHEMA,
+        "kernel": "pack_vectors (sort=MAX_COMPONENT, rule=LEAST_LOADED_LENGTH)",
+        "d": D,
+        "guard_point": GUARD_POINT,
+        "generated_by": "benchmarks/kernel_bench.py --write",
+        "points": run_grid(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check_regression(
+    threshold: float, path: pathlib.Path = BENCH_PATH
+) -> tuple[bool, str]:
+    """Compare a fresh guard-point timing against the committed baseline."""
+    try:
+        committed = json.loads(path.read_text())
+    except FileNotFoundError:
+        return False, f"no committed baseline at {path}; run --write first"
+    baseline = committed["points"][GUARD_POINT]["optimized_s"]
+    n, p = 1000, 64
+    items = make_items(n)
+    current = _median_seconds(lambda: pack_vectors(items, p=p, overlap=OVERLAP), 5)
+    ratio = current / baseline
+    message = (
+        f"pack_vectors {GUARD_POINT}: current={current:.6f}s "
+        f"baseline={baseline:.6f}s ratio={ratio:.2f}x (threshold {threshold:.1f}x)"
+    )
+    return ratio <= threshold, message
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true", help="refresh BENCH_kernels.json"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the guard point regresses past --threshold",
+    )
+    parser.add_argument("--threshold", type=float, default=5.0)
+    args = parser.parse_args(argv)
+    if not (args.write or args.check):
+        parser.error("choose --write and/or --check")
+    status = 0
+    if args.write:
+        payload = write_bench()
+        for key, entry in sorted(payload["points"].items()):
+            speed = entry.get("speedup_vs_pre_pr2")
+            extra = f"  ({speed:.1f}x vs pre-PR2)" if speed else ""
+            print(f"{key:14s} optimized {entry['optimized_s']:.6f}s{extra}")
+        print(f"wrote {BENCH_PATH}")
+    if args.check:
+        ok, message = check_regression(args.threshold)
+        print(message)
+        if not ok:
+            print("PERF REGRESSION: guard point exceeded threshold", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Experiment bench-kernels — scheduling-kernel wall-clock trajectory.
+
+Regenerates ``BENCH_kernels.json`` (repo root) with the median
+``pack_vectors`` wall-clock on the n × p grid, so every benchmark run
+extends the perf trajectory started in PR 2.  Asserts the two properties
+the optimization is sold on:
+
+* the optimized kernel is at least 3x faster than the frozen pre-PR 2
+  baseline at the guard point (n=1000, p=64, d=3);
+* heap placement and incremental loads change nothing about the output —
+  the packing is byte-identical to the naive reference kernel.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import ConvexCombinationOverlap, pack_vectors, pack_vectors_reference
+from repro.serialization import schedule_to_dict
+
+from _helpers import publish
+from kernel_bench import (
+    GUARD_POINT,
+    PRE_PR2_SECONDS,
+    make_items,
+    write_bench,
+)
+
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def test_bench_kernels_trajectory(benchmark):
+    """Refresh BENCH_kernels.json and benchmark the guard point."""
+    payload = write_bench()
+    lines = [
+        "== bench-kernels: pack_vectors wall-clock (median seconds) ==",
+        f"{'point':14s} {'pre-PR2':>10s} {'reference':>10s} {'optimized':>10s} {'speedup':>8s}",
+    ]
+    for key, entry in sorted(payload["points"].items()):
+        pre = entry.get("pre_pr2_s")
+        ref = entry.get("reference_s")
+        lines.append(
+            f"{key:14s} {pre if pre is not None else float('nan'):10.6f} "
+            f"{ref if ref is not None else float('nan'):10.6f} "
+            f"{entry['optimized_s']:10.6f} "
+            f"{entry.get('speedup_vs_pre_pr2', float('nan')):7.1f}x"
+        )
+    publish("bench_kernels", "\n".join(lines))
+
+    items = make_items(1000)
+    benchmark(lambda: pack_vectors(items, p=64, overlap=OVERLAP))
+
+    guard = payload["points"][GUARD_POINT]
+    assert guard["pre_pr2_s"] == PRE_PR2_SECONDS[GUARD_POINT]
+    # Acceptance criterion of PR 2: >= 3x on the guard point.
+    assert guard["speedup_vs_pre_pr2"] >= 3.0
+
+
+def test_kernels_guard_point_output_unchanged():
+    """The optimized kernel's packing is byte-identical to the reference."""
+    items = make_items(1000)
+    fast = pack_vectors(items, p=64, overlap=OVERLAP)
+    slow = pack_vectors_reference(items, p=64, overlap=OVERLAP)
+    assert json.dumps(schedule_to_dict(fast)) == json.dumps(schedule_to_dict(slow))

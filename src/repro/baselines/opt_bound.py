@@ -49,9 +49,9 @@ from repro.core.cloning import (
     parallel_time,
     response_optimal_degree,
 )
+from repro.core.batch import sum_length
 from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import OverlapModel
-from repro.core.work_vector import vector_sum
 from repro.engine.registry import ScheduleRequest, register
 from repro.engine.result import ScheduleResult
 from repro.plans.generator import GeneratedQuery
@@ -74,7 +74,9 @@ def congestion_bound(op_tree: OperatorTree, p: int) -> float:
     specs = [op.require_spec() for op in op_tree.operators]
     if not specs:
         return 0.0
-    return vector_sum(spec.work for spec in specs).length() / p
+    # Batch kernel: numpy column-sum for wide plans, exact sequential sum
+    # below the cutover (repro.core.batch.NUMPY_CUTOVER).
+    return sum_length([spec.work for spec in specs]) / p
 
 
 def _degree_ceiling(

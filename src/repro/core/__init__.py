@@ -12,10 +12,18 @@ The phase-based TREESCHEDULE algorithm (Section 5.4) lives in
 depends on the plan substrate; import it via :mod:`repro` or directly.
 """
 
+from repro.core.batch import (
+    HAVE_NUMPY,
+    eq3_makespans_over_epsilon,
+    lower_bounds_batch,
+    set_length_batch,
+    sum_length,
+)
 from repro.core.bounds import (
     BoundCertificate,
     certify,
     lower_bound,
+    lower_bound_family,
     slowest_operator_time,
     theorem51_coarse_grain_bound,
     theorem51_fixed_degree_bound,
@@ -70,11 +78,13 @@ from repro.core.skew import (
     skewed_response_time,
     zipf_weights,
 )
+from repro.core.placement_heap import SiteHeap
 from repro.core.vector_packing import (
     CloneItem,
     PlacementRule,
     SortKey,
     pack_vectors,
+    pack_vectors_reference,
 )
 from repro.core.work_vector import (
     DEFAULT_DIMENSIONALITY,
@@ -128,9 +138,16 @@ __all__ = [
     "BoundCertificate",
     "certify",
     "lower_bound",
+    "lower_bound_family",
     "slowest_operator_time",
     "theorem51_fixed_degree_bound",
     "theorem51_coarse_grain_bound",
+    # batch (numpy-gated fast paths)
+    "HAVE_NUMPY",
+    "sum_length",
+    "set_length_batch",
+    "lower_bounds_batch",
+    "eq3_makespans_over_epsilon",
     # malleable
     "ParallelizationCandidate",
     "candidate_parallelizations",
@@ -142,11 +159,13 @@ __all__ = [
     "OptimalResult",
     "optimal_schedule",
     "optimal_malleable_makespan",
-    # vector_packing
+    # vector_packing / placement heap
     "SortKey",
     "PlacementRule",
     "CloneItem",
     "pack_vectors",
+    "pack_vectors_reference",
+    "SiteHeap",
     # skew (EA1 relaxation)
     "zipf_weights",
     "skewed_clone_work_vectors",

@@ -1,0 +1,186 @@
+"""Optional numpy-vectorized batch kernels for bounds and Equation (3).
+
+The figure sweeps evaluate the same small formulas thousands of times:
+``l(S)`` of a set of work vectors (the congestion side of OPTBOUND and of
+the ``LB(N̄)`` lower bound) and the Equation (3) makespan of a packing
+re-evaluated under many overlap parameters (sensitivity analysis).  This
+module batches those evaluations and vectorizes them with numpy when it
+is importable, falling back to exact pure-Python loops otherwise.
+
+Selection semantics
+-------------------
+* numpy is **optional**: ``import repro.core.batch`` never fails without
+  it, and every function silently uses the pure-Python path
+  (:data:`HAVE_NUMPY` reports which regime is active).
+* the numpy path is auto-selected only above a small size cutover
+  (:data:`NUMPY_CUTOVER` vectors), below which interpreter-loop evaluation
+  is faster than array construction.
+* the pure-Python path reproduces the scalar kernels bit-for-bit.  The
+  numpy path may differ from sequential summation in the last ulp
+  (pairwise summation); callers that require bit-stable output across
+  environments (the golden packing tests) do not go through this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import SchedulingError
+from repro.core.schedule import Schedule
+from repro.core.work_vector import WorkVector, vector_sum
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - container always ships numpy
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "NUMPY_CUTOVER",
+    "sum_length",
+    "set_length_batch",
+    "lower_bounds_batch",
+    "eq3_makespans_over_epsilon",
+]
+
+#: Minimum total vector count before the numpy path pays for its own
+#: array-construction overhead (measured on the kernel micro-benchmark;
+#: conservative so small calls keep the exact scalar arithmetic).
+NUMPY_CUTOVER = 64
+
+
+def sum_length(vectors: Sequence[WorkVector], d: int | None = None) -> float:
+    """Return ``l(S)``: the length of the componentwise sum of ``vectors``.
+
+    Same contract as :func:`repro.core.work_vector.set_length`, but
+    auto-selects a numpy reduction for large sets.
+    """
+    vectors = list(vectors)
+    if not vectors:
+        if d is None:
+            raise SchedulingError(
+                "sum_length of an empty collection requires explicit dimensionality"
+            )
+        return 0.0
+    if HAVE_NUMPY and len(vectors) >= NUMPY_CUTOVER:
+        arr = _np.array([v.components for v in vectors], dtype=_np.float64)
+        return float(arr.sum(axis=0).max())
+    return vector_sum(vectors).length()
+
+
+def set_length_batch(
+    groups: Sequence[Sequence[WorkVector]], d: int
+) -> list[float]:
+    """Return ``l(S_k)`` for every group ``S_k`` in one pass.
+
+    Ragged groups are supported; empty groups yield ``0.0``.  The numpy
+    path concatenates all vectors into one ``(N, d)`` array and reduces
+    per-group slices with ``np.add.reduceat``, so the whole batch costs
+    one array construction instead of one per group.
+    """
+    if d < 1:
+        raise SchedulingError(f"dimensionality must be >= 1, got {d}")
+    groups = [list(g) for g in groups]
+    total = sum(len(g) for g in groups)
+    if HAVE_NUMPY and total >= NUMPY_CUTOVER:
+        flat = _np.empty((total, d), dtype=_np.float64)
+        offsets = []
+        row = 0
+        for g in groups:
+            offsets.append(row)
+            for v in g:
+                if v.d != d:
+                    raise SchedulingError(
+                        f"dimensionality mismatch in set_length_batch: {v.d} vs {d}"
+                    )
+                flat[row] = v.components
+                row += 1
+        out: list[float] = []
+        # reduceat cannot express empty slices directly; walk the offset
+        # list and reduce each non-empty [start, stop) band.
+        for k, g in enumerate(groups):
+            if not g:
+                out.append(0.0)
+                continue
+            start = offsets[k]
+            stop = start + len(g)
+            out.append(float(flat[start:stop].sum(axis=0).max()))
+        return out
+    out = []
+    for g in groups:
+        if not g:
+            out.append(0.0)
+        else:
+            out.append(vector_sum(g).length())
+    return out
+
+
+def lower_bounds_batch(
+    groups: Sequence[Sequence[WorkVector]],
+    h_values: Sequence[float],
+    p: int,
+    d: int,
+) -> list[float]:
+    """Return ``LB_k = max{ l(S_k)/P, h_k }`` for a family of candidates.
+
+    ``groups[k]`` holds candidate ``k``'s total work vectors
+    (communication included) and ``h_values[k]`` its slowest operator's
+    parallel time — the two inputs of the Section 7 lower bound.
+    """
+    if p < 1:
+        raise SchedulingError(f"number of sites must be >= 1, got {p}")
+    if len(groups) != len(h_values):
+        raise SchedulingError(
+            f"lower_bounds_batch: {len(groups)} groups vs {len(h_values)} h values"
+        )
+    lengths = set_length_batch(groups, d)
+    return [max(length / p, h) for length, h in zip(lengths, h_values)]
+
+
+def eq3_makespans_over_epsilon(
+    schedule: Schedule, epsilons: Sequence[float]
+) -> list[float]:
+    """Re-evaluate a fixed packing's Equation (3) makespan per epsilon.
+
+    Under the EA2 convex-combination overlap model
+    ``T(W) = eps·l(W) + (1-eps)·sum(W)``, the site loads of a placement do
+    not depend on ``eps`` — only the stand-alone clone times do.  The
+    makespan of the *same* clone-to-site mapping under overlap ``eps`` is
+    therefore
+
+        ``max{ max_j l(work(s_j)),  max_c (eps·l(w̄_c) + (1-eps)·sum(w̄_c)) }``
+
+    evaluated here for a whole grid of epsilons at once (vectorized when
+    numpy is available).  This is the sensitivity-sweep question "how
+    robust is this placement to the overlap calibration?" answered
+    without re-running the scheduler: for each ``eps`` the result equals
+    rebuilding every site via :meth:`repro.core.site.Site.recompute_t_seq`
+    with ``ConvexCombinationOverlap(eps)`` and taking the makespan.
+    """
+    for eps in epsilons:
+        if not 0.0 <= eps <= 1.0:
+            raise SchedulingError(f"overlap parameter must lie in [0, 1], got {eps}")
+    max_site_length = schedule.max_site_length()
+    lens: list[float] = []
+    tots: list[float] = []
+    for site in schedule.sites:
+        for clone in site.clones:
+            lens.append(clone.work.length())
+            tots.append(clone.work.total())
+    if not lens:
+        return [0.0 for _ in epsilons]
+    if HAVE_NUMPY and len(lens) * max(len(epsilons), 1) >= NUMPY_CUTOVER:
+        l_arr = _np.array(lens, dtype=_np.float64)
+        t_arr = _np.array(tots, dtype=_np.float64)
+        eps_arr = _np.array(list(epsilons), dtype=_np.float64)[:, None]
+        t_seq = eps_arr * l_arr + (1.0 - eps_arr) * t_arr
+        worst = t_seq.max(axis=1)
+        return [float(max(max_site_length, w)) for w in worst]
+    out = []
+    for eps in epsilons:
+        worst = max(eps * ln + (1.0 - eps) * tt for ln, tt in zip(lens, tots))
+        out.append(max(max_site_length, worst))
+    return out

@@ -25,6 +25,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import SchedulingError
+from repro.core.batch import lower_bounds_batch, sum_length
 from repro.core.cloning import (
     DEFAULT_COORDINATOR_POLICY,
     CoordinatorPolicy,
@@ -34,13 +35,13 @@ from repro.core.cloning import (
 )
 from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import OverlapModel
-from repro.core.work_vector import vector_sum
 
 __all__ = [
     "theorem51_fixed_degree_bound",
     "theorem51_coarse_grain_bound",
     "slowest_operator_time",
     "lower_bound",
+    "lower_bound_family",
     "BoundCertificate",
     "certify",
 ]
@@ -114,8 +115,40 @@ def lower_bound(
     totals = [
         total_work_vector(spec, degrees[spec.name], comm, policy) for spec in specs
     ]
-    congestion = vector_sum(totals).length() / p
+    # sum_length auto-selects the numpy reduction for large operator sets
+    # and the exact sequential sum below the cutover.
+    congestion = sum_length(totals) / p
     return max(congestion, slowest_operator_time(specs, degrees, comm, overlap, policy))
+
+
+def lower_bound_family(
+    specs: Sequence[OperatorSpec],
+    degree_family: Sequence[Mapping[str, int]],
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> list[float]:
+    """Return ``LB(N̄_k)`` for a whole family of parallelizations.
+
+    Batch counterpart of :func:`lower_bound` for sweeps that score many
+    candidate parallelizations of the *same* operator set (e.g. the
+    Section 7 greedy family, or a sensitivity grid over degrees): the
+    congestion sides are evaluated in one vectorized pass via
+    :func:`repro.core.batch.lower_bounds_batch` when numpy is available.
+    """
+    if not specs:
+        return [0.0 for _ in degree_family]
+    d = specs[0].d
+    groups = [
+        [total_work_vector(spec, degrees[spec.name], comm, policy) for spec in specs]
+        for degrees in degree_family
+    ]
+    h_values = [
+        slowest_operator_time(specs, degrees, comm, overlap, policy)
+        for degrees in degree_family
+    ]
+    return lower_bounds_batch(groups, h_values, p, d)
 
 
 @dataclass(frozen=True)

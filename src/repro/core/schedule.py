@@ -79,6 +79,10 @@ class Schedule:
         self._sites = [Site(j, d) for j in range(p)]
         self._d = d
         self._homes: dict[str, list[tuple[int, int]]] = {}
+        # Running totals maintained on every place() so the aggregate
+        # queries below never rescan the site array.
+        self._total_work = [0.0] * d
+        self._clone_count = 0
 
     @classmethod
     def from_sites(cls, sites: list[Site]) -> "Schedule":
@@ -99,6 +103,9 @@ class Schedule:
                 sched._homes.setdefault(clone.operator, []).append(
                     (clone.clone_index, j)
                 )
+                for i, c in enumerate(clone.work.components):
+                    sched._total_work[i] += c
+                sched._clone_count += 1
         return sched
 
     # ------------------------------------------------------------------
@@ -129,8 +136,8 @@ class Schedule:
         return frozenset(self._homes)
 
     def clone_count(self) -> int:
-        """Total number of placed clones ``N = sum_i N_i``."""
-        return sum(len(s) for s in self._sites)
+        """Total number of placed clones ``N = sum_i N_i`` (maintained O(1))."""
+        return self._clone_count
 
     # ------------------------------------------------------------------
     # Mutation
@@ -145,6 +152,9 @@ class Schedule:
         self._homes.setdefault(clone.operator, []).append(
             (clone.clone_index, site_index)
         )
+        for i, c in enumerate(clone.work.components):
+            self._total_work[i] += c
+        self._clone_count += 1
 
     # ------------------------------------------------------------------
     # Homes
@@ -197,12 +207,12 @@ class Schedule:
         return self.max_site_length() >= self.max_parallel_time()
 
     def total_work(self) -> WorkVector:
-        """Componentwise total work over the whole system."""
-        acc = [0.0] * self._d
-        for site in self._sites:
-            for i, c in enumerate(site.load_vector().components):
-                acc[i] += c
-        return WorkVector(acc)
+        """Componentwise total work over the whole system.
+
+        Maintained incrementally on :meth:`place`, so this is O(d)
+        regardless of the number of sites or clones.
+        """
+        return WorkVector(self._total_work)
 
     def average_utilization(self) -> tuple[float, ...]:
         """System-wide per-resource utilization at the makespan horizon."""

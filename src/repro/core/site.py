@@ -64,6 +64,7 @@ class Site:
         "_d",
         "_clones",
         "_load",
+        "_length",
         "_total_load",
         "_operators",
         "_max_t_seq",
@@ -78,6 +79,7 @@ class Site:
         self._d = d
         self._clones: list[PlacedClone] = []
         self._load = [0.0] * d
+        self._length = 0.0
         self._total_load = 0.0
         self._operators: set[str] = set()
         self._max_t_seq = 0.0
@@ -140,9 +142,17 @@ class Site:
             )
         self._clones.append(clone)
         self._operators.add(clone.operator)
+        load = self._load
+        length = self._length
+        total = self._total_load
         for i, c in enumerate(clone.work.components):
-            self._load[i] += c
-            self._total_load += c
+            updated = load[i] + c
+            load[i] = updated
+            total += c
+            if updated > length:
+                length = updated
+        self._length = length
+        self._total_load = total
         if clone.t_seq > self._max_t_seq:
             self._max_t_seq = clone.t_seq
 
@@ -151,7 +161,7 @@ class Site:
     # ------------------------------------------------------------------
     def load_vector(self) -> WorkVector:
         """Return the componentwise sum of the resident work vectors."""
-        return WorkVector(self._load)
+        return WorkVector._from_trusted(tuple(self._load))
 
     def load_component(self, resource: int) -> float:
         """Return the total effective time demanded of one resource."""
@@ -161,9 +171,24 @@ class Site:
         """Return ``l(work(s_j))``: the maximum load component.
 
         This is the quantity the Figure 3 list-scheduling rule minimizes
-        when choosing the least filled allowable site.
+        when choosing the least filled allowable site.  Maintained
+        incrementally on :meth:`place` (loads only grow), so the query
+        is O(1) rather than a rescan of the resident clones.
         """
-        return max(self._load)
+        return self._length
+
+    def resulting_length(self, work: WorkVector) -> float:
+        """Return ``l(work(s_j) ∪ {work})``: length after a tentative placement.
+
+        Computed directly off the running load vector in O(d) without
+        materializing the tentative sum; used by the
+        ``MIN_RESULTING_LENGTH`` ablation rule.
+        """
+        if work.d != self._d:
+            raise SchedulingError(
+                f"site {self.index}: tentative vector has d={work.d}, site has d={self._d}"
+            )
+        return max(a + b for a, b in zip(self._load, work.components))
 
     def total_load(self) -> float:
         """Return the sum of all load components (scalar total work).

@@ -15,22 +15,48 @@ implements the surrounding design space so the claim can be tested:
 
 All rules respect constraint (A) (no two clones of one operator on a
 site), so every produced packing is a feasible Definition 5.1 schedule.
+
+Kernel performance
+------------------
+:func:`pack_vectors` is the inner loop of every figure sweep, so its
+placement step is engineered to avoid rescans:
+
+* ``LEAST_LOADED_LENGTH`` consults a lazy min-heap
+  (:class:`~repro.core.placement_heap.SiteHeap`) keyed on
+  ``(l(work(s)), index)``, giving O(log p) amortized placement instead of
+  an O(p) scan per clone;
+* ``FIRST_FIT`` early-exits at the lowest-indexed allowable site;
+* ``MIN_RESULTING_LENGTH`` evaluates the tentative length in O(d) off the
+  site's running load vector without materializing the sum;
+* every allowability test is the O(1) per-site operator-set lookup.
+
+All fast paths are deterministic and bit-identical to the naive
+rescanning rule, which is retained as :func:`pack_vectors_reference` and
+asserted equivalent by the golden-packing test-suite.
 """
 
 from __future__ import annotations
 
 import random
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass
 from enum import Enum
 
 from repro.exceptions import InfeasibleScheduleError, SchedulingError
+from repro.core.placement_heap import SiteHeap
 from repro.core.resource_model import OverlapModel
 from repro.core.schedule import Schedule
 from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
 
-__all__ = ["SortKey", "PlacementRule", "CloneItem", "pack_vectors"]
+__all__ = [
+    "SortKey",
+    "PlacementRule",
+    "CloneItem",
+    "pack_vectors",
+    "pack_vectors_reference",
+]
 
 
 class SortKey(Enum):
@@ -102,24 +128,175 @@ def _sorted_items(
     raise SchedulingError(f"unknown sort key {sort!r}")
 
 
-def _choose_site(
+def _no_allowable_site(item: CloneItem) -> InfeasibleScheduleError:
+    return InfeasibleScheduleError(
+        f"no allowable site for clone {item.clone_index} of {item.operator!r}"
+    )
+
+
+def _choose_site_linear(
+    schedule: Schedule,
+    item: CloneItem,
+    rule: PlacementRule,
+    rng: random.Random | None,
+    rr_state: list[int],
+) -> tuple[int, int]:
+    """Pick a site under one of the non-heap rules.
+
+    Returns ``(site_index, sites_scanned)``; the scan count feeds the
+    ``placement_scans`` instrumentation counter.
+    """
+    if rule is PlacementRule.MIN_RESULTING_LENGTH:
+        best = -1
+        best_len = 0.0
+        scanned = 0
+        for site in schedule.sites:
+            scanned += 1
+            if site.hosts_operator(item.operator):
+                continue
+            resulting = site.resulting_length(item.work)
+            if best < 0 or resulting < best_len:
+                best = site.index
+                best_len = resulting
+        if best < 0:
+            raise _no_allowable_site(item)
+        return best, scanned
+    if rule is PlacementRule.ROUND_ROBIN:
+        p = schedule.p
+        for offset in range(p):
+            j = (rr_state[0] + offset) % p
+            if not schedule.site(j).hosts_operator(item.operator):
+                rr_state[0] = (j + 1) % p
+                return j, offset + 1
+        raise _no_allowable_site(item)
+    if rule is PlacementRule.FIRST_FIT:
+        # Early exit: the first allowable site in index order IS the
+        # answer — no need to materialize the allowable set.
+        for site in schedule.sites:
+            if not site.hosts_operator(item.operator):
+                return site.index, site.index + 1
+        raise _no_allowable_site(item)
+    if rule is PlacementRule.RANDOM:
+        if rng is None:
+            raise SchedulingError("PlacementRule.RANDOM requires an rng")
+        allowable = [
+            site.index
+            for site in schedule.sites
+            if not site.hosts_operator(item.operator)
+        ]
+        if not allowable:
+            raise _no_allowable_site(item)
+        return rng.choice(allowable), schedule.p
+    raise SchedulingError(f"unknown placement rule {rule!r}")
+
+
+def _validate_items(items: Sequence[CloneItem]) -> int:
+    if not items:
+        raise SchedulingError("pack_vectors requires at least one clone item")
+    d = items[0].work.d
+    for item in items:
+        if item.work.d != d:
+            raise SchedulingError(
+                f"clone of {item.operator!r} has d={item.work.d}; expected {d}"
+            )
+    return d
+
+
+def pack_vectors(
+    items: Sequence[CloneItem],
+    *,
+    p: int,
+    overlap: OverlapModel,
+    sort: SortKey = SortKey.MAX_COMPONENT,
+    rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH,
+    rng: random.Random | None = None,
+    metrics=None,
+) -> Schedule:
+    """Pack clone work vectors into ``p`` sites under the chosen heuristic.
+
+    ``sort=MAX_COMPONENT, rule=LEAST_LOADED_LENGTH`` reproduces the core
+    packing step of OPERATORSCHEDULE exactly (given the same clone
+    vectors); other combinations populate the ablation grid of the
+    ``abl-pack`` benchmark.
+
+    ``metrics`` optionally takes a
+    :class:`~repro.engine.metrics.MetricsRecorder`; the kernel then
+    records ``placement_scans`` (site/heap entries examined),
+    ``clones_packed``, and a ``pack_vectors`` wall-clock timer.
+
+    Returns the resulting :class:`Schedule`, whose :meth:`Schedule.makespan`
+    is the Equation (3) response time of the packing.
+    """
+    d = _validate_items(items)
+    schedule = Schedule(p, d)
+    timer = metrics.timer("pack_vectors") if metrics is not None else nullcontext()
+    with timer:
+        rr_state = [0]
+        scans = 0
+        heap: SiteHeap | None = None
+        if rule is PlacementRule.LEAST_LOADED_LENGTH:
+            heap = SiteHeap(schedule.sites, key=lambda s: (s.length(), s.index))
+        for item in _sorted_items(items, sort, rng):
+            if heap is not None:
+                op = item.operator
+                site = heap.pick(lambda s: not s.hosts_operator(op))
+                if site is None:
+                    raise _no_allowable_site(item)
+                j = site.index
+            else:
+                j, examined = _choose_site_linear(schedule, item, rule, rng, rr_state)
+                scans += examined
+            schedule.place(
+                j,
+                PlacedClone(
+                    operator=item.operator,
+                    clone_index=item.clone_index,
+                    work=item.work,
+                    t_seq=overlap.t_seq(item.work),
+                ),
+            )
+            if heap is not None:
+                heap.update(schedule.site(j))
+        if metrics is not None:
+            metrics.count("placement_scans", heap.scans if heap is not None else scans)
+            metrics.count("clones_packed", len(items))
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# Naive reference implementation (retained for the golden tests)
+# ----------------------------------------------------------------------
+def _reference_site_length(site) -> float:
+    """Recompute ``l(work(s))`` from the resident clones, ignoring caches."""
+    if not len(site):
+        return 0.0
+    acc = [0.0] * site.d
+    for clone in site.clones:
+        for i, c in enumerate(clone.work.components):
+            acc[i] += c
+    return max(acc)
+
+
+def _choose_site_reference(
     schedule: Schedule,
     item: CloneItem,
     rule: PlacementRule,
     rng: random.Random | None,
     rr_state: list[int],
 ) -> int:
+    """The original O(p·d·clones) placement rule, kept verbatim in spirit.
+
+    Builds the full allowable list and recomputes site loads from the
+    placed clones; the optimized paths must match its choices exactly.
+    """
     allowable = [
         site for site in schedule.sites if not site.hosts_operator(item.operator)
     ]
     if not allowable:
-        raise InfeasibleScheduleError(
-            f"no allowable site for clone {item.clone_index} of {item.operator!r}"
-        )
+        raise _no_allowable_site(item)
     if rule is PlacementRule.LEAST_LOADED_LENGTH:
         return min(
-            allowable,
-            key=lambda s: ((s.length() if not s.is_empty() else 0.0), s.index),
+            allowable, key=lambda s: (_reference_site_length(s), s.index)
         ).index
     if rule is PlacementRule.MIN_RESULTING_LENGTH:
         def resulting(site) -> float:
@@ -135,9 +312,7 @@ def _choose_site(
             if not schedule.site(j).hosts_operator(item.operator):
                 rr_state[0] = (j + 1) % p
                 return j
-        raise InfeasibleScheduleError(
-            f"no allowable site for clone {item.clone_index} of {item.operator!r}"
-        )
+        raise _no_allowable_site(item)
     if rule is PlacementRule.FIRST_FIT:
         return min(allowable, key=lambda s: s.index).index
     if rule is PlacementRule.RANDOM:
@@ -147,7 +322,7 @@ def _choose_site(
     raise SchedulingError(f"unknown placement rule {rule!r}")
 
 
-def pack_vectors(
+def pack_vectors_reference(
     items: Sequence[CloneItem],
     *,
     p: int,
@@ -156,28 +331,19 @@ def pack_vectors(
     rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH,
     rng: random.Random | None = None,
 ) -> Schedule:
-    """Pack clone work vectors into ``p`` sites under the chosen heuristic.
+    """Naive rescanning variant of :func:`pack_vectors`.
 
-    ``sort=MAX_COMPONENT, rule=LEAST_LOADED_LENGTH`` reproduces the core
-    packing step of OPERATORSCHEDULE exactly (given the same clone
-    vectors); other combinations populate the ablation grid of the
-    ``abl-pack`` benchmark.
-
-    Returns the resulting :class:`Schedule`, whose :meth:`Schedule.makespan`
-    is the Equation (3) response time of the packing.
+    Kept as the semantic oracle: same signature, same deterministic
+    tie-breaking, no heap, no cached site statistics.  The golden tests
+    assert ``schedule_to_dict`` equality against :func:`pack_vectors` for
+    every sort × rule combination; benchmarks use it as the "before"
+    kernel when recording speedups.
     """
-    if not items:
-        raise SchedulingError("pack_vectors requires at least one clone item")
-    d = items[0].work.d
-    for item in items:
-        if item.work.d != d:
-            raise SchedulingError(
-                f"clone of {item.operator!r} has d={item.work.d}; expected {d}"
-            )
+    d = _validate_items(items)
     schedule = Schedule(p, d)
     rr_state = [0]
     for item in _sorted_items(items, sort, rng):
-        j = _choose_site(schedule, item, rule, rng, rr_state)
+        j = _choose_site_reference(schedule, item, rule, rng, rr_state)
         schedule.place(
             j,
             PlacedClone(

@@ -80,7 +80,7 @@ class WorkVector:
     (5.0, 7.5, 0.0)
     """
 
-    __slots__ = ("_components",)
+    __slots__ = ("_components", "_length", "_total")
 
     def __init__(self, components: Iterable[float]):
         comps = tuple(float(c) for c in components)
@@ -96,6 +96,22 @@ class WorkVector:
                     f"work vector component {i} is negative: {c!r}"
                 )
         self._components = comps
+        self._length = max(comps)
+        self._total = math.fsum(comps)
+
+    @classmethod
+    def _from_trusted(cls, comps: tuple[float, ...]) -> "WorkVector":
+        """Construct from an already-validated tuple of floats.
+
+        Internal fast path for hot loops (site load snapshots, arithmetic
+        on vectors whose components are known finite and non-negative);
+        skips the per-component validation of :meth:`__init__`.
+        """
+        self = cls.__new__(cls)
+        self._components = comps
+        self._length = max(comps)
+        self._total = math.fsum(comps)
+        return self
 
     # ------------------------------------------------------------------
     # Constructors
@@ -105,7 +121,7 @@ class WorkVector:
         """Return the ``d``-dimensional zero vector."""
         if d < 1:
             raise InvalidWorkVectorError(f"dimensionality must be >= 1, got {d}")
-        return cls((0.0,) * d)
+        return cls._from_trusted((0.0,) * d)
 
     @classmethod
     def unit(cls, d: int, axis: int, value: float = 1.0) -> "WorkVector":
@@ -162,16 +178,21 @@ class WorkVector:
     # Paper metrics
     # ------------------------------------------------------------------
     def length(self) -> float:
-        """Return ``l(W)``, the maximum component (Section 5.1)."""
-        return max(self._components)
+        """Return ``l(W)``, the maximum component (Section 5.1).
+
+        Cached at construction (vectors are immutable), so repeated calls
+        in the list-scheduling sort/placement loops are O(1).
+        """
+        return self._length
 
     def total(self) -> float:
         """Return the sum of the components.
 
         For a full (zero-communication) operator work vector this is the
-        *processing area* ``W_p(op)`` of Section 4.2.
+        *processing area* ``W_p(op)`` of Section 4.2.  Cached at
+        construction, like :meth:`length`.
         """
-        return math.fsum(self._components)
+        return self._total
 
     def argmax(self) -> int:
         """Return the index of the maximum component (ties: lowest index)."""
@@ -184,7 +205,7 @@ class WorkVector:
 
     def is_zero(self, tolerance: float = 0.0) -> bool:
         """Return ``True`` when every component is ``<= tolerance``."""
-        return all(c <= tolerance for c in self._components)
+        return self._length <= tolerance
 
     # ------------------------------------------------------------------
     # Arithmetic

@@ -102,6 +102,10 @@ def schedule_phases(
     if pack_phase is None:
 
         def pack_phase(floating, rooted, forced, n_sites):
+            # The default Figure 3 packer threads the recorder through so
+            # kernel-level counters (placement_scans, clones_placed) and
+            # the list_schedule timer land in the ScheduleResult
+            # instrumentation alongside the driver's own phase counters.
             return operator_schedule(
                 floating,
                 rooted,
@@ -111,6 +115,7 @@ def schedule_phases(
                 f=f,
                 degrees=forced,
                 policy=policy,
+                metrics=metrics,
             )
 
     started = time.perf_counter()

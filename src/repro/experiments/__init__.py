@@ -33,7 +33,11 @@ from repro.experiments.plan_selection import (
     PlanSelectionResult,
     select_best_plan,
 )
-from repro.experiments.sensitivity import SWEEPABLE_FIELDS, parameter_sensitivity
+from repro.experiments.sensitivity import (
+    SWEEPABLE_FIELDS,
+    overlap_robustness,
+    parameter_sensitivity,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -58,6 +62,7 @@ __all__ = [
     "SweepPoint",
     "SWEEPABLE_FIELDS",
     "parameter_sensitivity",
+    "overlap_robustness",
     "PlanCandidate",
     "PlanSelectionResult",
     "select_best_plan",

@@ -19,12 +19,18 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.exceptions import ConfigurationError
+from repro.core.batch import eq3_makespans_over_epsilon
+from repro.core.schedule import PhasedSchedule, Schedule
 from repro.cost.params import SystemParameters
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.figures import FigureData, Series
 from repro.experiments.parallel import ParallelRunner, SweepPoint
 
-__all__ = ["SWEEPABLE_FIELDS", "parameter_sensitivity"]
+__all__ = [
+    "SWEEPABLE_FIELDS",
+    "parameter_sensitivity",
+    "overlap_robustness",
+]
 
 #: Fields of SystemParameters that the sweep accepts.
 SWEEPABLE_FIELDS = (
@@ -105,5 +111,44 @@ def parameter_sensitivity(
         notes=(
             "Footnote 4 calibration check: the multi-dimensional advantage "
             "peaks near resource balance.",
+        ),
+    )
+
+
+def overlap_robustness(
+    schedule: Schedule | PhasedSchedule,
+    epsilons: tuple[float, ...],
+) -> FigureData:
+    """Re-evaluate a *fixed* placement's response time per overlap value.
+
+    Complementary to the Figure 5(b) sweep, which re-runs the scheduler
+    at each ``epsilon``: this sweep keeps the clone-to-site mapping fixed
+    and asks how its Equation (3) response time degrades when the EA2
+    overlap calibration was wrong — the placement-robustness side of the
+    sensitivity analysis.  Evaluation goes through the batch kernel
+    :func:`repro.core.batch.eq3_makespans_over_epsilon` (one vectorized
+    pass over all epsilons when numpy is available), so it is cheap
+    enough to run per sweep point.
+    """
+    if not epsilons:
+        raise ConfigurationError("overlap_robustness requires at least one epsilon")
+    phases = (
+        list(schedule.phases)
+        if isinstance(schedule, PhasedSchedule)
+        else [schedule]
+    )
+    per_phase = [eq3_makespans_over_epsilon(phase, epsilons) for phase in phases]
+    ys = tuple(
+        sum(spans[k] for spans in per_phase) for k in range(len(epsilons))
+    )
+    return FigureData(
+        figure_id="sens-overlap-fixed",
+        title="Fixed-placement response time vs overlap parameter",
+        x_label="overlap parameter epsilon",
+        y_label="response time (s)",
+        series=(Series(label="fixed placement", xs=tuple(map(float, epsilons)), ys=ys),),
+        notes=(
+            "Placement held constant; only the EA2 stand-alone clone "
+            "times are re-derived per epsilon (Equation 3 batch kernel).",
         ),
     )

@@ -1,0 +1,167 @@
+"""Tests for the numpy-gated batch kernels (repro.core.batch)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CloneItem,
+    ConvexCombinationOverlap,
+    OperatorSpec,
+    SchedulingError,
+    WorkVector,
+    lower_bound,
+    lower_bound_family,
+    pack_vectors,
+    set_length,
+)
+from repro.core import batch
+from repro.core.granularity import CommunicationModel
+from repro.core.resource_model import ConvexCombinationOverlap as Overlap
+
+
+def vecs(seed, n, d=3):
+    rng = random.Random(seed)
+    return [WorkVector([rng.uniform(0.0, 10.0) for _ in range(d)]) for _ in range(n)]
+
+
+class TestSumLength:
+    def test_matches_set_length_small(self):
+        vs = vecs(0, 5)
+        assert batch.sum_length(vs) == set_length(vs)
+
+    def test_matches_set_length_above_cutover(self):
+        vs = vecs(1, batch.NUMPY_CUTOVER + 20)
+        assert batch.sum_length(vs) == pytest.approx(set_length(vs), rel=1e-12)
+
+    def test_empty_requires_dimensionality(self):
+        assert batch.sum_length([], d=3) == 0.0
+        with pytest.raises(SchedulingError):
+            batch.sum_length([])
+
+
+class TestSetLengthBatch:
+    def test_ragged_groups_with_empty(self):
+        groups = [vecs(0, 3), [], vecs(1, batch.NUMPY_CUTOVER + 5)]
+        out = batch.set_length_batch(groups, d=3)
+        assert out[0] == pytest.approx(set_length(groups[0]))
+        assert out[1] == 0.0
+        assert out[2] == pytest.approx(set_length(groups[2]), rel=1e-12)
+
+    def test_dimension_mismatch_rejected(self):
+        groups = [[WorkVector([1.0, 2.0])] * batch.NUMPY_CUTOVER]
+        if batch.HAVE_NUMPY:
+            with pytest.raises(SchedulingError):
+                batch.set_length_batch(groups, d=3)
+
+    def test_invalid_dimensionality(self):
+        with pytest.raises(SchedulingError):
+            batch.set_length_batch([], d=0)
+
+
+class TestLowerBoundsBatch:
+    def test_matches_scalar_lower_bound(self):
+        comm = CommunicationModel(alpha=1.0, beta=0.01)
+        overlap = Overlap(0.5)
+        rng = random.Random(9)
+        specs = [
+            OperatorSpec(
+                name=f"op{i}",
+                work=WorkVector([rng.uniform(1.0, 40.0) for _ in range(3)]),
+                data_volume=rng.uniform(10.0, 200.0),
+            )
+            for i in range(6)
+        ]
+        family = [
+            {spec.name: 1 for spec in specs},
+            {spec.name: (2 if i % 2 else 1) for i, spec in enumerate(specs)},
+            {spec.name: 3 for spec in specs},
+        ]
+        batched = lower_bound_family(specs, family, 4, comm, overlap)
+        for degrees, lb in zip(family, batched):
+            assert lb == pytest.approx(
+                lower_bound(specs, degrees, 4, comm, overlap), rel=1e-12
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchedulingError):
+            batch.lower_bounds_batch([[]], [0.0, 1.0], p=2, d=3)
+
+    def test_invalid_p(self):
+        with pytest.raises(SchedulingError):
+            batch.lower_bounds_batch([[]], [0.0], p=0, d=3)
+
+    def test_empty_specs_family(self):
+        assert lower_bound_family([], [{}, {}], 2, None, None) == [0.0, 0.0]
+
+
+class TestEq3OverEpsilon:
+    @staticmethod
+    def _schedule(n=50, p=6, seed=4):
+        rng = random.Random(seed)
+        items = [
+            CloneItem(
+                operator=f"op{i}",
+                clone_index=0,
+                work=WorkVector([rng.uniform(0.1, 10.0) for _ in range(3)]),
+            )
+            for i in range(n)
+        ]
+        return items, pack_vectors(items, p=p, overlap=ConvexCombinationOverlap(0.5))
+
+    def test_matches_recompute_t_seq_per_epsilon(self):
+        _, schedule = self._schedule()
+        epsilons = (0.0, 0.1, 0.3, 0.5, 0.7, 1.0)
+        spans = batch.eq3_makespans_over_epsilon(schedule, epsilons)
+        for eps, span in zip(epsilons, spans):
+            overlap = ConvexCombinationOverlap(eps)
+            rebuilt = max(
+                site.recompute_t_seq(overlap).t_site() for site in schedule.sites
+            )
+            assert span == rebuilt
+
+    def test_pure_python_path_agrees(self, monkeypatch):
+        _, schedule = self._schedule()
+        epsilons = (0.2, 0.8)
+        with_numpy = batch.eq3_makespans_over_epsilon(schedule, epsilons)
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        without = batch.eq3_makespans_over_epsilon(schedule, epsilons)
+        assert with_numpy == without
+
+    def test_empty_schedule(self):
+        from repro.core.schedule import Schedule
+
+        spans = batch.eq3_makespans_over_epsilon(Schedule(3, 3), (0.1, 0.9))
+        assert spans == [0.0, 0.0]
+
+    def test_rejects_out_of_range_epsilon(self):
+        _, schedule = self._schedule(n=4, p=2)
+        with pytest.raises(SchedulingError):
+            batch.eq3_makespans_over_epsilon(schedule, (1.5,))
+
+
+class TestOverlapRobustness:
+    def test_figure_shape_and_values(self):
+        from repro.experiments import overlap_robustness
+
+        _, schedule = TestEq3OverEpsilon._schedule()
+        fig = overlap_robustness(schedule, (0.1, 0.5, 0.9))
+        assert len(fig.series) == 1
+        assert fig.series[0].xs == (0.1, 0.5, 0.9)
+        expected = batch.eq3_makespans_over_epsilon(schedule, (0.1, 0.5, 0.9))
+        assert list(fig.series[0].ys) == expected
+
+    def test_requires_epsilons(self):
+        from repro.exceptions import ConfigurationError
+        from repro.experiments import overlap_robustness
+
+        _, schedule = TestEq3OverEpsilon._schedule(n=4, p=2)
+        with pytest.raises(ConfigurationError):
+            overlap_robustness(schedule, ())
+
+
+def test_have_numpy_in_this_environment():
+    """The container bakes numpy in; the fast path must be active here."""
+    assert batch.HAVE_NUMPY

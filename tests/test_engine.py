@@ -198,6 +198,12 @@ class TestDriver:
         assert metrics.counters["phases"] == result.num_phases
         assert metrics.timers["pack_phase"] >= 0.0
         assert result.instrumentation.counters == metrics.counters
+        # PR 2 kernel instrumentation: the default Figure 3 packer reports
+        # its placement-scan counters and step-3 timer through the same
+        # recorder, so they surface in the ScheduleResult.
+        assert result.instrumentation.counters["placement_scans"] > 0
+        assert result.instrumentation.counters["clones_placed"] > 0
+        assert result.instrumentation.timers["list_schedule"] >= 0.0
 
 
 class TestEveryAlgorithmViaRegistry:

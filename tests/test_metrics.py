@@ -86,3 +86,95 @@ class TestMergeAndExport:
         m = MetricsRecorder()
         m.count("n")
         assert "counters=1" in repr(m)
+
+
+class TestKernelInstrumentation:
+    """The PR 2 placement-scan counters and kernel timers."""
+
+    @staticmethod
+    def _packed_recorder(n=30, p=6):
+        import random
+
+        from repro import CloneItem, ConvexCombinationOverlap, WorkVector, pack_vectors
+
+        rng = random.Random(3)
+        items = [
+            CloneItem(
+                operator=f"op{i}",
+                clone_index=0,
+                work=WorkVector([rng.uniform(0.1, 5.0) for _ in range(3)]),
+            )
+            for i in range(n)
+        ]
+        m = MetricsRecorder()
+        pack_vectors(items, p=p, overlap=ConvexCombinationOverlap(0.5), metrics=m)
+        return m, n
+
+    def test_pack_vectors_records_counters_and_timer(self):
+        from repro.engine.metrics import (
+            COUNTER_CLONES_PACKED,
+            COUNTER_PLACEMENT_SCANS,
+            TIMER_PACK_VECTORS,
+        )
+
+        m, n = self._packed_recorder()
+        assert m.counters[COUNTER_CLONES_PACKED] == n
+        assert m.counters[COUNTER_PLACEMENT_SCANS] > 0
+        assert m.timers[TIMER_PACK_VECTORS] > 0.0
+
+    def test_heap_scans_far_below_linear_rescan(self):
+        """The lazy heap examines far fewer entries than n*p."""
+        from repro.engine.metrics import COUNTER_PLACEMENT_SCANS
+
+        n, p = 200, 32
+        m, _ = self._packed_recorder(n=n, p=p)
+        assert m.counters[COUNTER_PLACEMENT_SCANS] < 0.25 * n * p
+
+    def test_operator_schedule_records_counters(self):
+        import random
+
+        from repro import ConvexCombinationOverlap, OperatorSpec, WorkVector, operator_schedule
+        from repro.core.granularity import CommunicationModel
+        from repro.engine.metrics import (
+            COUNTER_CLONES_PLACED,
+            COUNTER_PLACEMENT_SCANS,
+            TIMER_LIST_SCHEDULE,
+        )
+
+        rng = random.Random(1)
+        floating = [
+            OperatorSpec(
+                name=f"op{i}",
+                work=WorkVector([rng.uniform(1.0, 40.0) for _ in range(3)]),
+                data_volume=rng.uniform(10.0, 200.0),
+            )
+            for i in range(8)
+        ]
+        m = MetricsRecorder()
+        operator_schedule(
+            floating,
+            p=8,
+            comm=CommunicationModel(alpha=1.0, beta=0.01),
+            overlap=ConvexCombinationOverlap(0.5),
+            metrics=m,
+        )
+        assert m.counters[COUNTER_CLONES_PLACED] > 0
+        assert m.counters[COUNTER_PLACEMENT_SCANS] > 0
+        assert m.timers[TIMER_LIST_SCHEDULE] >= 0.0
+
+    def test_kernel_summary(self):
+        m, n = self._packed_recorder()
+        summary = m.kernel_summary()
+        assert summary["clones"] == n
+        assert summary["placement_scans"] == m.counters["placement_scans"]
+        assert summary["scans_per_clone"] > 0.0
+        assert summary["kernel_seconds"] > 0.0
+
+    def test_kernel_summary_empty_recorder(self):
+        summary = MetricsRecorder().kernel_summary()
+        assert summary == {
+            "placement_scans": 0.0,
+            "clones": 0.0,
+            "scans_per_clone": 0.0,
+            "kernel_seconds": 0.0,
+        }
