@@ -24,6 +24,8 @@ __all__ = [
     "COUNTER_PLACEMENT_SCANS",
     "COUNTER_CLONES_PLACED",
     "COUNTER_CLONES_PACKED",
+    "COUNTER_FAULTS_INJECTED",
+    "COUNTER_WORK_RERUN",
     "TIMER_LIST_SCHEDULE",
     "TIMER_PACK_VECTORS",
     "TIMER_PACK_PHASE",
@@ -47,6 +49,12 @@ COUNTER_PLACEMENT_SCANS = "placement_scans"
 COUNTER_CLONES_PLACED = "clones_placed"
 #: Clone items packed by the generic ablation kernel ``pack_vectors``.
 COUNTER_CLONES_PACKED = "clones_packed"
+#: Faults injected by a :mod:`repro.sim.faults` plan during a simulated
+#: execution (all kinds: slowdowns + skews + stragglers + failures).
+COUNTER_FAULTS_INJECTED = "faults_injected"
+#: Stand-alone-seconds of clone progress destroyed by site failures and
+#: re-executed after recovery.
+COUNTER_WORK_RERUN = "work_rerun"
 #: Wall-clock spent in the Figure 3 step-3 placement loop.
 TIMER_LIST_SCHEDULE = "list_schedule"
 #: Wall-clock spent inside ``pack_vectors``.

@@ -33,6 +33,12 @@ from repro.experiments.plan_selection import (
     PlanSelectionResult,
     select_best_plan,
 )
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    evaluate_robustness_point,
+    robustness_sweep,
+    simulate_result_under_faults,
+)
 from repro.experiments.sensitivity import (
     SWEEPABLE_FIELDS,
     overlap_robustness,
@@ -66,4 +72,8 @@ __all__ = [
     "PlanCandidate",
     "PlanSelectionResult",
     "select_best_plan",
+    "RobustnessPoint",
+    "evaluate_robustness_point",
+    "robustness_sweep",
+    "simulate_result_under_faults",
 ]

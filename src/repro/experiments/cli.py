@@ -36,7 +36,9 @@ from repro.engine.registry import describe_algorithms
 from repro.experiments.config import PAPER_CONFIG, quick_config
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import render_figure, render_parameters
+from repro.experiments.robustness import DEFAULT_INTENSITIES, robustness_sweep
 from repro.experiments.sensitivity import parameter_sensitivity
+from repro.sim.policies import SharingPolicy
 
 __all__ = ["build_parser", "main"]
 
@@ -60,11 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*FIGURES, *SENSITIVITY_TARGETS, "all", "table2", "algorithms"],
+        choices=[
+            *FIGURES,
+            *SENSITIVITY_TARGETS,
+            "robustness",
+            "all",
+            "table2",
+            "algorithms",
+        ],
         help=(
-            "figure to regenerate, a sensitivity sweep (sens-*), 'all' for "
-            "every figure, 'table2' for the configuration, or 'algorithms' "
-            "to list the registered schedulers"
+            "figure to regenerate, a sensitivity sweep (sens-*), "
+            "'robustness' for the fault-injection degradation sweep, 'all' "
+            "for every figure, 'table2' for the configuration, or "
+            "'algorithms' to list the registered schedulers"
         ),
     )
     parser.add_argument(
@@ -100,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="evaluate sweep points over N processes (identical results)",
+    )
+    parser.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="I",
+        help="fault intensities in [0, 1] for the robustness sweep",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=[p.value for p in SharingPolicy],
+        default=SharingPolicy.FAIR_SHARE.value,
+        help="sharing policy simulated under fault injection",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1996,
+        metavar="S",
+        help="base seed of the deterministic fault plans",
     )
     return parser
 
@@ -139,6 +170,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(render_figure(figure))
             print(f"(regenerated in {elapsed:.1f}s)")
             print()
+
+    if args.target == "robustness":
+        intensities = (
+            DEFAULT_INTENSITIES
+            if args.intensities is None
+            else tuple(args.intensities)
+        )
+        start = time.perf_counter()
+        figure = robustness_sweep(
+            config,
+            intensities=intensities,
+            policy=SharingPolicy(args.policy),
+            fault_seed=args.fault_seed,
+            workers=args.workers,
+        )
+        emit(figure, time.perf_counter() - start)
+        return 0
 
     if args.target in SENSITIVITY_TARGETS:
         field, multipliers = SENSITIVITY_TARGETS[args.target]

@@ -15,16 +15,31 @@ short-circuits the pool entirely and evaluates inline (no fork, easier
 debugging, no pickling requirements on custom parameters).
 
 Instrumentation: pass a :class:`~repro.engine.metrics.MetricsRecorder`
-to collect evaluated-point counts and wall-clock totals; per-point
-timings are recorded under ``point_seconds``.
+to collect evaluated-point counts and wall-clock totals.  Per-point
+timings are measured *inside* the evaluation (workers return
+``(value, seconds)`` pairs), so the ``point_seconds`` timer is recorded
+for any worker count, not just the inline path.
+
+Crash robustness: a worker dying mid-sweep (OOM kill, segfault, signal)
+breaks the whole pool.  Because sweep points are deterministic and
+side-effect free, the runner logs which points completed and transparently
+re-evaluates the rest inline instead of losing the sweep.
+
+Custom evaluations: ``run(points, evaluate=...)`` accepts any
+module-level (hence picklable) function, which is how the robustness
+experiment reuses the pool/ordering/retry machinery with its own point
+type.
 """
 
 from __future__ import annotations
 
+import logging
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Any
 
 from repro.exceptions import ConfigurationError
 from repro.engine.metrics import MetricsRecorder
@@ -33,6 +48,8 @@ from repro.cost.params import PAPER_PARAMETERS, SystemParameters
 from repro.experiments.runner import average_response_time, prepare_workload
 
 __all__ = ["SweepPoint", "ParallelRunner", "evaluate_point"]
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -86,6 +103,13 @@ def evaluate_point(point: SweepPoint) -> float:
     )
 
 
+def _timed(evaluate: Callable[[Any], Any], point: Any) -> tuple[Any, float]:
+    """Evaluate one point and measure it where it runs (worker or inline)."""
+    started = time.perf_counter()
+    value = evaluate(point)
+    return value, time.perf_counter() - started
+
+
 class ParallelRunner:
     """Evaluate sweep points, optionally over a process pool.
 
@@ -95,7 +119,9 @@ class ParallelRunner:
         Process count; ``1`` (default) evaluates inline and serially.
     metrics:
         Optional recorder; accumulates the ``points_evaluated`` counter
-        and the ``run`` / ``point_seconds`` timers.
+        and the ``run`` / ``point_seconds`` timers (identical for any
+        worker count), plus ``points_retried_inline`` when a broken pool
+        forced an inline retry.
     """
 
     def __init__(
@@ -106,39 +132,75 @@ class ParallelRunner:
         self.workers = workers
         self.metrics = metrics
 
-    def run(self, points: Sequence[SweepPoint]) -> list[float]:
+    def run(
+        self,
+        points: Sequence[Any],
+        *,
+        evaluate: Callable[[Any], Any] = evaluate_point,
+    ) -> list[Any]:
         """Evaluate every point, returning values in input order.
 
         Algorithm names are validated up front (in the parent process),
         so an unknown name raises
         :class:`~repro.exceptions.ConfigurationError` before any worker
-        is forked.
+        is forked.  ``evaluate`` must be a module-level function when
+        ``workers > 1`` (it is shipped to the pool by reference).
         """
         points = list(points)
         for point in points:
-            get_algorithm(point.algorithm)
+            name = getattr(point, "algorithm", None)
+            if name is not None:
+                get_algorithm(name)
         started = time.perf_counter()
         if self.workers == 1 or len(points) <= 1:
-            values = [self._evaluate_inline(point) for point in points]
+            pairs = [_timed(evaluate, point) for point in points]
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(points))
-            ) as pool:
-                values = list(pool.map(evaluate_point, points))
+            pairs = self._run_pool(points, evaluate)
         if self.metrics is not None:
             self.metrics.count("points_evaluated", len(points))
+            self.metrics.timers["point_seconds"] = self.metrics.timers.get(
+                "point_seconds", 0.0
+            ) + sum(seconds for _, seconds in pairs)
             self.metrics.timers["run"] = (
                 self.metrics.timers.get("run", 0.0)
                 + time.perf_counter()
                 - started
             )
-        return values
+        return [value for value, _ in pairs]
 
-    def _evaluate_inline(self, point: SweepPoint) -> float:
-        if self.metrics is None:
-            return evaluate_point(point)
-        with self.metrics.timer("point_seconds"):
-            return evaluate_point(point)
+    def _run_pool(
+        self, points: list[Any], evaluate: Callable[[Any], Any]
+    ) -> list[tuple[Any, float]]:
+        """Fan points over a process pool, surviving worker death.
+
+        Points are submitted individually so a broken pool reveals
+        exactly which prefix completed; the remainder is re-evaluated
+        inline (safe: points are deterministic and side-effect free).
+        Ordinary exceptions raised by ``evaluate`` itself still
+        propagate — only pool breakage triggers the retry.
+        """
+        pairs: list[tuple[Any, float] | None] = [None] * len(points)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(points))
+            ) as pool:
+                futures = [pool.submit(_timed, evaluate, p) for p in points]
+                for i, future in enumerate(futures):
+                    pairs[i] = future.result()
+        except BrokenProcessPool:
+            remaining = [i for i, pair in enumerate(pairs) if pair is None]
+            _LOG.warning(
+                "worker pool died after %d/%d sweep points; "
+                "re-evaluating the remaining %d inline",
+                len(points) - len(remaining),
+                len(points),
+                len(remaining),
+            )
+            if self.metrics is not None:
+                self.metrics.count("points_retried_inline", len(remaining))
+            for i in remaining:
+                pairs[i] = _timed(evaluate, points[i])
+        return pairs  # type: ignore[return-value]
 
     def __repr__(self) -> str:
         return f"ParallelRunner(workers={self.workers})"

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # numpy is an optional extra; plan sampling needs it
+    np = None  # type: ignore[assignment]
 
 from repro.exceptions import ConfigurationError
 from repro.core.granularity import CommunicationModel
@@ -107,6 +110,10 @@ def select_best_plan(
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
+    if np is None:
+        raise ConfigurationError(
+            "plan sampling needs numpy; install the 'repro[numpy]' extra"
+        )
     rng = np.random.default_rng(seed)
     scored: list[tuple[PlanCandidate, TreeScheduleResult]] = []
     for _ in range(k):

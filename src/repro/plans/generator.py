@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # numpy is an optional extra; workload drawing needs it
+    np = None  # type: ignore[assignment]
 
 from repro.exceptions import ConfigurationError
 from repro.plans.join_tree import PlanNode, random_bushy_plan
@@ -123,6 +126,10 @@ def generate_workload(
     """
     if n_queries < 1:
         raise ConfigurationError(f"n_queries must be >= 1, got {n_queries}")
+    if np is None:
+        raise ConfigurationError(
+            "workload generation needs numpy; install the 'repro[numpy]' extra"
+        )
     rng = np.random.default_rng(seed)
     return [
         generate_query(

@@ -12,7 +12,11 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 import networkx as nx
-import numpy as np
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np  # noqa: F401 - annotations only
+except ImportError:  # numpy is optional; rng parameters are duck-typed
+    np = None  # type: ignore[assignment]
 
 from repro.exceptions import PlanStructureError
 from repro.plans.relations import Catalog

@@ -14,7 +14,10 @@ import math
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np  # noqa: F401 - annotations only
+except ImportError:  # numpy is optional; rng parameters are duck-typed
+    np = None  # type: ignore[assignment]
 
 from repro.exceptions import ConfigurationError, PlanStructureError
 

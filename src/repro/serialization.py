@@ -22,6 +22,7 @@ from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
 from repro.engine.result import Instrumentation, ScheduleResult
 from repro.experiments.figures import FigureData, Series
+from repro.sim.faults import FaultReport, FaultSpec
 
 __all__ = [
     "work_vector_to_dict",
@@ -36,6 +37,10 @@ __all__ = [
     "instrumentation_from_dict",
     "schedule_result_to_dict",
     "schedule_result_from_dict",
+    "fault_spec_to_dict",
+    "fault_spec_from_dict",
+    "fault_report_to_dict",
+    "fault_report_from_dict",
     "figure_to_dict",
     "figure_from_dict",
 ]
@@ -48,6 +53,22 @@ def _expect(mapping: dict[str, Any], key: str) -> Any:
         return mapping[key]
     except (KeyError, TypeError):
         raise ConfigurationError(f"malformed payload: missing {key!r}") from None
+
+
+def _check_schema(payload: dict[str, Any]) -> None:
+    """Reject payloads tagged with a foreign schema version.
+
+    Payloads written by this module carry ``"schema": "repro/1"``; a
+    different tag means the artifact came from an incompatible writer and
+    silently parsing it would produce garbage, so we refuse.  A *missing*
+    tag is accepted for compatibility with artifacts written before the
+    tag existed (and with hand-built dicts in tests).
+    """
+    tag = payload.get("schema") if isinstance(payload, dict) else None
+    if tag is not None and tag != _SCHEMA:
+        raise ConfigurationError(
+            f"unsupported payload schema {tag!r} (expected {_SCHEMA!r})"
+        )
 
 
 def work_vector_to_dict(w: WorkVector) -> dict[str, Any]:
@@ -102,6 +123,7 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
 
 def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
     """Deserialize a schedule (re-validates constraint (A) on the way)."""
+    _check_schema(payload)
     schedule = Schedule(int(_expect(payload, "p")), int(_expect(payload, "d")))
     for item in _expect(payload, "placements"):
         schedule.place(
@@ -127,6 +149,7 @@ def phased_schedule_to_dict(phased: PhasedSchedule) -> dict[str, Any]:
 
 def phased_schedule_from_dict(payload: dict[str, Any]) -> PhasedSchedule:
     """Deserialize a phased schedule."""
+    _check_schema(payload)
     phased = PhasedSchedule()
     labels = list(payload.get("labels", []))
     phases = _expect(payload, "phases")
@@ -193,6 +216,7 @@ def schedule_result_from_dict(payload: dict[str, Any]) -> ScheduleResult:
     timelines), homes, degrees and instrumentation all reconstruct to
     equal values.
     """
+    _check_schema(payload)
     phased_payload = _expect(payload, "phased_schedule")
     phased = (
         None if phased_payload is None else phased_schedule_from_dict(phased_payload)
@@ -214,6 +238,82 @@ def schedule_result_from_dict(payload: dict[str, Any]) -> ScheduleResult:
     )
 
 
+def fault_spec_to_dict(spec: FaultSpec) -> dict[str, Any]:
+    """Serialize a fault-injection spec (for experiment provenance)."""
+    return {
+        "schema": _SCHEMA,
+        "slowdown_prob": spec.slowdown_prob,
+        "slowdown_range": list(spec.slowdown_range),
+        "skew_prob": spec.skew_prob,
+        "skew_range": list(spec.skew_range),
+        "straggler_prob": spec.straggler_prob,
+        "straggler_delay_range": list(spec.straggler_delay_range),
+        "failure_prob": spec.failure_prob,
+        "failure_at_range": list(spec.failure_at_range),
+        "restart_delay_range": list(spec.restart_delay_range),
+        "epsilon": spec.epsilon,
+    }
+
+
+def fault_spec_from_dict(payload: dict[str, Any]) -> FaultSpec:
+    """Deserialize a fault-injection spec (re-validates on construction)."""
+    _check_schema(payload)
+
+    def pair(key: str, default: tuple[float, float]) -> tuple[float, float]:
+        low, high = payload.get(key, default)
+        return (float(low), float(high))
+
+    defaults = FaultSpec.none()
+    return FaultSpec(
+        slowdown_prob=float(payload.get("slowdown_prob", 0.0)),
+        slowdown_range=pair("slowdown_range", defaults.slowdown_range),
+        skew_prob=float(payload.get("skew_prob", 0.0)),
+        skew_range=pair("skew_range", defaults.skew_range),
+        straggler_prob=float(payload.get("straggler_prob", 0.0)),
+        straggler_delay_range=pair(
+            "straggler_delay_range", defaults.straggler_delay_range
+        ),
+        failure_prob=float(payload.get("failure_prob", 0.0)),
+        failure_at_range=pair("failure_at_range", defaults.failure_at_range),
+        restart_delay_range=pair(
+            "restart_delay_range", defaults.restart_delay_range
+        ),
+        epsilon=float(payload.get("epsilon", defaults.epsilon)),
+    )
+
+
+def fault_report_to_dict(report: FaultReport) -> dict[str, Any]:
+    """Serialize a simulated execution's fault attribution."""
+    return {
+        "schema": _SCHEMA,
+        "slowdowns": report.slowdowns,
+        "skews": report.skews,
+        "stragglers": report.stragglers,
+        "failures": report.failures,
+        "time_lost_slowdown": report.time_lost_slowdown,
+        "time_lost_skew": report.time_lost_skew,
+        "time_lost_straggler": report.time_lost_straggler,
+        "time_lost_failure": report.time_lost_failure,
+        "work_rerun": report.work_rerun,
+    }
+
+
+def fault_report_from_dict(payload: dict[str, Any]) -> FaultReport:
+    """Deserialize a fault report (all fields optional, default zero)."""
+    _check_schema(payload)
+    return FaultReport(
+        slowdowns=int(payload.get("slowdowns", 0)),
+        skews=int(payload.get("skews", 0)),
+        stragglers=int(payload.get("stragglers", 0)),
+        failures=int(payload.get("failures", 0)),
+        time_lost_slowdown=float(payload.get("time_lost_slowdown", 0.0)),
+        time_lost_skew=float(payload.get("time_lost_skew", 0.0)),
+        time_lost_straggler=float(payload.get("time_lost_straggler", 0.0)),
+        time_lost_failure=float(payload.get("time_lost_failure", 0.0)),
+        work_rerun=float(payload.get("work_rerun", 0.0)),
+    )
+
+
 def figure_to_dict(figure: FigureData) -> dict[str, Any]:
     """Serialize a regenerated figure's series."""
     return {
@@ -232,6 +332,7 @@ def figure_to_dict(figure: FigureData) -> dict[str, Any]:
 
 def figure_from_dict(payload: dict[str, Any]) -> FigureData:
     """Deserialize a figure."""
+    _check_schema(payload)
     return FigureData(
         figure_id=_expect(payload, "figure_id"),
         title=_expect(payload, "title"),

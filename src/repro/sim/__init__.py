@@ -7,6 +7,13 @@ merely evaluating Equation (3), validating the paper's analytic model
 """
 
 from repro.sim.events import CloneTrace, RateInterval
+from repro.sim.faults import (
+    CloneFault,
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    SiteFaults,
+)
 from repro.sim.policies import SharingPolicy
 from repro.sim.preemptability import (
     PreemptabilityModel,
@@ -32,6 +39,11 @@ __all__ = [
     "SharingPolicy",
     "CloneTrace",
     "RateInterval",
+    "FaultSpec",
+    "CloneFault",
+    "SiteFaults",
+    "FaultPlan",
+    "FaultReport",
     "SiteSimulation",
     "PhaseSimulation",
     "SimulationResult",

@@ -12,6 +12,15 @@ Under :attr:`SharingPolicy.OPTIMAL_STRETCH` the simulated response time
 reproduces the analytic model *exactly* (this is asserted by the
 validation tests); under :attr:`FAIR_SHARE` and :attr:`SERIAL` it bounds
 the model from above, quantifying the optimism of assumptions A2/A3.
+
+Fault injection: every entry point accepts an optional
+:class:`~repro.sim.faults.FaultPlan` (or per-site
+:class:`~repro.sim.faults.SiteFaults`).  Sites untouched by the plan run
+the exact unperturbed code path — a zero-fault plan is byte-identical to
+no plan at all (golden-tested) — while faulty sites go through a
+generalized event loop that honours capacity slowdowns, work-estimate
+skew, straggler start delays and whole-site failures with
+restart-after-delay recovery, for all three sharing policies.
 """
 
 from __future__ import annotations
@@ -20,9 +29,12 @@ import math
 from dataclasses import dataclass, field
 
 from repro.exceptions import SimulationError
+from repro.core.resource_model import ConvexCombinationOverlap
 from repro.core.schedule import PhasedSchedule, Schedule
 from repro.core.site import Site
+from repro.core.work_vector import WorkVector
 from repro.sim.events import CloneTrace, RateInterval
+from repro.sim.faults import FaultPlan, FaultReport, SiteFaults
 from repro.sim.policies import SharingPolicy
 
 __all__ = [
@@ -93,18 +105,28 @@ class SimulationResult:
         phases are globally synchronized).
     analytic_response_time:
         The Equation (3) response time of the same schedule.
+    fault_report:
+        Per-category fault attribution when the simulation ran under a
+        :class:`~repro.sim.faults.FaultPlan`; ``None`` otherwise.
     """
 
     policy: SharingPolicy
     phases: list[PhaseSimulation]
     response_time: float
     analytic_response_time: float
+    fault_report: FaultReport | None = None
 
     @property
     def slowdown(self) -> float:
-        """``simulated / analytic`` response-time ratio (1.0 when equal)."""
+        """``simulated / analytic`` response-time ratio (1.0 when equal).
+
+        A degenerate schedule (zero analytic time) with positive
+        simulated time is *infinitely* slower, not "in agreement": the
+        ratio is ``inf`` in that case, so disagreement on degenerate
+        schedules cannot masquerade as a perfect match.
+        """
         if self.analytic_response_time <= 0.0:
-            return 1.0
+            return 1.0 if self.response_time <= 0.0 else math.inf
         return self.response_time / self.analytic_response_time
 
 
@@ -216,15 +238,20 @@ def _simulate_fair_share(site: Site) -> SiteSimulation:
         end = now + dt
         rates = tuple(c * throttle for c in congestion)
         _check_feasible(rates, site.index)
-        intervals.append(
-            RateInterval(
-                start=now,
-                end=end,
-                active=tuple(s["label"] for s in active),
-                throttle=throttle,
-                resource_rates=rates,
+        # A zero-length step (a clone whose remaining work rounds to
+        # nothing) still completes clones below, but must not emit a
+        # degenerate interval: downstream feasibility/duration audits
+        # treat intervals as strictly positive spans.
+        if dt > 0.0:
+            intervals.append(
+                RateInterval(
+                    start=now,
+                    end=end,
+                    active=tuple(s["label"] for s in active),
+                    throttle=throttle,
+                    resource_rates=rates,
+                )
             )
-        )
         still_active = []
         for s in active:
             s["remaining"] -= throttle * dt
@@ -298,13 +325,313 @@ _POLICY_DISPATCH = {
 }
 
 
-def simulate_site(site: Site, policy: SharingPolicy) -> SiteSimulation:
+# ----------------------------------------------------------------------
+# Fault-perturbed execution
+# ----------------------------------------------------------------------
+# Faulty sites run a generalized event loop instead of the closed-form
+# per-policy simulators above: state is still piecewise constant, but
+# events now include straggler releases, the failure instant, and the
+# recovery instant in addition to clone completions.  Sites without
+# faults never enter this code, which is what keeps the zero-fault path
+# byte-identical to the plain simulator.
+
+
+def _faulty_clone_states(site: Site, faults: SiteFaults) -> list[dict]:
+    """Clone states with skewed work applied and release times attached.
+
+    A skewed clone's stand-alone time is re-derived from its *actual*
+    work vector under EA2 with the plan's epsilon, which preserves the
+    Section 4.1 bound ``l(W) <= T_seq <= sum(W)`` by construction
+    (:meth:`OverlapModel.t_seq` validates it).
+    """
+    overlap = ConvexCombinationOverlap(faults.epsilon)
+    states = []
+    for clone in site.clones:
+        label = f"{clone.operator}#{clone.clone_index}"
+        fault = faults.clones.get(label)
+        components = clone.work.components
+        t_actual = clone.t_seq
+        if fault is not None and fault.work_multipliers is not None:
+            if len(fault.work_multipliers) != clone.work.d:
+                raise SimulationError(
+                    f"site {site.index}: skew for {label} has "
+                    f"{len(fault.work_multipliers)} components; clone has {clone.work.d}"
+                )
+            actual = WorkVector(
+                [c * m for c, m in zip(components, fault.work_multipliers)]
+            )
+            t_actual = overlap.t_seq(actual)
+            components = actual.components
+        rates = tuple((c / t_actual if t_actual > 0 else 0.0) for c in components)
+        states.append(
+            {
+                "label": label,
+                "operator": clone.operator,
+                "clone_index": clone.clone_index,
+                "t_seq": t_actual,
+                "scheduled_t_seq": clone.t_seq,
+                "rates": rates,
+                "remaining": t_actual,
+                "release": fault.straggler_delay if fault is not None else 0.0,
+                "start": None,
+                "done": False,
+            }
+        )
+    return states
+
+
+def _allocate_rates(
+    policy: SharingPolicy,
+    active: list[dict],
+    capacity: float,
+    d: int,
+    serial_rank: dict[str, int],
+) -> list[float]:
+    """Per-clone progress speeds for one piecewise-constant segment.
+
+    ``capacity`` is the (possibly degraded) uniform resource-capacity
+    factor: a slowdown ``s`` scales *every* progress speed by ``s``, so
+    in isolation it multiplies every duration by exactly ``1/s`` (the
+    EA2 stand-alone time models imperfect overlap, which a uniformly
+    slower site preserves).  The three policies generalize their
+    fault-free definitions: SERIAL runs one clone at the capacity
+    factor, FAIR_SHARE applies one common throttle, and OPTIMAL_STRETCH
+    finishes every active clone simultaneously at the earliest feasible
+    horizon ``max(max_c rem_c, max_i sum_c rate_c[i] * rem_c) /
+    capacity`` (the Equation 2 horizon when nothing is degraded).
+    """
+    if policy is SharingPolicy.SERIAL:
+        runner = min(active, key=lambda s: serial_rank[s["label"]])
+        return [capacity if s is runner else 0.0 for s in active]
+    if policy is SharingPolicy.FAIR_SHARE:
+        congestion = [0.0] * d
+        for s in active:
+            for i, r in enumerate(s["rates"]):
+                congestion[i] += r
+        throttle = 1.0
+        for c in congestion:
+            if c > 1.0:
+                throttle = min(throttle, 1.0 / c)
+        return [throttle * capacity] * len(active)
+    horizon = max(s["remaining"] for s in active)
+    for i in range(d):
+        demand = math.fsum(s["rates"][i] * s["remaining"] for s in active)
+        horizon = max(horizon, demand)
+    horizon /= capacity
+    if horizon <= 0.0:
+        return [1.0] * len(active)
+    return [s["remaining"] / horizon for s in active]
+
+
+def _run_site_with_faults(
+    site: Site, policy: SharingPolicy, faults: SiteFaults
+) -> tuple[SiteSimulation, float]:
+    """Event-driven simulation of one site under a fault bundle.
+
+    Returns the site simulation and the stand-alone-seconds of progress
+    destroyed (and later re-run) by a failure.
+
+    Failure semantics: at ``fail_at`` every *started, unfinished* clone
+    loses its progress (its remaining work resets to the full actual
+    stand-alone time); clones that completed at or before the failure
+    instant keep their materialized results; the site is down for
+    ``restart_delay`` and then re-runs the lost work.
+    """
+    analytic = site.t_site()
+    states = _faulty_clone_states(site, faults)
+    capacity = faults.slowdown if faults.slowdown is not None else 1.0
+    if capacity <= 0.0:
+        raise SimulationError(f"site {site.index}: slowdown factor must be > 0")
+    fail_at = faults.fail_at
+    restart_delay = faults.restart_delay
+    serial_rank = {
+        s["label"]: i
+        for i, s in enumerate(
+            sorted(states, key=lambda s: (-s["scheduled_t_seq"], s["label"]))
+        )
+    }
+    traces: list[CloneTrace] = []
+    intervals: list[RateInterval] = []
+    work_rerun = 0.0
+    now = 0.0
+    # Zero-work clones complete the instant they are released.
+    for s in states:
+        if s["t_seq"] <= 0.0:
+            s["done"] = True
+            traces.append(
+                CloneTrace(
+                    operator=s["operator"],
+                    clone_index=s["clone_index"],
+                    start=s["release"],
+                    finish=s["release"],
+                    nominal_t_seq=0.0,
+                )
+            )
+    guard = 0
+    limit = 10_000 + 10 * len(states)
+    while True:
+        guard += 1
+        if guard > limit:
+            raise SimulationError(
+                f"site {site.index}: faulty simulation failed to converge"
+            )
+        pending = [s for s in states if not s["done"]]
+        if not pending:
+            break
+        if fail_at is not None and now >= fail_at:
+            # The failure fires: in-flight progress is lost and re-run.
+            for s in pending:
+                if s["start"] is not None:
+                    lost = s["t_seq"] - s["remaining"]
+                    if lost > 0.0:
+                        work_rerun += lost
+                        s["remaining"] = s["t_seq"]
+            recovered = now + restart_delay
+            if restart_delay > 0.0:
+                intervals.append(
+                    RateInterval(
+                        start=now,
+                        end=recovered,
+                        active=(),
+                        throttle=0.0,
+                        resource_rates=(0.0,) * site.d,
+                    )
+                )
+            now = recovered
+            fail_at = None
+            continue
+        boundaries = [s["release"] for s in pending if s["release"] > now]
+        if fail_at is not None and fail_at > now:
+            boundaries.append(fail_at)
+        active = [s for s in pending if s["release"] <= now]
+        if not active:
+            if not boundaries:
+                raise SimulationError(
+                    f"site {site.index}: no runnable clone and no future event"
+                )
+            now = min(boundaries)
+            continue
+        for s in active:
+            if s["start"] is None:
+                s["start"] = now
+        speeds = _allocate_rates(policy, active, capacity, site.d, serial_rank)
+        dt = min(
+            (s["remaining"] / v for s, v in zip(active, speeds) if v > 0.0),
+            default=math.inf,
+        )
+        if boundaries:
+            dt = min(dt, min(boundaries) - now)
+        if not math.isfinite(dt) or dt <= 0.0:
+            raise SimulationError(
+                f"site {site.index}: faulty simulation stalled at t={now}"
+            )
+        end = now + dt
+        agg = [0.0] * site.d
+        for s, v in zip(active, speeds):
+            for i, r in enumerate(s["rates"]):
+                agg[i] += r * v
+        rates = tuple(agg)
+        _check_feasible(rates, site.index)
+        running = tuple(s["label"] for s, v in zip(active, speeds) if v > 0.0)
+        if running:
+            intervals.append(
+                RateInterval(
+                    start=now,
+                    end=end,
+                    active=running,
+                    throttle=min(v for v in speeds if v > 0.0),
+                    resource_rates=rates,
+                )
+            )
+        for s, v in zip(active, speeds):
+            if v <= 0.0:
+                continue
+            s["remaining"] -= v * dt
+            if s["remaining"] <= _EPS * max(1.0, s["t_seq"]):
+                s["done"] = True
+                s["remaining"] = 0.0
+                traces.append(
+                    CloneTrace(
+                        operator=s["operator"],
+                        clone_index=s["clone_index"],
+                        start=s["start"],
+                        finish=end,
+                        nominal_t_seq=s["t_seq"],
+                    )
+                )
+        now = end
+    completion = max((t.finish for t in traces), default=now)
+    return (
+        SiteSimulation(
+            site_index=site.index,
+            completion_time=completion,
+            analytic_time=analytic,
+            traces=traces,
+            intervals=intervals,
+        ),
+        work_rerun,
+    )
+
+
+def _attribute_site_faults(
+    site: Site, policy: SharingPolicy, faults: SiteFaults
+) -> tuple[SiteSimulation, FaultReport]:
+    """Simulate a faulty site and split its time lost per fault kind.
+
+    The attribution ladder re-simulates with progressively more fault
+    kinds enabled (skew -> slowdown -> stragglers -> failure) and
+    charges each kind the site-completion-time delta it causes.  Only
+    rungs whose kind is present run, so a skew-only site costs two
+    simulations, not five.  Skew deltas can be negative (overestimated
+    work finishes early); the remaining deltas are non-negative.
+    """
+    report = FaultReport()
+    sim, _ = _run_site_with_faults(site, policy, faults.restricted())
+    prev = sim.completion_time
+    if faults.has_skew:
+        sim, _ = _run_site_with_faults(site, policy, faults.restricted(skew=True))
+        report.time_lost_skew = sim.completion_time - prev
+        prev = sim.completion_time
+    if faults.slowdown is not None:
+        sim, _ = _run_site_with_faults(
+            site, policy, faults.restricted(skew=True, slowdown=True)
+        )
+        report.time_lost_slowdown = sim.completion_time - prev
+        prev = sim.completion_time
+    if faults.has_stragglers:
+        sim, _ = _run_site_with_faults(
+            site,
+            policy,
+            faults.restricted(skew=True, slowdown=True, straggler=True),
+        )
+        report.time_lost_straggler = sim.completion_time - prev
+        prev = sim.completion_time
+    if faults.fail_at is not None:
+        sim, rerun = _run_site_with_faults(site, policy, faults)
+        report.time_lost_failure = sim.completion_time - prev
+        report.work_rerun = rerun
+    return sim, report
+
+
+def simulate_site(
+    site: Site, policy: SharingPolicy, *, faults: SiteFaults | None = None
+) -> SiteSimulation:
     """Simulate one site's clones under ``policy``.
 
     Checks rate feasibility throughout and work conservation at the end
     (every clone's trace spans enough stretched time to complete its
     nominal work).
+
+    With a non-empty ``faults`` bundle the site runs the perturbed event
+    loop instead; the Equation (2) floor check is skipped there because
+    downward work skew legitimately finishes below the *scheduled*
+    analytic time.
     """
+    if faults is not None and not faults.is_empty:
+        result, _ = _run_site_with_faults(site, policy, faults)
+        if result.completion_time < -_EPS:
+            raise SimulationError(f"site {site.index}: negative completion time")
+        return result
     result = _POLICY_DISPATCH[policy](site)
     # Work conservation: each finished clone ran for >= its nominal time
     # scaled by the throttles it received — guaranteed by construction for
@@ -322,8 +649,45 @@ def simulate_site(site: Site, policy: SharingPolicy) -> SiteSimulation:
     return result
 
 
-def simulate_schedule(schedule: Schedule, policy: SharingPolicy) -> PhaseSimulation:
-    """Simulate one phase (all sites run concurrently from time zero)."""
+def _simulate_schedule_with_plan(
+    schedule: Schedule, policy: SharingPolicy, plan: FaultPlan, phase_index: int
+) -> tuple[PhaseSimulation, FaultReport]:
+    """One phase under a fault plan, with per-kind time attribution."""
+    report = FaultReport()
+    sims = []
+    for site in schedule.sites:
+        faults = plan.for_site(phase_index, site.index)
+        if faults is None or faults.is_empty:
+            sims.append(simulate_site(site, policy))
+        else:
+            sim, site_report = _attribute_site_faults(site, policy, faults)
+            report.merge(site_report)
+            sims.append(sim)
+    makespan = max((s.completion_time for s in sims), default=0.0)
+    return (
+        PhaseSimulation(
+            sites=sims, makespan=makespan, analytic_makespan=schedule.makespan()
+        ),
+        report,
+    )
+
+
+def simulate_schedule(
+    schedule: Schedule,
+    policy: SharingPolicy,
+    *,
+    plan: FaultPlan | None = None,
+    phase_index: int = 0,
+) -> PhaseSimulation:
+    """Simulate one phase (all sites run concurrently from time zero).
+
+    Pass a :class:`~repro.sim.faults.FaultPlan` (and the phase's index
+    within it) to run the phase under perturbation; fault-free sites
+    still take the exact unperturbed code path.
+    """
+    if plan is not None and not plan.is_empty:
+        phase, _ = _simulate_schedule_with_plan(schedule, policy, plan, phase_index)
+        return phase
     sites = [simulate_site(site, policy) for site in schedule.sites]
     makespan = max((s.completion_time for s in sites), default=0.0)
     return PhaseSimulation(
@@ -332,14 +696,40 @@ def simulate_schedule(schedule: Schedule, policy: SharingPolicy) -> PhaseSimulat
 
 
 def simulate_phased(
-    phased: PhasedSchedule, policy: SharingPolicy = SharingPolicy.OPTIMAL_STRETCH
+    phased: PhasedSchedule,
+    policy: SharingPolicy = SharingPolicy.OPTIMAL_STRETCH,
+    *,
+    plan: FaultPlan | None = None,
 ) -> SimulationResult:
-    """Simulate a full phased schedule with a global barrier per phase."""
-    phases = [simulate_schedule(schedule, policy) for schedule in phased.phases]
+    """Simulate a full phased schedule with a global barrier per phase.
+
+    With a :class:`~repro.sim.faults.FaultPlan`, every phase runs under
+    the plan's perturbations and the result carries a
+    :class:`~repro.sim.faults.FaultReport` attributing the time lost to
+    slowdowns vs. skew vs. stragglers vs. failures.  A zero-fault plan
+    produces phases byte-identical to ``plan=None`` (golden-tested),
+    plus an all-zero report — the layer is pure extension.
+    """
+    if plan is None:
+        phases = [simulate_schedule(schedule, policy) for schedule in phased.phases]
+        response = math.fsum(p.makespan for p in phases)
+        return SimulationResult(
+            policy=policy,
+            phases=phases,
+            response_time=response,
+            analytic_response_time=phased.response_time(),
+        )
+    report = FaultReport.from_counts(plan.counts())
+    phases = []
+    for k, schedule in enumerate(phased.phases):
+        phase, phase_report = _simulate_schedule_with_plan(schedule, policy, plan, k)
+        report.merge(phase_report)
+        phases.append(phase)
     response = math.fsum(p.makespan for p in phases)
     return SimulationResult(
         policy=policy,
         phases=phases,
         response_time=response,
         analytic_response_time=phased.response_time(),
+        fault_report=report,
     )

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+try:
+    import numpy as np
+except ImportError:  # no-numpy CI job: core kernels only
+    np = None  # type: ignore[assignment]
 
 from repro import (
     PAPER_PARAMETERS,
@@ -14,6 +18,41 @@ from repro import (
     annotate_plan,
     generate_query,
 )
+
+# Test modules that import numpy at module level (directly or through
+# workload generation); the no-numpy job skips them wholesale instead of
+# failing at collection time.
+if np is None:
+    collect_ignore = [
+        "test_annotate.py",
+        "test_cli_extended.py",
+        "test_edge_cases.py",
+        "test_engine.py",
+        "test_examples.py",
+        "test_experiments.py",
+        "test_integration.py",
+        "test_parallel_runner.py",
+        "test_report_cli.py",
+        "test_robustness.py",
+        "test_sensitivity.py",
+        "test_generator.py",
+        "test_hong.py",
+        "test_join_tree.py",
+        "test_materialization.py",
+        "test_operator_tree.py",
+        "test_phases.py",
+        "test_plan_selection.py",
+        "test_properties.py",
+        "test_query_graph.py",
+        "test_relations.py",
+        "test_shelf_policies.py",
+        "test_sort_merge.py",
+        "test_stats.py",
+        "test_synchronous.py",
+        "test_task_tree.py",
+        "test_transform.py",
+        "test_tree_schedule.py",
+    ]
 
 
 @pytest.fixture
@@ -69,6 +108,8 @@ def simple_specs():
 @pytest.fixture
 def annotated_query(params):
     """A deterministic 8-join query, cost-annotated and ready to schedule."""
+    if np is None:
+        pytest.skip("workload generation requires numpy")
     query = generate_query(8, np.random.default_rng(42))
     annotate_plan(query.operator_tree, params)
     return query
@@ -77,6 +118,8 @@ def annotated_query(params):
 @pytest.fixture
 def annotated_query_factory(params):
     """Factory for annotated random queries: ``factory(n_joins, seed)``."""
+    if np is None:
+        pytest.skip("workload generation requires numpy")
 
     def factory(n_joins: int, seed: int):
         query = generate_query(n_joins, np.random.default_rng(seed))

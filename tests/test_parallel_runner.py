@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro import ConfigurationError
@@ -66,5 +69,62 @@ class TestMetrics:
         assert metrics.timers["run"] >= 0.0
         assert metrics.timers["point_seconds"] >= 0.0
 
+    def test_point_seconds_recorded_with_workers(self):
+        # Regression: per-point timing used to be measured only on the
+        # inline path, so workers > 1 silently dropped the timer.  It is
+        # now measured inside the evaluation, wherever it runs.
+        metrics = MetricsRecorder()
+        ParallelRunner(2, metrics=metrics).run(GRID)
+        assert "point_seconds" in metrics.timers
+        assert metrics.timers["point_seconds"] > 0.0
+
+    def test_metric_keys_identical_any_worker_count(self):
+        serial = MetricsRecorder()
+        ParallelRunner(1, metrics=serial).run(GRID)
+        parallel = MetricsRecorder()
+        ParallelRunner(2, metrics=parallel).run(GRID)
+        assert set(serial.timers) == set(parallel.timers)
+        assert serial.counters == parallel.counters
+
     def test_repr(self):
         assert "workers=3" in repr(ParallelRunner(3))
+
+
+def _evaluate_or_die(point: dict) -> float:
+    """Die with SIGKILL in any pool worker; succeed in the parent.
+
+    Simulates an OOM-killed worker: SIGKILL cannot be caught, so the
+    executor surfaces BrokenProcessPool rather than an exception.
+    """
+    if os.getpid() != point["parent_pid"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return float(point["value"])
+
+
+def _evaluate_raises(point: dict) -> float:
+    raise ValueError(f"bad point {point['value']}")
+
+
+class TestBrokenPool:
+    def test_worker_death_recovers_inline(self):
+        points = [{"parent_pid": os.getpid(), "value": v} for v in range(4)]
+        metrics = MetricsRecorder()
+        values = ParallelRunner(2, metrics=metrics).run(
+            points, evaluate=_evaluate_or_die
+        )
+        # Every point the dead pool lost was re-evaluated inline, in order.
+        assert values == [0.0, 1.0, 2.0, 3.0]
+        assert metrics.counters["points_retried_inline"] > 0
+        assert metrics.counters["points_evaluated"] == 4.0
+
+    def test_ordinary_exceptions_still_propagate(self):
+        points = [{"parent_pid": os.getpid(), "value": v} for v in range(3)]
+        with pytest.raises(ValueError, match="bad point"):
+            ParallelRunner(2).run(points, evaluate=_evaluate_raises)
+
+
+class TestCustomEvaluate:
+    def test_inline_custom_point_type(self):
+        points = [{"value": 2.0}, {"value": 3.0}]
+        values = ParallelRunner(1).run(points, evaluate=lambda p: p["value"] ** 2)
+        assert values == [4.0, 9.0]

@@ -16,6 +16,10 @@ from repro import (
 from repro.engine import Instrumentation, ScheduleResult
 from repro.experiments.figures import FigureData, Series
 from repro.serialization import (
+    fault_report_from_dict,
+    fault_report_to_dict,
+    fault_spec_from_dict,
+    fault_spec_to_dict,
     figure_from_dict,
     figure_to_dict,
     instrumentation_from_dict,
@@ -31,6 +35,7 @@ from repro.serialization import (
     work_vector_from_dict,
     work_vector_to_dict,
 )
+from repro.sim.faults import FaultReport, FaultSpec
 
 
 class TestWorkVector:
@@ -172,6 +177,132 @@ class TestScheduleResult:
     def test_malformed(self):
         with pytest.raises(ConfigurationError):
             schedule_result_from_dict({"algorithm": "x"})
+
+
+class TestSchemaTag:
+    """Readers must reject payloads from incompatible writers."""
+
+    BAD = {"schema": "repro/2"}
+
+    def test_schedule_rejects_foreign_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            schedule_from_dict({**self.BAD, "p": 1, "d": 1, "placements": []})
+
+    def test_phased_rejects_foreign_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            phased_schedule_from_dict({**self.BAD, "phases": [], "labels": []})
+
+    def test_result_rejects_foreign_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            schedule_result_from_dict(
+                {**self.BAD, "phased_schedule": None, "response_time": 1.0}
+            )
+
+    def test_figure_rejects_foreign_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            figure_from_dict(
+                {
+                    **self.BAD,
+                    "figure_id": "f",
+                    "title": "t",
+                    "x_label": "x",
+                    "y_label": "y",
+                    "series": [],
+                }
+            )
+
+    def test_missing_tag_accepted(self):
+        # Pre-tag artifacts (and hand-built dicts) carry no schema key.
+        schedule = schedule_from_dict({"p": 1, "d": 1, "placements": []})
+        assert schedule.p == 1
+        phased = phased_schedule_from_dict({"phases": []})
+        assert phased.num_phases == 0
+        result = schedule_result_from_dict(
+            {"phased_schedule": None, "response_time": 2.5}
+        )
+        assert result.makespan == 2.5
+
+    def test_written_payloads_carry_the_tag(self):
+        result = ScheduleResult.from_value("optbound", 1.0)
+        assert schedule_result_to_dict(result)["schema"] == "repro/1"
+
+
+class TestExtremeFloats:
+    """ScheduleResult must survive an actual json.dumps/loads round-trip
+    with denormal-tiny and near-overflow-huge stand-alone times."""
+
+    @pytest.mark.parametrize("t_seq", [1e-308, 5e-324, 1e300])
+    def test_roundtrip_through_json_text(self, t_seq):
+        from repro import PlacedClone, Schedule, WorkVector
+        from repro.core.schedule import PhasedSchedule
+
+        schedule = Schedule(2, 2)
+        schedule.place(
+            0,
+            PlacedClone(
+                operator="tiny",
+                clone_index=0,
+                work=WorkVector([t_seq, 0.0]),
+                t_seq=t_seq,
+            ),
+        )
+        schedule.place(
+            1,
+            PlacedClone(
+                operator="other",
+                clone_index=0,
+                work=WorkVector([1.0, 1.0]),
+                t_seq=1.5,
+            ),
+        )
+        phased = PhasedSchedule()
+        phased.append(schedule, "t1")
+        result = ScheduleResult(algorithm="treeschedule", phased_schedule=phased)
+        text = json.dumps(schedule_result_to_dict(result))
+        restored = schedule_result_from_dict(json.loads(text))
+        # repr round-trip of Python floats through JSON text is exact.
+        assert restored.makespan == result.makespan
+        placed = restored.phased_schedule.phases[0].sites[0].clones[0]
+        assert placed.t_seq == t_seq
+        assert placed.work.components[0] == t_seq
+
+
+class TestFaultSpecSerialization:
+    def test_roundtrip(self):
+        spec = FaultSpec.at_intensity(0.65, epsilon=0.3)
+        payload = json.loads(json.dumps(fault_spec_to_dict(spec)))
+        assert fault_spec_from_dict(payload) == spec
+
+    def test_defaults_fill_in(self):
+        assert fault_spec_from_dict({}) == FaultSpec.none()
+
+    def test_foreign_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            fault_spec_from_dict({"schema": "repro/9"})
+
+    def test_invalid_values_revalidated(self):
+        with pytest.raises(ConfigurationError):
+            fault_spec_from_dict({"slowdown_prob": 2.0})
+
+
+class TestFaultReportSerialization:
+    def test_roundtrip(self):
+        report = FaultReport(
+            slowdowns=2,
+            skews=3,
+            stragglers=1,
+            failures=1,
+            time_lost_slowdown=1.25,
+            time_lost_skew=-0.5,
+            time_lost_straggler=0.75,
+            time_lost_failure=4.0,
+            work_rerun=2.5,
+        )
+        payload = json.loads(json.dumps(fault_report_to_dict(report)))
+        assert fault_report_from_dict(payload) == report
+
+    def test_all_fields_optional(self):
+        assert fault_report_from_dict({}) == FaultReport()
 
 
 class TestFigure:

@@ -1,0 +1,354 @@
+"""Tests for the deterministic fault-injection layer (repro.sim.faults)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ConfigurationError,
+    ConvexCombinationOverlap,
+    PlacedClone,
+    Schedule,
+    SharingPolicy,
+    WorkVector,
+    simulate_phased,
+)
+from repro.core.schedule import PhasedSchedule
+from repro.sim.faults import CloneFault, FaultPlan, FaultReport, FaultSpec, SiteFaults
+from repro.sim.simulator import simulate_site
+
+OVERLAP = ConvexCombinationOverlap(0.5)
+
+
+def clone(op, comps, index=0):
+    w = WorkVector(comps)
+    return PlacedClone(operator=op, clone_index=index, work=w, t_seq=OVERLAP.t_seq(w))
+
+
+def make_phased():
+    """Two phases x two sites with complementary multi-clone loads."""
+    phased = PhasedSchedule()
+    first = Schedule(2, 2)
+    first.place(0, clone("a", [6.0, 1.0]))
+    first.place(0, clone("b", [1.0, 5.0]))
+    first.place(1, clone("c", [3.0, 3.0]))
+    phased.append(first, "t1")
+    second = Schedule(2, 2)
+    second.place(0, clone("d", [2.0, 2.0]))
+    second.place(1, clone("e", [4.0, 0.5]))
+    second.place(1, clone("f", [0.5, 4.0]))
+    phased.append(second, "t2")
+    return phased
+
+
+class TestFaultSpec:
+    def test_zero_by_default(self):
+        assert FaultSpec.none().is_zero
+        assert FaultSpec().is_zero
+
+    def test_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(slowdown_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(failure_prob=-0.1)
+
+    def test_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(slowdown_range=(0.9, 0.5))
+        with pytest.raises(ConfigurationError):
+            FaultSpec(slowdown_range=(0.5, 1.5))
+        with pytest.raises(ConfigurationError):
+            FaultSpec(skew_range=(0.0, 2.0))
+
+    def test_at_intensity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.at_intensity(1.2)
+        with pytest.raises(ConfigurationError):
+            FaultSpec.at_intensity(-0.01)
+
+    def test_at_intensity_zero_is_zero(self):
+        assert FaultSpec.at_intensity(0.0).is_zero
+        assert not FaultSpec.at_intensity(1.0).is_zero
+
+
+class TestFaultPlan:
+    def test_zero_spec_expands_to_empty_plan(self):
+        plan = FaultPlan.build(FaultSpec.none(), make_phased(), seed=7)
+        assert plan.is_empty
+        assert plan.counts() == {
+            "slowdowns": 0,
+            "skews": 0,
+            "stragglers": 0,
+            "failures": 0,
+        }
+
+    def test_hostile_spec_injects_something(self):
+        plan = FaultPlan.build(FaultSpec.at_intensity(1.0), make_phased(), seed=3)
+        assert not plan.is_empty
+        assert sum(plan.counts().values()) > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        intensity=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_same_seed_same_plan(self, seed, intensity):
+        phased = make_phased()
+        spec = FaultSpec.at_intensity(intensity)
+        assert FaultPlan.build(spec, phased, seed) == FaultPlan.build(
+            spec, phased, seed
+        )
+
+    def test_global_rng_state_untouched(self):
+        import random
+
+        random.seed(12345)
+        before = random.getstate()
+        FaultPlan.build(FaultSpec.at_intensity(1.0), make_phased(), seed=1)
+        assert random.getstate() == before
+
+    def test_different_seeds_usually_differ(self):
+        phased = make_phased()
+        spec = FaultSpec.at_intensity(1.0)
+        plans = {
+            tuple(sorted(FaultPlan.build(spec, phased, s).sites)) for s in range(8)
+        }
+        assert len(plans) > 1
+
+
+class TestZeroFaultIdentity:
+    """The golden guarantee: a zero-fault plan is byte-identical to no plan."""
+
+    @pytest.mark.parametrize("policy", list(SharingPolicy))
+    def test_byte_identical_phases(self, policy):
+        phased = make_phased()
+        plan = FaultPlan.build(FaultSpec.none(), phased, seed=99)
+        base = simulate_phased(phased, policy)
+        faulted = simulate_phased(phased, policy, plan=plan)
+        assert faulted.phases == base.phases
+        assert faulted.response_time == base.response_time
+        assert faulted.fault_report is not None
+        assert faulted.fault_report.faults_injected == 0
+        assert faulted.fault_report.total_time_lost == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_identity_for_any_seed(self, seed):
+        phased = make_phased()
+        plan = FaultPlan.build(FaultSpec.none(), phased, seed)
+        base = simulate_phased(phased, SharingPolicy.FAIR_SHARE)
+        faulted = simulate_phased(phased, SharingPolicy.FAIR_SHARE, plan=plan)
+        assert faulted.phases == base.phases
+
+
+def site_of(phased, phase, index):
+    return phased.phases[phase].sites[index]
+
+
+class TestSlowdown:
+    @pytest.mark.parametrize("policy", list(SharingPolicy))
+    def test_halved_capacity_doubles_completion(self, policy):
+        phased = make_phased()
+        site = site_of(phased, 0, 0)
+        base = simulate_site(site, policy)
+        slowed = simulate_site(
+            site, policy, faults=SiteFaults(slowdown=0.5, epsilon=0.5)
+        )
+        assert slowed.completion_time == pytest.approx(
+            2.0 * base.completion_time, rel=1e-6
+        )
+
+    def test_nonpositive_slowdown_rejected(self):
+        phased = make_phased()
+        with pytest.raises(Exception):
+            simulate_site(
+                site_of(phased, 0, 0),
+                SharingPolicy.FAIR_SHARE,
+                faults=SiteFaults(slowdown=0.0, epsilon=0.5),
+            )
+
+
+class TestStraggler:
+    def test_delay_pushes_completion(self):
+        phased = make_phased()
+        site = site_of(phased, 0, 1)  # single clone "c"
+        base = simulate_site(site, SharingPolicy.FAIR_SHARE)
+        delayed = simulate_site(
+            site,
+            SharingPolicy.FAIR_SHARE,
+            faults=SiteFaults(
+                clones={"c#0": CloneFault(straggler_delay=2.5)}, epsilon=0.5
+            ),
+        )
+        assert delayed.completion_time == pytest.approx(
+            base.completion_time + 2.5, rel=1e-6
+        )
+        (trace,) = [t for t in delayed.traces if t.operator == "c"]
+        assert trace.start == pytest.approx(2.5)
+
+
+class TestSkew:
+    def test_upward_skew_slows_downward_speeds(self):
+        phased = make_phased()
+        site = site_of(phased, 0, 1)
+        base = simulate_site(site, SharingPolicy.FAIR_SHARE)
+        up = simulate_site(
+            site,
+            SharingPolicy.FAIR_SHARE,
+            faults=SiteFaults(
+                clones={"c#0": CloneFault(work_multipliers=(2.0, 2.0))},
+                epsilon=0.5,
+            ),
+        )
+        down = simulate_site(
+            site,
+            SharingPolicy.FAIR_SHARE,
+            faults=SiteFaults(
+                clones={"c#0": CloneFault(work_multipliers=(0.5, 0.5))},
+                epsilon=0.5,
+            ),
+        )
+        assert up.completion_time == pytest.approx(2.0 * base.completion_time)
+        assert down.completion_time == pytest.approx(0.5 * base.completion_time)
+
+    def test_dimension_mismatch_rejected(self):
+        from repro.exceptions import SimulationError
+
+        phased = make_phased()
+        with pytest.raises(SimulationError):
+            simulate_site(
+                site_of(phased, 0, 1),
+                SharingPolicy.FAIR_SHARE,
+                faults=SiteFaults(
+                    clones={"c#0": CloneFault(work_multipliers=(2.0,))},
+                    epsilon=0.5,
+                ),
+            )
+
+
+class TestFailure:
+    def test_lost_progress_is_rerun(self):
+        phased = make_phased()
+        site = site_of(phased, 0, 0)
+        base = simulate_site(site, SharingPolicy.FAIR_SHARE)
+        fail_at = 0.5 * base.completion_time
+        failed = simulate_site(
+            site,
+            SharingPolicy.FAIR_SHARE,
+            faults=SiteFaults(fail_at=fail_at, restart_delay=1.0, epsilon=0.5),
+        )
+        # Everything before the failure re-runs after the 1.0s outage.
+        assert failed.completion_time == pytest.approx(
+            fail_at + 1.0 + base.completion_time, rel=1e-6
+        )
+        # The outage appears as an idle interval.
+        assert any(iv.active == () for iv in failed.intervals)
+
+    def test_failure_after_completion_is_harmless(self):
+        phased = make_phased()
+        site = site_of(phased, 0, 0)
+        base = simulate_site(site, SharingPolicy.FAIR_SHARE)
+        failed = simulate_site(
+            site,
+            SharingPolicy.FAIR_SHARE,
+            faults=SiteFaults(
+                fail_at=base.completion_time * 2.0,
+                restart_delay=5.0,
+                epsilon=0.5,
+            ),
+        )
+        assert failed.completion_time == pytest.approx(base.completion_time)
+
+
+class TestAttribution:
+    def test_report_splits_by_kind(self):
+        phased = make_phased()
+        plan = FaultPlan(spec=FaultSpec.none(), seed=0)
+        plan.sites[(0, 0)] = SiteFaults(
+            slowdown=0.5,
+            clones={"a#0": CloneFault(straggler_delay=1.0)},
+            epsilon=0.5,
+        )
+        result = simulate_phased(phased, SharingPolicy.FAIR_SHARE, plan=plan)
+        report = result.fault_report
+        assert report is not None
+        assert report.time_lost_slowdown > 0.0
+        assert report.time_lost_straggler > 0.0
+        assert report.time_lost_failure == 0.0
+        assert report.time_lost_skew == 0.0
+
+    def test_failure_attribution_counts_rerun(self):
+        phased = make_phased()
+        t_ref = phased.phases[0].sites[0].t_site()
+        plan = FaultPlan(spec=FaultSpec.none(), seed=0)
+        plan.sites[(0, 0)] = SiteFaults(
+            fail_at=0.5 * t_ref, restart_delay=0.5, epsilon=0.5
+        )
+        result = simulate_phased(phased, SharingPolicy.FAIR_SHARE, plan=plan)
+        report = result.fault_report
+        assert report is not None
+        assert report.time_lost_failure > 0.0
+        assert report.work_rerun > 0.0
+        assert result.response_time > result.analytic_response_time
+
+    def test_total_time_lost_is_sum_of_kinds(self):
+        report = FaultReport(
+            time_lost_slowdown=1.0,
+            time_lost_skew=-0.25,
+            time_lost_straggler=0.5,
+            time_lost_failure=2.0,
+        )
+        assert report.total_time_lost == pytest.approx(3.25)
+
+    def test_merge_accumulates(self):
+        a = FaultReport(slowdowns=1, work_rerun=2.0, time_lost_slowdown=1.5)
+        b = FaultReport(slowdowns=2, failures=1, work_rerun=0.5)
+        a.merge(b)
+        assert a.slowdowns == 3
+        assert a.failures == 1
+        assert a.work_rerun == pytest.approx(2.5)
+        assert a.time_lost_slowdown == pytest.approx(1.5)
+
+
+class TestRestricted:
+    def test_kind_filters(self):
+        faults = SiteFaults(
+            slowdown=0.7,
+            fail_at=3.0,
+            restart_delay=1.0,
+            clones={
+                "x#0": CloneFault(work_multipliers=(1.2, 0.8), straggler_delay=0.5)
+            },
+            epsilon=0.5,
+        )
+        assert faults.restricted().is_empty
+        skew_only = faults.restricted(skew=True)
+        assert skew_only.has_skew
+        assert not skew_only.has_stragglers
+        assert skew_only.slowdown is None and skew_only.fail_at is None
+        full = faults.restricted(
+            skew=True, slowdown=True, straggler=True, failure=True
+        )
+        assert full == faults
+
+
+class TestFaultySimulationInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        intensity=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_feasible_and_complete(self, seed, intensity):
+        phased = make_phased()
+        plan = FaultPlan.build(FaultSpec.at_intensity(intensity), phased, seed)
+        result = simulate_phased(phased, SharingPolicy.FAIR_SHARE, plan=plan)
+        assert math.isfinite(result.response_time)
+        assert result.response_time >= 0.0
+        for phase in result.phases:
+            for site in phase.sites:
+                for iv in site.intervals:
+                    assert iv.end > iv.start
+                    assert iv.is_feasible()

@@ -163,3 +163,54 @@ class TestScheduleAndPhases:
         fair = simulate_phased(ts.phased_schedule, SharingPolicy.FAIR_SHARE)
         serial = simulate_phased(ts.phased_schedule, SharingPolicy.SERIAL)
         assert stretch.response_time <= fair.response_time <= serial.response_time + 1e-6
+
+
+class TestSlowdownRatio:
+    """Regression: a degenerate schedule (zero analytic time) with positive
+    simulated time used to report slowdown 1.0 — perfect agreement where
+    there is infinite disagreement."""
+
+    def _result(self, response, analytic):
+        from repro.sim.simulator import SimulationResult
+
+        return SimulationResult(
+            policy=SharingPolicy.FAIR_SHARE,
+            phases=[],
+            response_time=response,
+            analytic_response_time=analytic,
+        )
+
+    def test_zero_analytic_positive_simulated_is_inf(self):
+        assert self._result(5.0, 0.0).slowdown == math.inf
+
+    def test_zero_analytic_zero_simulated_is_one(self):
+        assert self._result(0.0, 0.0).slowdown == 1.0
+
+    def test_ordinary_ratio(self):
+        assert self._result(3.0, 2.0).slowdown == pytest.approx(1.5)
+
+
+class TestZeroLengthIntervals:
+    """Regression: a clone whose remaining work rounds to nothing produced a
+    zero-length RateInterval from the fair-share event loop."""
+
+    def test_fair_share_skips_degenerate_steps(self, monkeypatch):
+        import repro.sim.simulator as sim_mod
+
+        site = site_with([[4.0, 2.0], [1.0, 1.0]])
+        original = sim_mod._clone_states
+
+        def with_exhausted_clone(s):
+            states = original(s)
+            # One clone arrives with its work already (numerically) done:
+            # the first fair-share step then has dt == 0.
+            states[1]["remaining"] = 0.0
+            return states
+
+        monkeypatch.setattr(sim_mod, "_clone_states", with_exhausted_clone)
+        result = simulate_site(site, SharingPolicy.FAIR_SHARE)
+        # The exhausted clone still completes (it gets a trace) ...
+        assert len(result.traces) == 2
+        # ... but no degenerate interval is recorded.
+        for iv in result.intervals:
+            assert iv.end > iv.start
