@@ -1,0 +1,241 @@
+"""Artifact-store benchmark: cold vs warm fig-6a sweep + deepcopy removal.
+
+Runs the Figure 6(a) sweep grid (query size x algorithm x system size)
+twice against one content-addressed :class:`repro.store.ArtifactStore`:
+
+* **cold** — empty cache directory: every point is evaluated and
+  persisted, and every evaluated point schedules its whole query cohort;
+* **warm** — same directory: every point is answered from the store, so
+  the sweep schedules (at least) 10x fewer operators than the cold run —
+  zero, in fact, which is the resumability claim in its strongest form.
+
+It also measures the deepcopy elimination on the workload hot path: the
+historical ``prepare_workload`` deep-copied the query cohort on every
+call; the current one returns the shared structural cohort paired with
+an immutable annotation view.  The bench times one ``copy.deepcopy`` of
+the cohort (the old per-call cost, still measurable live) against the
+current warm ``prepare_workload`` call.
+
+Medians land in ``BENCH_store.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/store_bench.py --write             # refresh BENCH_store.json
+    python benchmarks/store_bench.py --check [--threshold 10.0]
+        # regression gate: fail when the warm sweep exceeds threshold x
+        # the committed warm median, or when the warm sweep schedules
+        # more than a tenth of the cold run's operators
+
+The timing threshold is deliberately generous (CI machines are noisy);
+the operator-count check is exact — both runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.metrics import MetricsRecorder  # noqa: E402
+from repro.experiments import prepare_workload, quick_config  # noqa: E402
+from repro.experiments.parallel import ParallelRunner, SweepPoint  # noqa: E402
+from repro.store import NO_STORE, ArtifactStore  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_store.json"
+SCHEMA = "repro-bench-store/1"
+
+#: The fig-6a sweep of the bench: reduced sizes so the cold run stays in
+#: seconds, same grid shape as repro.experiments.figures.figure6a.
+CONFIG = quick_config(n_queries=3, query_sizes=(10, 20))
+P_VALUES = (8, 32)
+DEEPCOPY_COHORT = (20, 5, CONFIG.seed)  # n_joins, n_queries, seed
+
+
+def sweep_points() -> list[SweepPoint]:
+    """The Figure 6(a) grid (query size x algorithm x system size)."""
+    return [
+        SweepPoint(
+            algorithm, size, CONFIG.n_queries, CONFIG.seed,
+            p, CONFIG.default_f, CONFIG.default_epsilon, CONFIG.params,
+        )
+        for p in P_VALUES
+        for algorithm in ("treeschedule", "synchronous")
+        for size in CONFIG.query_sizes
+    ]
+
+
+def operators_per_point(point: SweepPoint) -> int:
+    """Operators one evaluated sweep point hands to its scheduler."""
+    cohort = prepare_workload(
+        point.n_joins, point.n_queries, point.seed, point.params, store=NO_STORE
+    )
+    return sum(len(list(q.operator_tree.operators)) for q in cohort)
+
+
+def run_sweep(store: ArtifactStore) -> dict:
+    """Evaluate the grid against ``store`` and account for the work done."""
+    points = sweep_points()
+    metrics = MetricsRecorder()
+    started = time.perf_counter()
+    values = ParallelRunner(metrics=metrics, store=store).run(points)
+    elapsed = time.perf_counter() - started
+    evaluated = int(metrics.counters.get("points_evaluated", 0.0))
+    # Both runs see the same deterministic grid, and the store either
+    # answers a point entirely or not at all, so the operators scheduled
+    # are exactly those of the evaluated points (the grid is uniform per
+    # size; evaluation order does not matter for the total).
+    per_point = [operators_per_point(point) for point in points]
+    if evaluated == len(points):
+        operators = sum(per_point)
+    elif evaluated == 0:
+        operators = 0
+    else:  # partial warm run: conservative upper bound
+        operators = sum(sorted(per_point, reverse=True)[:evaluated])
+    return {
+        "seconds": elapsed,
+        "points": len(points),
+        "points_evaluated": evaluated,
+        "operators_scheduled": operators,
+        "store": store.stats.snapshot(),
+        "checksum": round(sum(values), 6),
+    }
+
+
+def run_deepcopy_comparison(reps: int = 5) -> dict:
+    """Old per-call deepcopy cost vs the current shared warm path."""
+    n_joins, n_queries, seed = DEEPCOPY_COHORT
+    cohort = prepare_workload(n_joins, n_queries, seed, store=NO_STORE)
+
+    def timed(fn) -> float:
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return statistics.median(times)
+
+    deepcopy_s = timed(lambda: copy.deepcopy([q.query for q in cohort]))
+    shared_s = timed(
+        lambda: prepare_workload(n_joins, n_queries, seed, store=NO_STORE)
+    )
+    return {
+        "cohort": {"n_joins": n_joins, "n_queries": n_queries, "seed": seed},
+        "deepcopy_s": deepcopy_s,
+        "shared_prepare_s": shared_s,
+        "speedup": deepcopy_s / shared_s if shared_s else float("inf"),
+    }
+
+
+def run_bench() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        cold = run_sweep(ArtifactStore(tmp))
+        warm = run_sweep(ArtifactStore(tmp))  # fresh stats, same directory
+    assert warm["checksum"] == cold["checksum"], "warm sweep changed values"
+    return {
+        "schema": SCHEMA,
+        "sweep": (
+            f"fig6a grid: sizes={CONFIG.query_sizes} x "
+            f"(treeschedule, synchronous) x P={P_VALUES}, "
+            f"{CONFIG.n_queries} queries/point"
+        ),
+        "generated_by": "benchmarks/store_bench.py --write",
+        "cold": cold,
+        "warm": warm,
+        "speedup_cold_vs_warm": cold["seconds"] / warm["seconds"],
+        "operator_reduction": (
+            cold["operators_scheduled"] / max(warm["operators_scheduled"], 1)
+        ),
+        "deepcopy_elimination": run_deepcopy_comparison(),
+    }
+
+
+def write_bench(path: pathlib.Path = BENCH_PATH) -> dict:
+    payload = run_bench()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check_regression(
+    threshold: float, path: pathlib.Path = BENCH_PATH
+) -> tuple[bool, str]:
+    """Fresh cold+warm run against the committed warm baseline."""
+    try:
+        committed = json.loads(path.read_text())
+    except FileNotFoundError:
+        return False, f"no committed baseline at {path}; run --write first"
+    payload = run_bench()
+    cold, warm = payload["cold"], payload["warm"]
+    ok = True
+    lines = []
+    baseline = committed["warm"]["seconds"]
+    ratio = warm["seconds"] / baseline
+    lines.append(
+        f"warm fig6a sweep: current={warm['seconds']:.4f}s "
+        f"baseline={baseline:.4f}s ratio={ratio:.2f}x (threshold {threshold:.1f}x)"
+    )
+    if ratio > threshold:
+        ok = False
+        lines.append("PERF REGRESSION: warm sweep exceeded threshold")
+    if warm["operators_scheduled"] * 10 > cold["operators_scheduled"]:
+        ok = False
+        lines.append(
+            "CACHE REGRESSION: warm sweep scheduled "
+            f"{warm['operators_scheduled']} operators "
+            f"(cold: {cold['operators_scheduled']}; must be <= 1/10)"
+        )
+    else:
+        lines.append(
+            f"operators scheduled: cold={cold['operators_scheduled']} "
+            f"warm={warm['operators_scheduled']} (>=10x reduction holds)"
+        )
+    return ok, "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true", help="refresh BENCH_store.json"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the warm sweep regresses past --threshold",
+    )
+    parser.add_argument("--threshold", type=float, default=10.0)
+    args = parser.parse_args(argv)
+    if not (args.write or args.check):
+        parser.error("choose --write and/or --check")
+    status = 0
+    if args.write:
+        payload = write_bench()
+        print(
+            f"cold {payload['cold']['seconds']:.4f}s "
+            f"({payload['cold']['operators_scheduled']} operators) -> "
+            f"warm {payload['warm']['seconds']:.4f}s "
+            f"({payload['warm']['operators_scheduled']} operators), "
+            f"{payload['speedup_cold_vs_warm']:.1f}x faster"
+        )
+        dc = payload["deepcopy_elimination"]
+        print(
+            f"deepcopy elimination: {dc['deepcopy_s']:.6f}s copied vs "
+            f"{dc['shared_prepare_s']:.6f}s shared ({dc['speedup']:.1f}x)"
+        )
+        print(f"wrote {BENCH_PATH}")
+    if args.check:
+        ok, message = check_regression(args.threshold)
+        print(message)
+        if not ok:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,7 +55,8 @@ def comparison():
     rng = np.random.default_rng(424242)
 
     def schedule(plan):
-        tree = annotate_plan(expand_plan(plan), PAPER_PARAMETERS)
+        tree = expand_plan(plan)
+        annotate_plan(tree, PAPER_PARAMETERS)
         tasks = build_task_tree(tree)
         result = tree_schedule(
             tree, tasks, p=P, comm=COMM, overlap=OVERLAP, f=BENCH_CONFIG.default_f
@@ -105,7 +106,8 @@ def test_bench_ablmethod_regenerate(comparison, benchmark):
 
     queries = prepare_workload(N_JOINS, BENCH_CONFIG.n_queries, BENCH_CONFIG.seed)
     plan = convert(queries[0].plan, lambda _j: JoinMethod.SORT_MERGE)
-    tree = annotate_plan(expand_plan(plan), PAPER_PARAMETERS)
+    tree = expand_plan(plan)
+    annotate_plan(tree, PAPER_PARAMETERS)
     tasks = build_task_tree(tree)
     benchmark(
         lambda: tree_schedule(

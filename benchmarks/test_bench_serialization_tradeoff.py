@@ -55,7 +55,8 @@ def tradeoff():
     serialized = auto_materialize(deep_plan(), max_chain=2)
     variants = {}
     for name, plan in (("pipeline", pipeline), ("serialized", serialized)):
-        tree = annotate_plan(expand_plan(plan), PAPER_PARAMETERS)
+        tree = expand_plan(plan)
+        annotate_plan(tree, PAPER_PARAMETERS)
         variants[name] = (tree, build_task_tree(tree))
     rows = []
     for cap_mb in CAPS_MB:
@@ -92,7 +93,8 @@ def test_bench_ablserialize_regenerate(tradeoff, benchmark):
     publish("abl_serialize", "\n".join(lines))
 
     serialized = auto_materialize(deep_plan(), max_chain=2)
-    tree = annotate_plan(expand_plan(serialized), PAPER_PARAMETERS)
+    tree = expand_plan(serialized)
+    annotate_plan(tree, PAPER_PARAMETERS)
     tasks = build_task_tree(tree)
     memory = MemoryModel(capacity_bytes=0.5e6)
     benchmark(
@@ -140,12 +142,12 @@ def test_ablserialize_strict_mode_makes_serialization_necessary():
         memory=MemoryModel(capacity_bytes=2e6),
         params=PAPER_PARAMETERS, f=0.7, allow_spill=False,
     )
-    pipe = annotate_plan(expand_plan(deep_plan()), PAPER_PARAMETERS)
+    pipe = expand_plan(deep_plan())
+    annotate_plan(pipe, PAPER_PARAMETERS)
     with pytest.raises(InfeasibleScheduleError):
         memory_aware_tree_schedule(pipe, build_task_tree(pipe), **kwargs)
 
-    ser = annotate_plan(
-        expand_plan(auto_materialize(deep_plan(), max_chain=2)), PAPER_PARAMETERS
-    )
+    ser = expand_plan(auto_materialize(deep_plan(), max_chain=2))
+    annotate_plan(ser, PAPER_PARAMETERS)
     result = memory_aware_tree_schedule(ser, build_task_tree(ser), **kwargs)
     assert result.total_spilled_joins == 0

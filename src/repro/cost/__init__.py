@@ -5,7 +5,14 @@ hardware parameters into multi-dimensional work vectors and interconnect
 data volumes for every physical operator.
 """
 
-from repro.cost.annotate import annotate_operator, annotate_plan
+from repro.cost.annotate import (
+    AnnotatedQuery,
+    PlanAnnotation,
+    annotate_operator,
+    annotate_plan,
+    compute_operator_spec,
+    compute_plan_annotation,
+)
 from repro.cost.communication import operator_data_volume
 from repro.cost.cost_model import (
     build_work_vector,
@@ -33,4 +40,8 @@ __all__ = [
     "operator_data_volume",
     "annotate_operator",
     "annotate_plan",
+    "compute_operator_spec",
+    "compute_plan_annotation",
+    "PlanAnnotation",
+    "AnnotatedQuery",
 ]

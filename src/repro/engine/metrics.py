@@ -26,6 +26,10 @@ __all__ = [
     "COUNTER_CLONES_PACKED",
     "COUNTER_FAULTS_INJECTED",
     "COUNTER_WORK_RERUN",
+    "COUNTER_STORE_HITS",
+    "COUNTER_STORE_MISSES",
+    "COUNTER_POINT_STORE_HITS",
+    "COUNTER_POINT_STORE_MISSES",
     "TIMER_LIST_SCHEDULE",
     "TIMER_PACK_VECTORS",
     "TIMER_PACK_PHASE",
@@ -55,6 +59,16 @@ COUNTER_FAULTS_INJECTED = "faults_injected"
 #: Stand-alone-seconds of clone progress destroyed by site failures and
 #: re-executed after recovery.
 COUNTER_WORK_RERUN = "work_rerun"
+#: Schedule-result lookups served from the content-addressed artifact
+#: store (:mod:`repro.store`) instead of re-running the scheduler.
+COUNTER_STORE_HITS = "store_hits"
+#: Schedule-result lookups that missed the store (scheduler ran).
+COUNTER_STORE_MISSES = "store_misses"
+#: Sweep-point values served from the store by the parallel runner —
+#: the resume path: a restarted sweep reports its completed prefix here.
+COUNTER_POINT_STORE_HITS = "point_store_hits"
+#: Sweep-point values the parallel runner actually had to evaluate.
+COUNTER_POINT_STORE_MISSES = "point_store_misses"
 #: Wall-clock spent in the Figure 3 step-3 placement loop.
 TIMER_LIST_SCHEDULE = "list_schedule"
 #: Wall-clock spent inside ``pack_vectors``.

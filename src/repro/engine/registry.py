@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
     from repro.core.cloning import CoordinatorPolicy
     from repro.core.granularity import CommunicationModel
     from repro.core.resource_model import OverlapModel
+    from repro.cost.annotate import PlanAnnotation
     from repro.cost.params import SystemParameters
     from repro.plans.generator import GeneratedQuery
 
@@ -66,6 +67,13 @@ class ScheduleRequest:
         Startup-cost charging policy; defaults to EA1.
     metrics:
         Optional metrics recorder threaded into the scheduler.
+    annotation:
+        Optional immutable :class:`~repro.cost.annotate.PlanAnnotation`
+        resolving operator specs for this run.  When set, the registry
+        activates it around the scheduler call
+        (:func:`repro.plans.physical_ops.use_annotation`), so a shared,
+        unattached operator tree can be scheduled under any parameter
+        variant without being rewritten.
     """
 
     p: int
@@ -74,6 +82,7 @@ class ScheduleRequest:
     params: "SystemParameters | None" = None
     policy: "CoordinatorPolicy | None" = None
     metrics: MetricsRecorder | None = None
+    annotation: "PlanAnnotation | None" = None
     _comm: "CommunicationModel | None" = field(
         default=None, repr=False, compare=False
     )
@@ -140,7 +149,10 @@ class RegisteredScheduler:
     def __call__(
         self, query: "GeneratedQuery", request: ScheduleRequest
     ) -> ScheduleResult:
-        result = self.fn(query, request)
+        from repro.plans.physical_ops import use_annotation
+
+        with use_annotation(request.annotation):
+            result = self.fn(query, request)
         if result.algorithm == "":
             result.algorithm = self.name
         return result

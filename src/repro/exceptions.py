@@ -40,6 +40,16 @@ class PlanStructureError(ReproError, ValueError):
     """
 
 
+class ImmutableAnnotationError(PlanStructureError):
+    """An attached cost annotation would be overwritten in place.
+
+    Operator specs are write-once: re-annotating a (possibly shared)
+    operator tree with different parameters must go through the immutable
+    :meth:`repro.cost.annotate.PlanAnnotation.with_params` path instead of
+    rewriting the specs attached to the tree's nodes.
+    """
+
+
 class SchedulingError(ReproError, RuntimeError):
     """A scheduling algorithm was invoked with inconsistent inputs.
 

@@ -22,12 +22,19 @@ Fan a figure's sweep grid over four worker processes (results are
 bit-identical to the serial run)::
 
     repro-experiments fig5a --workers 4
+
+Cache sweep artifacts in a content-addressed store so reruns (and killed
+runs restarted) recompute only what is missing — the output bytes are
+identical either way::
+
+    repro-experiments fig6a --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from collections.abc import Sequence
@@ -39,6 +46,7 @@ from repro.experiments.report import render_figure, render_parameters
 from repro.experiments.robustness import DEFAULT_INTENSITIES, robustness_sweep
 from repro.experiments.sensitivity import parameter_sensitivity
 from repro.sim.policies import SharingPolicy
+from repro.store import ENV_CACHE_DIR, NO_STORE, ArtifactStore
 
 __all__ = ["build_parser", "main"]
 
@@ -132,12 +140,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="base seed of the deterministic fault plans",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed artifact cache directory; reruns and "
+            "resumed sweeps recompute only missing points (default: "
+            f"${ENV_CACHE_DIR} if set)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"disable artifact caching even when ${ENV_CACHE_DIR} is set",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.no_cache and args.cache_dir:
+        print("--no-cache and --cache-dir are mutually exclusive", file=sys.stderr)
+        return 2
+    # The store travels two ways: as an object for inline evaluation and
+    # through the environment for forked sweep workers.  Stats and the
+    # summary go to stderr only — stdout (figures, JSON) must stay
+    # byte-identical whether the cache is disabled, cold, or warm.
+    store: ArtifactStore | None
+    if args.no_cache:
+        os.environ.pop(ENV_CACHE_DIR, None)
+        store = NO_STORE  # type: ignore[assignment]
+    elif args.cache_dir:
+        os.environ[ENV_CACHE_DIR] = args.cache_dir
+        store = ArtifactStore(args.cache_dir)
+    else:
+        store = None
+
+    def cache_summary() -> None:
+        if isinstance(store, ArtifactStore):
+            stats = store.stats
+            print(
+                f"[cache] {stats.hits} hits, {stats.misses} misses, "
+                f"{stats.writes} writes ({stats.hit_rate:.0%} hit rate) "
+                f"in {store.root}",
+                file=sys.stderr,
+            )
+
     config = quick_config() if args.quick else PAPER_CONFIG
     overrides = {}
     if args.queries is not None:
@@ -184,24 +234,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             policy=SharingPolicy(args.policy),
             fault_seed=args.fault_seed,
             workers=args.workers,
+            store=store,
         )
         emit(figure, time.perf_counter() - start)
+        cache_summary()
         return 0
 
     if args.target in SENSITIVITY_TARGETS:
         field, multipliers = SENSITIVITY_TARGETS[args.target]
         start = time.perf_counter()
         figure = parameter_sensitivity(
-            field, multipliers, config, workers=args.workers
+            field, multipliers, config, workers=args.workers, store=store
         )
         emit(figure, time.perf_counter() - start)
+        cache_summary()
         return 0
 
     targets = list(FIGURES) if args.target == "all" else [args.target]
     for name in targets:
         start = time.perf_counter()
-        figure = FIGURES[name](config, workers=args.workers)
+        figure = FIGURES[name](config, workers=args.workers, store=store)
         emit(figure, time.perf_counter() - start)
+    cache_summary()
     return 0
 
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.parallel import ParallelRunner, SweepPoint
+from repro.store import ArtifactStore
 
 __all__ = ["Series", "FigureData", "figure5a", "figure5b", "figure6a", "figure6b", "FIGURES"]
 
@@ -77,6 +78,7 @@ def figure5a(
     n_joins: int = 40,
     epsilon: float = 0.3,
     workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> FigureData:
     """Figure 5(a): effect of the granularity parameter ``f``."""
     sites = tuple(config.site_counts)
@@ -95,7 +97,7 @@ def figure5a(
         )
         for p in sites
     ]
-    values = ParallelRunner(workers).run(points)
+    values = ParallelRunner(workers, store=store).run(points)
     curves = _chunks(values, len(sites))
     series = [
         Series(label=f"TreeSchedule f={f:g}", xs=sites, ys=next(curves))
@@ -121,6 +123,7 @@ def figure5b(
     n_joins: int = 40,
     f: float | None = None,
     workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> FigureData:
     """Figure 5(b): effect of the resource-overlap parameter ``epsilon``."""
     f = config.default_f if f is None else f
@@ -134,7 +137,7 @@ def figure5b(
         for algorithm in ("treeschedule", "synchronous")
         for p in sites
     ]
-    values = ParallelRunner(workers).run(points)
+    values = ParallelRunner(workers, store=store).run(points)
     curves = _chunks(values, len(sites))
     series: list[Series] = []
     for eps in config.epsilon_values:
@@ -164,6 +167,7 @@ def figure6a(
     epsilon: float | None = None,
     f: float | None = None,
     workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> FigureData:
     """Figure 6(a): effect of query size at two system sizes."""
     epsilon = config.default_epsilon if epsilon is None else epsilon
@@ -178,7 +182,7 @@ def figure6a(
         for algorithm in ("treeschedule", "synchronous")
         for size in sizes
     ]
-    values = ParallelRunner(workers).run(points)
+    values = ParallelRunner(workers, store=store).run(points)
     curves = _chunks(values, len(sizes))
     xs = tuple(float(s) for s in sizes)
     series: list[Series] = []
@@ -205,6 +209,7 @@ def figure6b(
     epsilon: float | None = None,
     f: float | None = None,
     workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> FigureData:
     """Figure 6(b): TREESCHEDULE versus the OPTBOUND lower bound."""
     epsilon = config.default_epsilon if epsilon is None else epsilon
@@ -219,7 +224,7 @@ def figure6b(
         for algorithm in ("treeschedule", "optbound")
         for p in sites
     ]
-    values = ParallelRunner(workers).run(points)
+    values = ParallelRunner(workers, store=store).run(points)
     curves = _chunks(values, len(sites))
     series: list[Series] = []
     for size in query_sizes:

@@ -1,4 +1,4 @@
-"""Parallel, instrumented evaluation of experiment sweep points.
+"""Parallel, instrumented, resumable evaluation of experiment sweep points.
 
 A figure regeneration is an embarrassingly parallel grid: every
 ``(algorithm, workload, P, f, epsilon, parameters)`` coordinate is
@@ -14,21 +14,33 @@ deterministic, so the result list is bit-identical for any worker count
 short-circuits the pool entirely and evaluates inline (no fork, easier
 debugging, no pickling requirements on custom parameters).
 
+Caching and resume: give the runner a content-addressed
+:class:`~repro.store.ArtifactStore` (or set ``REPRO_CACHE_DIR``) and
+every point value is looked up before evaluation and persisted the
+moment its evaluation completes — not when the sweep ends.  A sweep
+killed halfway therefore leaves its completed points on disk; rerunning
+it with the same cache directory evaluates only the missing ones.
+Because point values are pure functions of their coordinates, cache
+hits are bit-identical to recomputation, and the store can be shared
+between worker counts, runs, and machines.
+
 Instrumentation: pass a :class:`~repro.engine.metrics.MetricsRecorder`
 to collect evaluated-point counts and wall-clock totals.  Per-point
 timings are measured *inside* the evaluation (workers return
 ``(value, seconds)`` pairs), so the ``point_seconds`` timer is recorded
-for any worker count, not just the inline path.
+for any worker count, not just the inline path; store traffic lands in
+the ``point_store_hits`` / ``point_store_misses`` counters.
 
 Crash robustness: a worker dying mid-sweep (OOM kill, segfault, signal)
 breaks the whole pool.  Because sweep points are deterministic and
-side-effect free, the runner logs which points completed and transparently
-re-evaluates the rest inline instead of losing the sweep.
+side-effect free, the runner salvages every future that already
+completed, persists them, and transparently re-evaluates the rest
+inline instead of losing the sweep.
 
 Custom evaluations: ``run(points, evaluate=...)`` accepts any
 module-level (hence picklable) function, which is how the robustness
-experiment reuses the pool/ordering/retry machinery with its own point
-type.
+experiment reuses the pool/ordering/retry/caching machinery with its
+own point type.
 """
 
 from __future__ import annotations
@@ -36,15 +48,25 @@ from __future__ import annotations
 import logging
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import ConfigurationError
-from repro.engine.metrics import MetricsRecorder
+from repro.engine.metrics import (
+    COUNTER_POINT_STORE_HITS,
+    COUNTER_POINT_STORE_MISSES,
+    MetricsRecorder,
+)
 from repro.engine.registry import get_algorithm
 from repro.cost.params import PAPER_PARAMETERS, SystemParameters
+from repro.store import (
+    KIND_POINT,
+    ArtifactStore,
+    point_key_payload,
+    resolve_store,
+)
 from repro.experiments.runner import average_response_time, prepare_workload
 
 __all__ = ["SweepPoint", "ParallelRunner", "evaluate_point"]
@@ -88,7 +110,7 @@ def evaluate_point(point: SweepPoint) -> float:
 
     Module-level so it pickles for process pools; the workload cohort is
     cached per process, so a worker evaluating many points of one figure
-    draws and annotates each cohort once.
+    draws each cohort once and annotates it once per parameter set.
     """
     queries = prepare_workload(
         point.n_joins, point.n_queries, point.seed, point.params
@@ -120,17 +142,29 @@ class ParallelRunner:
     metrics:
         Optional recorder; accumulates the ``points_evaluated`` counter
         and the ``run`` / ``point_seconds`` timers (identical for any
-        worker count), plus ``points_retried_inline`` when a broken pool
-        forced an inline retry.
+        worker count), ``point_store_hits`` / ``point_store_misses``
+        when a store is in play, plus ``points_retried_inline`` when a
+        broken pool forced an inline retry.
+    store:
+        Optional :class:`~repro.store.ArtifactStore` caching point
+        values (``None`` falls back to the ``REPRO_CACHE_DIR``
+        environment default; :data:`repro.store.NO_STORE` disables
+        caching).  Values are persisted as each point completes, which
+        is what makes killed sweeps resumable.
     """
 
     def __init__(
-        self, workers: int = 1, *, metrics: MetricsRecorder | None = None
+        self,
+        workers: int = 1,
+        *,
+        metrics: MetricsRecorder | None = None,
+        store: ArtifactStore | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.metrics = metrics
+        self.store = resolve_store(store)
 
     def run(
         self,
@@ -145,6 +179,10 @@ class ParallelRunner:
         :class:`~repro.exceptions.ConfigurationError` before any worker
         is forked.  ``evaluate`` must be a module-level function when
         ``workers > 1`` (it is shipped to the pool by reference).
+
+        With a store attached, cached points are answered without
+        evaluation and fresh values are persisted as they complete, so
+        only the points missing from the store cost any work.
         """
         points = list(points)
         for point in points:
@@ -152,55 +190,109 @@ class ParallelRunner:
             if name is not None:
                 get_algorithm(name)
         started = time.perf_counter()
-        if self.workers == 1 or len(points) <= 1:
-            pairs = [_timed(evaluate, point) for point in points]
+
+        pairs: list[tuple[Any, float] | None] = [None] * len(points)
+        keys: list[str | None] = [None] * len(points)
+        if self.store is not None:
+            for i, point in enumerate(points):
+                payload = point_key_payload(point, evaluate)
+                if payload is None:
+                    continue
+                keys[i] = self.store.key(KIND_POINT, payload)
+                cached = self.store.get(KIND_POINT, keys[i])
+                if isinstance(cached, dict) and "value" in cached:
+                    pairs[i] = (cached["value"], 0.0)
+        hits = sum(1 for pair in pairs if pair is not None)
+        pending = [i for i, pair in enumerate(pairs) if pair is None]
+        if hits:
+            _LOG.info(
+                "point store served %d/%d sweep points; evaluating %d",
+                hits,
+                len(points),
+                len(pending),
+            )
+
+        def persist(i: int, pair: tuple[Any, float]) -> None:
+            if self.store is None or keys[i] is None:
+                return
+            try:
+                self.store.put(KIND_POINT, keys[i], {"value": pair[0]})
+            except (ConfigurationError, TypeError):
+                keys[i] = None  # value not JSON-representable: skip caching
+
+        if self.workers == 1 or len(pending) <= 1:
+            for i in pending:
+                pairs[i] = _timed(evaluate, points[i])
+                persist(i, pairs[i])
         else:
-            pairs = self._run_pool(points, evaluate)
+            self._run_pool(points, pending, evaluate, pairs, persist)
+
         if self.metrics is not None:
-            self.metrics.count("points_evaluated", len(points))
+            self.metrics.count("points_evaluated", len(pending))
+            if self.store is not None:
+                self.metrics.count(COUNTER_POINT_STORE_HITS, hits)
+                self.metrics.count(COUNTER_POINT_STORE_MISSES, len(pending))
             self.metrics.timers["point_seconds"] = self.metrics.timers.get(
                 "point_seconds", 0.0
-            ) + sum(seconds for _, seconds in pairs)
+            ) + sum(seconds for _, seconds in pairs)  # type: ignore[misc]
             self.metrics.timers["run"] = (
                 self.metrics.timers.get("run", 0.0)
                 + time.perf_counter()
                 - started
             )
-        return [value for value, _ in pairs]
+        return [value for value, _ in pairs]  # type: ignore[misc]
 
     def _run_pool(
-        self, points: list[Any], evaluate: Callable[[Any], Any]
-    ) -> list[tuple[Any, float]]:
-        """Fan points over a process pool, surviving worker death.
+        self,
+        points: list[Any],
+        pending: list[int],
+        evaluate: Callable[[Any], Any],
+        pairs: list[tuple[Any, float] | None],
+        persist: Callable[[int, tuple[Any, float]], None],
+    ) -> None:
+        """Fan the pending points over a process pool, surviving worker death.
 
-        Points are submitted individually so a broken pool reveals
-        exactly which prefix completed; the remainder is re-evaluated
-        inline (safe: points are deterministic and side-effect free).
-        Ordinary exceptions raised by ``evaluate`` itself still
-        propagate — only pool breakage triggers the retry.
+        Points are submitted individually and consumed as they complete,
+        so every finished value is persisted immediately — a killed
+        sweep keeps its completed points.  If the pool breaks (a worker
+        died), already-finished futures are salvaged and the remainder
+        is re-evaluated inline (safe: points are deterministic and
+        side-effect free).  Ordinary exceptions raised by ``evaluate``
+        itself still propagate — only pool breakage triggers the retry.
         """
-        pairs: list[tuple[Any, float] | None] = [None] * len(points)
+        futures: dict[Any, int] = {}
         try:
             with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(points))
+                max_workers=min(self.workers, len(pending))
             ) as pool:
-                futures = [pool.submit(_timed, evaluate, p) for p in points]
-                for i, future in enumerate(futures):
+                futures = {
+                    pool.submit(_timed, evaluate, points[i]): i for i in pending
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
                     pairs[i] = future.result()
+                    persist(i, pairs[i])
         except BrokenProcessPool:
-            remaining = [i for i, pair in enumerate(pairs) if pair is None]
+            for future, i in futures.items():
+                if pairs[i] is None and future.done() and not future.cancelled():
+                    try:
+                        pairs[i] = future.result()
+                    except BaseException:
+                        continue
+                    persist(i, pairs[i])
+            remaining = [i for i in pending if pairs[i] is None]
             _LOG.warning(
                 "worker pool died after %d/%d sweep points; "
                 "re-evaluating the remaining %d inline",
-                len(points) - len(remaining),
-                len(points),
+                len(pending) - len(remaining),
+                len(pending),
                 len(remaining),
             )
             if self.metrics is not None:
                 self.metrics.count("points_retried_inline", len(remaining))
             for i in remaining:
                 pairs[i] = _timed(evaluate, points[i])
-        return pairs  # type: ignore[return-value]
+                persist(i, pairs[i])
 
     def __repr__(self) -> str:
         return f"ParallelRunner(workers={self.workers})"

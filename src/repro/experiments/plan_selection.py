@@ -118,7 +118,8 @@ def select_best_plan(
     scored: list[tuple[PlanCandidate, TreeScheduleResult]] = []
     for _ in range(k):
         plan = random_bushy_plan(graph, catalog, rng)
-        op_tree = annotate_plan(expand_plan(plan), params)
+        op_tree = expand_plan(plan)
+        annotate_plan(op_tree, params)
         task_tree = build_task_tree(op_tree)
         result = tree_schedule(
             op_tree, task_tree, p=p, comm=comm, overlap=overlap, f=f

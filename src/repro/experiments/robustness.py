@@ -41,6 +41,7 @@ from repro.experiments.runner import prepare_workload, schedule_query
 from repro.sim.faults import FaultPlan, FaultSpec
 from repro.sim.policies import SharingPolicy
 from repro.sim.simulator import SimulationResult, simulate_phased
+from repro.store import ArtifactStore, default_store
 
 __all__ = [
     "RobustnessPoint",
@@ -145,6 +146,11 @@ def evaluate_robustness_point(point: RobustnessPoint) -> float:
     queries = prepare_workload(
         point.n_joins, point.n_queries, point.seed, point.params
     )
+    # Schedules depend only on (algorithm, query, p, f, epsilon, params)
+    # — not on the fault coordinates — so caching them in the artifact
+    # store shares the expensive scheduling step across every intensity
+    # and policy of the robustness grid.
+    store = default_store()
     factors = []
     for index, query in enumerate(queries):
         result = schedule_query(
@@ -154,6 +160,17 @@ def evaluate_robustness_point(point: RobustnessPoint) -> float:
             f=point.f,
             epsilon=point.epsilon,
             params=point.params,
+            store=store,
+            cache_key={
+                "workload": {
+                    "n_joins": point.n_joins,
+                    "n_queries": point.n_queries,
+                    "seed": point.seed,
+                },
+                "index": index,
+            }
+            if store is not None
+            else None,
         )
         if result.phased_schedule is None:
             continue
@@ -179,6 +196,7 @@ def robustness_sweep(
     fault_seed: int = 1996,
     workers: int = 1,
     metrics: MetricsRecorder | None = None,
+    store: ArtifactStore | None = None,
 ) -> FigureData:
     """Sweep fault intensity x algorithm and report promise degradation.
 
@@ -203,6 +221,9 @@ def robustness_sweep(
         Process count for the grid (identical results for any value).
     metrics:
         Optional recorder (sweep-level counters and timers).
+    store:
+        Optional :class:`~repro.store.ArtifactStore` caching point
+        values (falls back to the ``REPRO_CACHE_DIR`` default).
 
     Returns
     -------
@@ -235,7 +256,7 @@ def robustness_sweep(
         for algorithm in algorithms
         for intensity in intensities
     ]
-    values = ParallelRunner(workers, metrics=metrics).run(
+    values = ParallelRunner(workers, metrics=metrics, store=store).run(
         points, evaluate=evaluate_robustness_point
     )
     xs = tuple(float(i) for i in intensities)

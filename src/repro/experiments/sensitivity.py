@@ -25,6 +25,7 @@ from repro.cost.params import SystemParameters
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.figures import FigureData, Series
 from repro.experiments.parallel import ParallelRunner, SweepPoint
+from repro.store import ArtifactStore
 
 __all__ = [
     "SWEEPABLE_FIELDS",
@@ -49,6 +50,7 @@ def parameter_sensitivity(
     n_joins: int = 20,
     p: int = 40,
     workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> FigureData:
     """Sweep one hardware parameter and compare the two schedulers.
 
@@ -66,6 +68,9 @@ def parameter_sensitivity(
     workers:
         Process count for the sweep grid (results are identical for any
         value; see :class:`~repro.experiments.parallel.ParallelRunner`).
+    store:
+        Optional :class:`~repro.store.ArtifactStore` caching point
+        values (falls back to the ``REPRO_CACHE_DIR`` default).
 
     Returns
     -------
@@ -80,8 +85,9 @@ def parameter_sensitivity(
         raise ConfigurationError("multipliers must be positive and non-empty")
 
     # Each multiplier is its own sweep point: the scaled parameters drive
-    # annotation *and* scheduling, and the per-process workload cache
-    # keys on the parameter value, so sweep points never share specs.
+    # annotation *and* scheduling.  The structural cohort is shared; each
+    # parameter set gets its own immutable PlanAnnotation (the
+    # with_params path), so sweep points can never alias specs.
     scaled: list[SystemParameters] = [
         replace(config.params, **{field: getattr(config.params, field) * m})
         for m in multipliers
@@ -94,7 +100,7 @@ def parameter_sensitivity(
         for algorithm in ("treeschedule", "synchronous")
         for params in scaled
     ]
-    values = ParallelRunner(workers).run(points)
+    values = ParallelRunner(workers, store=store).run(points)
     ts_ys = values[: len(multipliers)]
     sy_ys = values[len(multipliers) :]
 

@@ -22,10 +22,13 @@ before probing begins).
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.exceptions import PlanStructureError
+from repro.exceptions import ImmutableAnnotationError, PlanStructureError
 from repro.core.cloning import OperatorSpec
 from repro.plans.relations import Relation
 
@@ -41,7 +44,46 @@ __all__ = [
     "store_op",
     "rescan_op",
     "anchor_operator_name",
+    "use_annotation",
+    "active_annotation",
 ]
+
+
+#: The annotation view consulted by :meth:`PhysicalOperator.require_spec`
+#: before falling back to the spec attached to the node.  Scoped with
+#: :func:`use_annotation`; a context variable so concurrent schedulers in
+#: different threads/tasks cannot observe each other's view.
+_ACTIVE_ANNOTATION: ContextVar[Mapping[str, OperatorSpec] | None] = ContextVar(
+    "repro_active_annotation", default=None
+)
+
+
+@contextmanager
+def use_annotation(annotation: Mapping[str, OperatorSpec] | None) -> Iterator[None]:
+    """Make ``annotation`` the active spec view for the ``with`` body.
+
+    While active, :meth:`PhysicalOperator.require_spec` resolves specs
+    from this name-keyed mapping (a
+    :class:`~repro.cost.annotate.PlanAnnotation`) instead of the specs
+    attached to the operator nodes — the mechanism that lets one shared,
+    immutable operator tree be scheduled under many different
+    :class:`~repro.cost.params.SystemParameters` without ever rewriting
+    the tree.  ``None`` is accepted and is a no-op, so callers can pass
+    an optional annotation through unconditionally.
+    """
+    if annotation is None:
+        yield
+        return
+    token = _ACTIVE_ANNOTATION.set(annotation)
+    try:
+        yield
+    finally:
+        _ACTIVE_ANNOTATION.reset(token)
+
+
+def active_annotation() -> Mapping[str, OperatorSpec] | None:
+    """The annotation view installed by :func:`use_annotation`, if any."""
+    return _ACTIVE_ANNOTATION.get()
 
 
 class OperatorKind(Enum):
@@ -103,6 +145,12 @@ class PhysicalOperator:
     spec:
         The scheduler-facing :class:`~repro.core.cloning.OperatorSpec`,
         filled in by :func:`repro.cost.annotate.annotate_plan`.
+        **Write-once**: attaching a spec to an unannotated operator is
+        allowed exactly once; re-assigning a *different* spec raises
+        :class:`~repro.exceptions.ImmutableAnnotationError` (re-assigning
+        an equal spec is an idempotent no-op).  Annotating the same tree
+        under different parameters goes through the detached
+        :meth:`~repro.cost.annotate.PlanAnnotation.with_params` view.
     """
 
     name: str
@@ -135,13 +183,38 @@ class PhysicalOperator:
         ):
             raise PlanStructureError(f"{self.kind.value} {self.name!r} needs a join_id")
 
+    def __setattr__(self, name: str, value: object) -> None:
+        # Operator specs are write-once so cached/shared operator trees can
+        # never have their cost annotation rewritten underneath another
+        # consumer.  Setting an equal spec stays an idempotent no-op.
+        if name == "spec" and value is not None:
+            current = getattr(self, "spec", None)
+            if current is not None and value != current:
+                raise ImmutableAnnotationError(
+                    f"operator {self.name!r} already carries a cost annotation; "
+                    "attached specs are immutable — re-annotate under different "
+                    "parameters with PlanAnnotation.with_params(...) instead"
+                )
+        super().__setattr__(name, value)
+
     @property
     def annotated(self) -> bool:
         """``True`` once the cost model attached an :class:`OperatorSpec`."""
         return self.spec is not None
 
     def require_spec(self) -> OperatorSpec:
-        """Return the attached spec, raising when the plan is unannotated."""
+        """Return this operator's spec, raising when unannotated.
+
+        Resolution order: the annotation view installed by
+        :func:`use_annotation` (if any) wins over the spec attached to
+        the node, so shared trees can be scheduled under a side-table
+        annotation computed for different system parameters.
+        """
+        annotation = _ACTIVE_ANNOTATION.get()
+        if annotation is not None:
+            spec = annotation.get(self.name)
+            if spec is not None:
+                return spec
         if self.spec is None:
             raise PlanStructureError(
                 f"operator {self.name!r} has no cost annotation; run "

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 from typing import Any
 
+import dataclasses
+
 from repro.exceptions import ConfigurationError
 from repro.core.cloning import OperatorSpec
 from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
 from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
+from repro.cost.params import SystemParameters
 from repro.engine.result import Instrumentation, ScheduleResult
 from repro.experiments.figures import FigureData, Series
 from repro.sim.faults import FaultReport, FaultSpec
@@ -29,6 +32,8 @@ __all__ = [
     "work_vector_from_dict",
     "operator_spec_to_dict",
     "operator_spec_from_dict",
+    "system_parameters_to_dict",
+    "system_parameters_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
     "phased_schedule_to_dict",
@@ -97,6 +102,28 @@ def operator_spec_from_dict(payload: dict[str, Any]) -> OperatorSpec:
         work=work_vector_from_dict(_expect(payload, "work")),
         data_volume=float(payload.get("data_volume", 0.0)),
     )
+
+
+def system_parameters_to_dict(params: SystemParameters) -> dict[str, Any]:
+    """Serialize Table 2 system parameters field-by-field.
+
+    Field order follows the dataclass definition, so the payload is
+    deterministic and — combined with canonical JSON — suitable for
+    content addressing in :mod:`repro.store`.
+    """
+    return {f.name: getattr(params, f.name) for f in dataclasses.fields(params)}
+
+
+def system_parameters_from_dict(payload: dict[str, Any]) -> SystemParameters:
+    """Deserialize system parameters (unknown fields rejected)."""
+    known = {f.name for f in dataclasses.fields(SystemParameters)}
+    extra = set(payload) - known - {"schema"}
+    if extra:
+        raise ConfigurationError(
+            f"malformed SystemParameters payload: unknown fields {sorted(extra)}"
+        )
+    kwargs = {k: v for k, v in payload.items() if k in known}
+    return SystemParameters(**kwargs)
 
 
 def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:

@@ -48,6 +48,7 @@ if np is None:
         "test_shelf_policies.py",
         "test_sort_merge.py",
         "test_stats.py",
+        "test_store_sweeps.py",
         "test_synchronous.py",
         "test_task_tree.py",
         "test_transform.py",

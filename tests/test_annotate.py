@@ -1,20 +1,32 @@
-"""Tests for cost annotation of operator trees."""
+"""Tests for cost annotation of operator trees.
+
+Annotation is immutable (DESIGN.md §2.4): :func:`annotate_plan` returns
+a frozen :class:`PlanAnnotation` side table and attaches each spec to
+its node exactly once; re-annotating a tree under different parameters
+goes through the detached :meth:`PlanAnnotation.with_params` view and
+never rewrites attached specs.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro import (
     PAPER_PARAMETERS,
+    ImmutableAnnotationError,
     OperatorKind,
+    PlanAnnotation,
     annotate_operator,
     annotate_plan,
     build_work_vector,
+    compute_plan_annotation,
     generate_query,
     operator_data_volume,
     probe_work_vector,
     scan_work_vector,
 )
+from repro.cost.annotate import AnnotatedQuery
 
 P = PAPER_PARAMETERS
 
@@ -25,15 +37,32 @@ class TestAnnotatePlan:
         annotate_plan(query.operator_tree, P)
         assert all(op.annotated for op in query.operator_tree.operators)
 
-    def test_returns_tree(self):
+    def test_returns_frozen_view(self):
         query = generate_query(3, np.random.default_rng(0))
-        assert annotate_plan(query.operator_tree, P) is query.operator_tree
+        annotation = annotate_plan(query.operator_tree, P)
+        assert isinstance(annotation, PlanAnnotation)
+        assert annotation.op_tree is query.operator_tree
+        assert annotation.params == P
+        assert set(annotation) == {
+            op.name for op in query.operator_tree.operators
+        }
+        for op in query.operator_tree.operators:
+            assert annotation[op.name] == op.spec
+            assert annotation.spec_of(op) == op.spec
+
+    def test_view_is_immutable(self):
+        query = generate_query(3, np.random.default_rng(0))
+        annotation = annotate_plan(query.operator_tree, P)
+        name = query.operator_tree.root.name
+        with pytest.raises(TypeError):
+            annotation.specs[name] = annotation[name]
 
     def test_specs_match_cost_model(self):
         query = generate_query(6, np.random.default_rng(1))
-        tree = annotate_plan(query.operator_tree, P)
+        tree = query.operator_tree
+        annotation = annotate_plan(tree, P)
         for op in tree.operators:
-            spec = op.spec
+            spec = annotation[op.name]
             assert spec.name == op.name
             assert spec.data_volume == operator_data_volume(op, tree, P)
             if op.kind is OperatorKind.SCAN:
@@ -53,13 +82,45 @@ class TestAnnotatePlan:
         second = {op.name: op.spec for op in query.operator_tree.operators}
         assert first == second
 
-    def test_reannotation_with_new_params_changes_specs(self):
+    def test_reannotation_with_new_params_raises(self):
         query = generate_query(4, np.random.default_rng(2))
         annotate_plan(query.operator_tree, P)
-        before = {op.name: op.spec.work for op in query.operator_tree.operators}
-        annotate_plan(query.operator_tree, P.scaled(cpu_mips=100.0))
-        after = {op.name: op.spec.work for op in query.operator_tree.operators}
-        assert any(before[name] != after[name] for name in before)
+        before = {op.name: op.spec for op in query.operator_tree.operators}
+        with pytest.raises(ImmutableAnnotationError):
+            annotate_plan(query.operator_tree, P.scaled(cpu_mips=100.0))
+        after = {op.name: op.spec for op in query.operator_tree.operators}
+        assert before == after  # failed re-annotation leaves no trace
+
+    def test_with_params_gives_detached_view(self):
+        query = generate_query(4, np.random.default_rng(2))
+        annotation = annotate_plan(query.operator_tree, P)
+        fast = annotation.with_params(cpu_mips=100.0)
+        assert fast is not annotation
+        assert fast.params == P.scaled(cpu_mips=100.0)
+        assert any(fast[name].work != annotation[name].work for name in annotation)
+        # the attached specs (and the original view) are untouched
+        for op in query.operator_tree.operators:
+            assert op.spec == annotation[op.name]
+
+    def test_with_params_identity_on_equal_params(self):
+        query = generate_query(3, np.random.default_rng(5))
+        annotation = compute_plan_annotation(query.operator_tree, P)
+        assert annotation.with_params(P) is annotation
+        assert annotation.with_params() is annotation
+
+    def test_compute_plan_annotation_leaves_tree_unannotated(self):
+        query = generate_query(3, np.random.default_rng(6))
+        annotation = compute_plan_annotation(query.operator_tree, P)
+        assert len(annotation) == len(list(query.operator_tree.operators))
+        assert all(not op.annotated for op in query.operator_tree.operators)
+
+    def test_activate_resolves_specs_without_attachment(self):
+        query = generate_query(3, np.random.default_rng(7))
+        annotation = compute_plan_annotation(query.operator_tree, P)
+        op = query.operator_tree.root
+        with annotation.activate():
+            assert op.require_spec() == annotation[op.name]
+        assert not op.annotated
 
     def test_annotate_single_operator(self):
         query = generate_query(2, np.random.default_rng(3))
@@ -69,12 +130,30 @@ class TestAnnotatePlan:
 
     def test_three_dimensional_vectors(self):
         query = generate_query(5, np.random.default_rng(4))
-        annotate_plan(query.operator_tree, P)
-        assert all(op.spec.d == 3 for op in query.operator_tree.operators)
+        annotation = annotate_plan(query.operator_tree, P)
+        assert all(spec.d == 3 for spec in annotation.values())
 
     def test_nonzero_processing_areas(self):
         query = generate_query(5, np.random.default_rng(4))
-        annotate_plan(query.operator_tree, P)
-        assert all(
-            op.spec.processing_area > 0 for op in query.operator_tree.operators
+        annotation = annotate_plan(query.operator_tree, P)
+        assert all(spec.processing_area > 0 for spec in annotation.values())
+
+
+class TestAnnotatedQuery:
+    def test_delegates_structure(self):
+        query = generate_query(4, np.random.default_rng(8))
+        annotated = AnnotatedQuery(
+            query=query, annotation=compute_plan_annotation(query.operator_tree, P)
         )
+        assert annotated.operator_tree is query.operator_tree
+        assert annotated.task_tree is query.task_tree
+        assert annotated.num_joins == query.num_joins
+
+    def test_with_params_shares_structure(self):
+        query = generate_query(4, np.random.default_rng(8))
+        annotated = AnnotatedQuery(
+            query=query, annotation=compute_plan_annotation(query.operator_tree, P)
+        )
+        scaled = annotated.with_params(cpu_mips=10.0)
+        assert scaled.query is annotated.query
+        assert scaled.annotation.params == P.scaled(cpu_mips=10.0)

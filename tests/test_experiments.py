@@ -63,42 +63,75 @@ class TestRunner:
     def test_prepare_workload_annotates(self):
         cohort = prepare_workload(4, 2, seed=1)
         assert len(cohort) == 2
-        assert all(op.annotated for q in cohort for op in q.operator_tree.operators)
+        for q in cohort:
+            assert set(q.annotation) == {
+                op.name for op in q.operator_tree.operators
+            }
 
-    def test_prepare_workload_cached_without_aliasing(self):
-        from repro.experiments.runner import _cached_workload
-
-        _cached_workload.cache_clear()
+    def test_prepare_workload_shares_structure(self):
+        """The structural cohort is cached and *shared* (no deepcopy on
+        the hot path); the annotations are immutable side tables, so the
+        sharing is safe."""
         a = prepare_workload(4, 2, seed=1)
-        hits_after_first = _cached_workload.cache_info().hits
         b = prepare_workload(4, 2, seed=1)
-        # Generation and annotation are cached...
-        assert _cached_workload.cache_info().hits == hits_after_first + 1
-        # ...but callers receive independent copies, with equal contents.
-        assert a is not b
-        assert all(qa is not qb for qa, qb in zip(a, b))
         for qa, qb in zip(a, b):
-            for op_a, op_b in zip(qa.operator_tree.operators, qb.operator_tree.operators):
-                assert op_a is not op_b
-                assert op_a.require_spec() == op_b.require_spec()
+            assert qa.query is qb.query
+            assert qa.operator_tree is qb.operator_tree
+            assert qa.annotation.spec_of(qa.operator_tree.root) == (
+                qb.annotation.spec_of(qb.operator_tree.root)
+            )
 
     def test_prepare_workload_mutation_does_not_leak(self):
-        """Regression: annotating one caller's cohort in place must not
-        rewrite another caller's specs (the old cache handed out the same
-        tree objects to everyone)."""
-        from repro.cost.annotate import annotate_plan
-        from repro.cost.params import PAPER_PARAMETERS
+        """Golden no-leak test: re-annotating the shared cohort under
+        different hardware can neither change another caller's specs nor
+        its schedules — the write-once contract turns the old silent
+        aliasing bug into a loud error, and per-params annotations are
+        independent views over the same trees."""
         from dataclasses import replace
 
+        from repro.cost.params import PAPER_PARAMETERS
+        from repro.exceptions import ImmutableAnnotationError
+
         a = prepare_workload(4, 2, seed=1)
-        before = a[0].operator_tree.operators[0].require_spec()
-        b = prepare_workload(4, 2, seed=1)
-        # Re-annotate b's trees with wildly different hardware.
+        before_spec = a[0].annotation.spec_of(a[0].operator_tree.root)
+        before_time = response_time(
+            "treeschedule", a[0], p=8, f=0.7, epsilon=0.5
+        )
         scaled = replace(PAPER_PARAMETERS, cpu_mips=PAPER_PARAMETERS.cpu_mips * 100)
-        for q in b:
-            annotate_plan(q.operator_tree, scaled)
-        after = a[0].operator_tree.operators[0].require_spec()
-        assert after == before
+        # The supported path: a detached annotation for the same trees.
+        b = prepare_workload(4, 2, seed=1, params=scaled)
+        assert b[0].query is a[0].query  # structure shared...
+        assert b[0].annotation.spec_of(b[0].operator_tree.root) != before_spec
+        # ...while a's view and a's schedules are untouched.
+        assert a[0].annotation.spec_of(a[0].operator_tree.root) == before_spec
+        assert (
+            response_time("treeschedule", a[0], p=8, f=0.7, epsilon=0.5)
+            == before_time
+        )
+        # The unsupported path — rewriting attached specs in place —
+        # fails loudly instead of leaking.
+        from repro.cost.annotate import annotate_plan
+
+        annotate_plan(a[0].operator_tree, PAPER_PARAMETERS)
+        with pytest.raises(ImmutableAnnotationError):
+            annotate_plan(a[0].operator_tree, scaled)
+
+    def test_prepare_workload_with_store_roundtrip(self, tmp_path):
+        """Cohort annotations round-trip through the artifact store."""
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "cache")
+        a = prepare_workload(7, 2, seed=9, store=store)
+        assert store.stats.writes >= 1
+        # Clear the in-process caches so the next call must hit disk.
+        from repro.experiments import runner as runner_mod
+
+        runner_mod._ANNOTATION_CACHE.clear()
+        b = prepare_workload(7, 2, seed=9, store=store)
+        assert store.stats.hits >= 1
+        for qa, qb in zip(a, b):
+            for op in qa.operator_tree.operators:
+                assert qa.annotation[op.name] == qb.annotation[op.name]
 
     def test_prepare_workload_copy_preserves_tree_sharing(self):
         """The operator objects referenced by the task tree must be the

@@ -37,7 +37,14 @@ def avg(values):
 
 @pytest.fixture(scope="module")
 def cohort():
-    return prepare_workload(12, 6, seed=77)
+    queries = prepare_workload(12, 6, seed=77)
+    # These tests call the scheduling kernels directly (bypassing the
+    # engine registry, which would activate the annotation), so attach
+    # the paper-parameter specs to the nodes — a write-once, idempotent
+    # operation for the canonical parameters.
+    for q in queries:
+        q.annotation.attach()
+    return queries
 
 
 class TestHeadlineClaim:

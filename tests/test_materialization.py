@@ -148,7 +148,8 @@ class TestScheduling:
             return JoinNode("J1", c, inner)
 
         def response(materialize):
-            tree = annotate_plan(expand_plan(plan(materialize)), PAPER_PARAMETERS)
+            tree = expand_plan(plan(materialize))
+            annotate_plan(tree, PAPER_PARAMETERS)
             tasks = build_task_tree(tree)
             return tree_schedule(
                 tree, tasks, p=8, comm=COMM, overlap=OVERLAP, f=0.7

@@ -107,7 +107,8 @@ class TestConstrainedMemory:
             BaseRelationNode(Relation("inner", 300)),
             BaseRelationNode(Relation("outer", 500)),
         )
-        op_tree = annotate_plan(expand_plan(plan), PAPER_PARAMETERS)
+        op_tree = expand_plan(plan)
+        annotate_plan(op_tree, PAPER_PARAMETERS)
         task_tree = build_task_tree(op_tree)
 
         def schedule(cap):
@@ -186,12 +187,12 @@ class TestConstrainedMemory:
             memory=MemoryModel(capacity_bytes=2e6),
             params=PAPER_PARAMETERS, f=0.7, allow_spill=False,
         )
-        pipe = annotate_plan(expand_plan(deep()), PAPER_PARAMETERS)
+        pipe = expand_plan(deep())
+        annotate_plan(pipe, PAPER_PARAMETERS)
         with pytest.raises(InfeasibleScheduleError):
             memory_aware_tree_schedule(pipe, build_task_tree(pipe), **kwargs)
-        ser = annotate_plan(
-            expand_plan(auto_materialize(deep(), max_chain=2)), PAPER_PARAMETERS
-        )
+        ser = expand_plan(auto_materialize(deep(), max_chain=2))
+        annotate_plan(ser, PAPER_PARAMETERS)
         result = memory_aware_tree_schedule(ser, build_task_tree(ser), **kwargs)
         assert result.response_time > 0
         assert result.total_spilled_joins == 0

@@ -209,7 +209,8 @@ class TestScheduling:
         hash_q = generate_query(8, np.random.default_rng(99))
         annotate_plan(hash_q.operator_tree, PAPER_PARAMETERS)
         merge_plan = convert(hash_q.plan)
-        merge_tree = annotate_plan(expand_plan(merge_plan), PAPER_PARAMETERS)
+        merge_tree = expand_plan(merge_plan)
+        annotate_plan(merge_tree, PAPER_PARAMETERS)
         merge_tasks = build_task_tree(merge_tree)
 
         t_hash = tree_schedule(

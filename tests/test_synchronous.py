@@ -159,17 +159,23 @@ class TestOneDimensionalBlindness:
         r1 = synchronous_schedule(
             query.operator_tree, query.task_tree, p=8, comm=comm, overlap=overlap
         )
-        # Swap CPU and disk components of every spec: scalar work unchanged.
+        # Swap CPU and disk components of every spec: scalar work
+        # unchanged.  Attached specs are write-once, so the swapped view
+        # goes in as a detached annotation instead of an in-place edit.
+        from repro.plans.physical_ops import use_annotation
+
+        swapped = {}
         for op in query.operator_tree.operators:
             w = op.spec.work
-            op.spec = repro.OperatorSpec(
+            swapped[op.name] = repro.OperatorSpec(
                 name=op.spec.name,
                 work=repro.WorkVector([w[1], w[0], w[2]]),
                 data_volume=op.spec.data_volume,
             )
-        r2 = synchronous_schedule(
-            query.operator_tree, query.task_tree, p=8, comm=comm, overlap=overlap
-        )
+        with use_annotation(swapped):
+            r2 = synchronous_schedule(
+                query.operator_tree, query.task_tree, p=8, comm=comm, overlap=overlap
+            )
         assert {k: v.site_indices for k, v in r1.homes.items()} == {
             k: v.site_indices for k, v in r2.homes.items()
         }
