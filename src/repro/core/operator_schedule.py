@@ -45,6 +45,7 @@ from repro.core.cloning import (
 from repro.core.granularity import CommunicationModel
 from repro.core.placement_heap import SiteHeap
 from repro.core.resource_model import OverlapModel
+from repro.obs.tracer import current_tracer
 from repro.core.schedule import Schedule
 from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
@@ -252,7 +253,7 @@ def operator_schedule(
     # site rescan; the key ends in the site index, so the heap minimum is
     # the exact site the linear scan would have chosen.
     timer = metrics.timer("list_schedule") if metrics is not None else nullcontext()
-    with timer:
+    with current_tracer().span("list_placement", clones=len(pending), p=p), timer:
         pending.sort(key=lambda item: (-item[0], item[1], item[2]))
         heap = SiteHeap(
             schedule.sites, key=lambda s: (s.length(), s.total_load(), s.index)

@@ -40,6 +40,7 @@ from repro.engine.driver import SHELF_POLICIES, schedule_phases
 from repro.engine.metrics import MetricsRecorder
 from repro.engine.registry import ScheduleRequest, register
 from repro.engine.result import ScheduleResult
+from repro.obs.tracer import current_tracer
 from repro.plans.generator import GeneratedQuery
 from repro.plans.operator_tree import OperatorTree
 from repro.plans.task_tree import TaskTree
@@ -100,18 +101,19 @@ def tree_schedule(
         If a probe's build has not been scheduled by the time the probe's
         phase is reached (would indicate a malformed task tree).
     """
-    return schedule_phases(
-        op_tree,
-        task_tree,
-        p=p,
-        comm=comm,
-        overlap=overlap,
-        f=f,
-        shelf=shelf,
-        policy=policy,
-        algorithm="treeschedule",
-        metrics=metrics,
-    )
+    with current_tracer().span("tree_schedule", p=p, f=f, shelf=shelf):
+        return schedule_phases(
+            op_tree,
+            task_tree,
+            p=p,
+            comm=comm,
+            overlap=overlap,
+            f=f,
+            shelf=shelf,
+            policy=policy,
+            algorithm="treeschedule",
+            metrics=metrics,
+        )
 
 
 @register(

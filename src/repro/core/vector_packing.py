@@ -47,6 +47,7 @@ from repro.exceptions import InfeasibleScheduleError, SchedulingError
 from repro.core.placement_heap import SiteHeap
 from repro.core.resource_model import OverlapModel
 from repro.core.schedule import Schedule
+from repro.obs.tracer import current_tracer
 from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
 
@@ -230,7 +231,9 @@ def pack_vectors(
     d = _validate_items(items)
     schedule = Schedule(p, d)
     timer = metrics.timer("pack_vectors") if metrics is not None else nullcontext()
-    with timer:
+    with current_tracer().span(
+        "pack_vectors", items=len(items), p=p, sort=sort.value, rule=rule.value
+    ), timer:
         rr_state = [0]
         scans = 0
         heap: SiteHeap | None = None

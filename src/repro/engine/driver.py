@@ -45,6 +45,7 @@ from repro.core.resource_model import OverlapModel
 from repro.core.schedule import OperatorHome, PhasedSchedule
 from repro.engine.metrics import MetricsRecorder
 from repro.engine.result import Instrumentation, ScheduleResult
+from repro.obs.tracer import current_tracer
 from repro.plans.operator_tree import OperatorTree
 from repro.plans.phases import eager_shelf_phases, min_shelf_phases
 from repro.plans.physical_ops import OperatorKind, anchor_operator_name
@@ -118,65 +119,78 @@ def schedule_phases(
                 metrics=metrics,
             )
 
+    tracer = current_tracer()
     started = time.perf_counter()
-    phases = shelf_fn(task_tree)
+    with tracer.span("phase_decomposition", policy=shelf):
+        phases = shelf_fn(task_tree)
     phased = PhasedSchedule()
     homes: dict[str, OperatorHome] = {}
     degrees: dict[str, int] = {}
     labels: list[str] = []
 
     for phase_tasks in phases:
-        floating: list[OperatorSpec] = []
-        rooted: list[RootedPlacement] = []
-        forced_degrees: dict[str, int] = {}
-        for task in phase_tasks:
-            for op in task.operators:
-                spec = op.require_spec()
-                if op.kind is OperatorKind.BUILD:
-                    # Size the build by the whole join stage: the probe
-                    # will be rooted at this home in a later phase.
-                    probe_spec = op_tree.probe_of(op.join_id).require_spec()
-                    stage = OperatorSpec(
-                        name=f"stage({op.join_id})",
-                        work=spec.work + probe_spec.work,
-                        data_volume=spec.data_volume + probe_spec.data_volume,
-                    )
-                    forced_degrees[spec.name] = coarse_grain_degree(
-                        stage, p, f, comm, overlap, policy
-                    )
-                    floating.append(spec)
-                elif (anchor := anchor_operator_name(op)) is not None:
-                    # Probes run at their builds' homes (hash tables);
-                    # rescans at their stores' homes (materialized pages).
-                    try:
-                        anchor_home = homes[anchor]
-                    except KeyError:
-                        raise SchedulingError(
-                            f"{op.name!r} scheduled before its anchor "
-                            f"{anchor!r}; task tree is inconsistent"
-                        ) from None
-                    rooted.append(
-                        RootedPlacement(
-                            spec=spec, site_indices=anchor_home.site_indices
-                        )
-                    )
-                else:
-                    floating.append(spec)
-
-        if metrics is not None:
-            metrics.count("phases")
-            metrics.count("floating_operators", len(floating))
-            metrics.count("rooted_operators", len(rooted))
-            with metrics.timer("pack_phase"):
-                result = pack_phase(floating, rooted, forced_degrees, p)
-        else:
-            result = pack_phase(floating, rooted, forced_degrees, p)
-
         label = ",".join(task.task_id for task in phase_tasks)
-        phased.append(result.schedule, label)
-        labels.append(label)
-        homes.update(result.schedule.homes())
-        degrees.update(result.degrees)
+        with tracer.span("shelf", label=label):
+            floating: list[OperatorSpec] = []
+            rooted: list[RootedPlacement] = []
+            forced_degrees: dict[str, int] = {}
+            with tracer.span("degree_selection"):
+                for task in phase_tasks:
+                    for op in task.operators:
+                        spec = op.require_spec()
+                        if op.kind is OperatorKind.BUILD:
+                            # Size the build by the whole join stage: the
+                            # probe will be rooted at this home in a later
+                            # phase.
+                            probe_spec = op_tree.probe_of(
+                                op.join_id
+                            ).require_spec()
+                            stage = OperatorSpec(
+                                name=f"stage({op.join_id})",
+                                work=spec.work + probe_spec.work,
+                                data_volume=spec.data_volume
+                                + probe_spec.data_volume,
+                            )
+                            forced_degrees[spec.name] = coarse_grain_degree(
+                                stage, p, f, comm, overlap, policy
+                            )
+                            floating.append(spec)
+                        elif (anchor := anchor_operator_name(op)) is not None:
+                            # Probes run at their builds' homes (hash
+                            # tables); rescans at their stores' homes
+                            # (materialized pages).
+                            try:
+                                anchor_home = homes[anchor]
+                            except KeyError:
+                                raise SchedulingError(
+                                    f"{op.name!r} scheduled before its anchor "
+                                    f"{anchor!r}; task tree is inconsistent"
+                                ) from None
+                            rooted.append(
+                                RootedPlacement(
+                                    spec=spec,
+                                    site_indices=anchor_home.site_indices,
+                                )
+                            )
+                        else:
+                            floating.append(spec)
+
+            with tracer.span(
+                "pack", floating=len(floating), rooted=len(rooted)
+            ):
+                if metrics is not None:
+                    metrics.count("phases")
+                    metrics.count("floating_operators", len(floating))
+                    metrics.count("rooted_operators", len(rooted))
+                    with metrics.timer("pack_phase"):
+                        result = pack_phase(floating, rooted, forced_degrees, p)
+                else:
+                    result = pack_phase(floating, rooted, forced_degrees, p)
+
+            phased.append(result.schedule, label)
+            labels.append(label)
+            homes.update(result.schedule.homes())
+            degrees.update(result.degrees)
 
     instrumentation = Instrumentation(
         wall_clock_seconds=time.perf_counter() - started,

@@ -21,6 +21,9 @@ from typing import Any
 
 __all__ = [
     "MetricsRecorder",
+    "KNOWN_COUNTER_NAMES",
+    "KNOWN_TIMER_NAMES",
+    "unknown_metric_names",
     "COUNTER_PLACEMENT_SCANS",
     "COUNTER_CLONES_PLACED",
     "COUNTER_CLONES_PACKED",
@@ -76,6 +79,62 @@ TIMER_PACK_VECTORS = "pack_vectors"
 #: Wall-clock spent in a whole shelf-packing call (driver-level).
 TIMER_PACK_PHASE = "pack_phase"
 
+#: The complete counter vocabulary.  Kernels in ``repro.core`` record
+#: these as duck-typed *strings* (core must not import this package), so
+#: a typo there silently creates a new counter nobody reads;
+#: :func:`unknown_metric_names` (used by
+#: :func:`repro.sim.validate.validate_schedule_result`) checks recorded
+#: names against this set to catch exactly that.  Names without a
+#: module-level constant are recorded by the driver
+#: (``phases``/``floating_operators``/``rooted_operators``) and the
+#: parallel runner (``points_evaluated``/``points_retried_inline``).
+KNOWN_COUNTER_NAMES = frozenset(
+    {
+        COUNTER_PLACEMENT_SCANS,
+        COUNTER_CLONES_PLACED,
+        COUNTER_CLONES_PACKED,
+        COUNTER_FAULTS_INJECTED,
+        COUNTER_WORK_RERUN,
+        COUNTER_STORE_HITS,
+        COUNTER_STORE_MISSES,
+        COUNTER_POINT_STORE_HITS,
+        COUNTER_POINT_STORE_MISSES,
+        "phases",
+        "floating_operators",
+        "rooted_operators",
+        "points_evaluated",
+        "points_retried_inline",
+    }
+)
+
+#: The complete timer vocabulary (``run`` / ``point_seconds`` are the
+#: parallel runner's sweep-level timers).
+KNOWN_TIMER_NAMES = frozenset(
+    {
+        TIMER_LIST_SCHEDULE,
+        TIMER_PACK_VECTORS,
+        TIMER_PACK_PHASE,
+        "run",
+        "point_seconds",
+    }
+)
+
+
+def unknown_metric_names(
+    counters: "dict[str, float] | Any" = (),
+    timers: "dict[str, float] | Any" = (),
+) -> set[str]:
+    """Recorded metric names outside the known vocabulary.
+
+    Accepts the counter/timer dicts (or any iterable of names) of a
+    recorder or a :class:`~repro.engine.result.Instrumentation` and
+    returns the names that match neither :data:`KNOWN_COUNTER_NAMES` nor
+    :data:`KNOWN_TIMER_NAMES` — typically a typo'd duck-typed counter
+    string in ``repro.core``.
+    """
+    known = KNOWN_COUNTER_NAMES | KNOWN_TIMER_NAMES
+    return {name for name in (*counters, *timers) if name not in known}
+
 
 class MetricsRecorder:
     """Accumulate counters and timers during schedule construction.
@@ -103,7 +162,15 @@ class MetricsRecorder:
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
-        """Accumulate the wall-clock time of the ``with`` body into ``name``."""
+        """Accumulate the wall-clock time of the ``with`` body into ``name``.
+
+        Timings come from :func:`time.perf_counter` — a *monotonic*
+        clock, so a single recorder's timer is guaranteed non-negative
+        and unaffected by wall-clock adjustments.  Timers are
+        **additive**: nested or repeated ``with`` bodies sum, which is
+        the right semantics within one process (total CPU-side residence
+        time in a region).
+        """
         start = time.perf_counter()
         try:
             yield
@@ -111,12 +178,43 @@ class MetricsRecorder:
             elapsed = time.perf_counter() - start
             self.timers[name] = self.timers.get(name, 0.0) + elapsed
 
-    def merge(self, other: "MetricsRecorder") -> None:
-        """Fold another recorder's counters and timers into this one."""
+    def merge(self, other: "MetricsRecorder", *, timer_mode: str = "sum") -> None:
+        """Fold another recorder's counters and timers into this one.
+
+        Counters always add.  ``timer_mode`` selects the timer
+        semantics, which matter when the recorders come from *different
+        processes*:
+
+        ``"sum"`` (default)
+            Additive — correct for sequential regions and for
+            "total worker-seconds spent" aggregates.  Note that summing
+            timers of **concurrently running** workers double-counts
+            wall-clock: four workers each busy for 10s merge to 40s of
+            ``point_seconds`` even though only ~10s elapsed.  That is a
+            feature (it measures compute), but it is *not* elapsed time.
+        ``"max"``
+            Cross-process wall-clock — keeps the slowest contributor per
+            timer, which is the elapsed-time semantics for overlapping
+            workers (the sweep is as slow as its slowest worker).  Use
+            this when merging per-worker recorders of one parallel
+            region into an elapsed-time view.
+
+        Monotonicity guarantee: each source timer is a sum of
+        non-negative monotonic-clock intervals, and both modes are
+        monotone non-decreasing in their inputs, so a merged timer can
+        never decrease below its previous value in this recorder.
+        """
+        if timer_mode not in ("sum", "max"):
+            raise ValueError(
+                f"timer_mode must be 'sum' or 'max', got {timer_mode!r}"
+            )
         for name, value in other.counters.items():
             self.count(name, value)
         for name, value in other.timers.items():
-            self.timers[name] = self.timers.get(name, 0.0) + value
+            if timer_mode == "max":
+                self.timers[name] = max(self.timers.get(name, 0.0), value)
+            else:
+                self.timers[name] = self.timers.get(name, 0.0) + value
 
     def snapshot(self) -> dict[str, Any]:
         """Return a plain-dict snapshot (counters and timers, copied)."""

@@ -149,12 +149,28 @@ class RegisteredScheduler:
     def __call__(
         self, query: "GeneratedQuery", request: ScheduleRequest
     ) -> ScheduleResult:
+        from repro.obs.tracer import current_tracer, span_to_dict
         from repro.plans.physical_ops import use_annotation
 
-        with use_annotation(request.annotation):
-            result = self.fn(query, request)
+        # Every dispatch funnels through here, so this is the one place
+        # the "schedule" root span is opened — kernels and the driver
+        # nest their own spans under it via the ambient tracer.  With
+        # tracing disabled (the default) span() hands back a shared
+        # no-op and the result is untouched.
+        with current_tracer().span(
+            "schedule",
+            algorithm=self.name,
+            p=request.p,
+            f=request.f,
+            epsilon=request.epsilon,
+        ) as span:
+            with use_annotation(request.annotation):
+                result = self.fn(query, request)
         if result.algorithm == "":
             result.algorithm = self.name
+        if span is not None:
+            span.attributes["response_time"] = result.response_time
+            result.instrumentation.spans.append(span_to_dict(span))
         return result
 
 

@@ -48,6 +48,12 @@ class Instrumentation:
     counters, timers:
         Free-form extras from a :class:`~repro.engine.metrics.MetricsRecorder`
         (e.g. per-stage timings of the driver).
+    spans:
+        Optional span-tree summaries of the run, as the plain relative-
+        offset dicts of :func:`repro.obs.tracer.span_to_dict` (one entry
+        per root span; empty when tracing was disabled).  Attached by
+        the registry dispatch when an ambient tracer is enabled, and
+        round-tripped by :mod:`repro.serialization`.
     """
 
     wall_clock_seconds: float = 0.0
@@ -56,6 +62,7 @@ class Instrumentation:
     bins_opened: int = 0
     counters: dict[str, float] = field(default_factory=dict)
     timers: dict[str, float] = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
 
 
 @dataclass(frozen=True)

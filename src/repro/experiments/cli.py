@@ -155,6 +155,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=f"disable artifact caching even when ${ENV_CACHE_DIR} is set",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable span tracing and print a per-span summary to stderr "
+            "(stdout stays byte-identical)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable span tracing and write trace.json (Chrome trace-event "
+            "/ Perfetto), events.jsonl, and manifest.json into DIR"
+        ),
+    )
     return parser
 
 
@@ -199,17 +216,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if overrides:
         config = config.with_overrides(**overrides)
 
-    if args.target == "table2":
-        print(render_parameters(config.params))
-        return 0
+    # Tracing rides the same rule as caching: trace artifacts and the
+    # span summary go to files and stderr only, so stdout is
+    # byte-identical with tracing enabled or disabled at any --workers.
+    session = None
+    if args.trace or args.trace_dir is not None:
+        from repro.obs import TraceSession
 
-    if args.target == "algorithms":
-        entries = describe_algorithms()
-        width = max(len(name) for name in entries)
-        for name, entry in entries.items():
-            suffix = " (lower bound)" if entry.kind == "bound" else ""
-            print(f"{name.ljust(width)}  {entry.description}{suffix}")
-        return 0
+        session = TraceSession(
+            args.trace_dir,
+            target=args.target,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            config=config,
+            store=store if isinstance(store, ArtifactStore) else None,
+        )
 
     def emit(figure, elapsed: float) -> None:
         if args.json:
@@ -220,43 +240,68 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(render_figure(figure))
             print(f"(regenerated in {elapsed:.1f}s)")
             print()
+        if session is not None and session.log is not None:
+            session.log.emit(
+                "figure", figure_id=figure.figure_id, seconds=round(elapsed, 6)
+            )
 
-    if args.target == "robustness":
-        intensities = (
-            DEFAULT_INTENSITIES
-            if args.intensities is None
-            else tuple(args.intensities)
-        )
-        start = time.perf_counter()
-        figure = robustness_sweep(
-            config,
-            intensities=intensities,
-            policy=SharingPolicy(args.policy),
-            fault_seed=args.fault_seed,
-            workers=args.workers,
-            store=store,
-        )
-        emit(figure, time.perf_counter() - start)
+    def dispatch() -> int:
+        if args.target == "table2":
+            print(render_parameters(config.params))
+            return 0
+
+        if args.target == "algorithms":
+            entries = describe_algorithms()
+            width = max(len(name) for name in entries)
+            for name, entry in entries.items():
+                suffix = " (lower bound)" if entry.kind == "bound" else ""
+                print(f"{name.ljust(width)}  {entry.description}{suffix}")
+            return 0
+
+        if args.target == "robustness":
+            intensities = (
+                DEFAULT_INTENSITIES
+                if args.intensities is None
+                else tuple(args.intensities)
+            )
+            start = time.perf_counter()
+            figure = robustness_sweep(
+                config,
+                intensities=intensities,
+                policy=SharingPolicy(args.policy),
+                fault_seed=args.fault_seed,
+                workers=args.workers,
+                store=store,
+            )
+            emit(figure, time.perf_counter() - start)
+            cache_summary()
+            return 0
+
+        if args.target in SENSITIVITY_TARGETS:
+            field, multipliers = SENSITIVITY_TARGETS[args.target]
+            start = time.perf_counter()
+            figure = parameter_sensitivity(
+                field, multipliers, config, workers=args.workers, store=store
+            )
+            emit(figure, time.perf_counter() - start)
+            cache_summary()
+            return 0
+
+        targets = list(FIGURES) if args.target == "all" else [args.target]
+        for name in targets:
+            start = time.perf_counter()
+            figure = FIGURES[name](config, workers=args.workers, store=store)
+            emit(figure, time.perf_counter() - start)
         cache_summary()
         return 0
 
-    if args.target in SENSITIVITY_TARGETS:
-        field, multipliers = SENSITIVITY_TARGETS[args.target]
-        start = time.perf_counter()
-        figure = parameter_sensitivity(
-            field, multipliers, config, workers=args.workers, store=store
-        )
-        emit(figure, time.perf_counter() - start)
-        cache_summary()
-        return 0
-
-    targets = list(FIGURES) if args.target == "all" else [args.target]
-    for name in targets:
-        start = time.perf_counter()
-        figure = FIGURES[name](config, workers=args.workers, store=store)
-        emit(figure, time.perf_counter() - start)
-    cache_summary()
-    return 0
+    if session is None:
+        return dispatch()
+    with session:
+        code = dispatch()
+    for line in session.summary_lines():
+        print(line, file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -61,6 +61,14 @@ from repro.engine.metrics import (
 )
 from repro.engine.registry import get_algorithm
 from repro.cost.params import PAPER_PARAMETERS, SystemParameters
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    span_from_dict,
+    span_to_dict,
+    use_tracer,
+)
 from repro.store import (
     KIND_POINT,
     ArtifactStore,
@@ -132,6 +140,67 @@ def _timed(evaluate: Callable[[Any], Any], point: Any) -> tuple[Any, float]:
     return value, time.perf_counter() - started
 
 
+def _timed_traced(
+    evaluate: Callable[[Any], Any], point: Any, index: int
+) -> tuple[Any, float, list[dict]]:
+    """Evaluate one point under a fresh local tracer.
+
+    Returns ``(value, seconds, span_dicts)`` where ``span_dicts`` are
+    the relative-offset serializations
+    (:func:`~repro.obs.tracer.span_to_dict`) of the span trees recorded
+    during evaluation, rooted at one ``point`` span.  The same function
+    runs inline and in pool workers — the evaluation is wrapped
+    identically either way, which is what makes the stitched span forest
+    structurally identical at any worker count.  Span dicts are plain
+    data, so they pickle across the process boundary unchanged.
+    """
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        with tracer.span("point", index=index):
+            started = time.perf_counter()
+            value = evaluate(point)
+            seconds = time.perf_counter() - started
+    return value, seconds, [span_to_dict(root) for root in tracer.roots]
+
+
+def _stitch_spans(
+    tracer: Tracer,
+    sweep_span: "Span | None",
+    pairs: list,
+    keys: list,
+    span_dicts: list,
+) -> None:
+    """Re-root every point's span tree under the sweep span, in input order.
+
+    Worker monotonic clocks are not comparable across processes, so the
+    re-rooted point spans are laid out on a *logical* sequential
+    timeline: point ``k+1`` begins where point ``k`` ended, starting at
+    the sweep span's own clock value.  Input-index order (not completion
+    order) makes the stitched tree deterministic for any worker count
+    and any completion interleaving.  Cache-served points get a
+    zero-length ``point`` marker span, so every point of the sweep is
+    visible in the trace with its store key.
+    """
+    base = sweep_span.start if sweep_span is not None else 0.0
+    offset = 0.0
+    for i in range(len(pairs)):
+        dicts = span_dicts[i]
+        if dicts:
+            span = span_from_dict(dicts[0], base=base + offset)
+        else:
+            start = base + offset
+            span = Span(
+                name="point",
+                start=start,
+                end=start,
+                attributes={"index": i, "cached": True},
+            )
+        if keys[i] is not None:
+            span.attributes["store_key"] = keys[i]
+        tracer.adopt(span)
+        offset += span.seconds
+
+
 class ParallelRunner:
     """Evaluate sweep points, optionally over a process pool.
 
@@ -190,42 +259,66 @@ class ParallelRunner:
             if name is not None:
                 get_algorithm(name)
         started = time.perf_counter()
+        tracer = current_tracer()
+        traced = tracer.enabled
 
         pairs: list[tuple[Any, float] | None] = [None] * len(points)
         keys: list[str | None] = [None] * len(points)
-        if self.store is not None:
-            for i, point in enumerate(points):
-                payload = point_key_payload(point, evaluate)
-                if payload is None:
-                    continue
-                keys[i] = self.store.key(KIND_POINT, payload)
-                cached = self.store.get(KIND_POINT, keys[i])
-                if isinstance(cached, dict) and "value" in cached:
-                    pairs[i] = (cached["value"], 0.0)
-        hits = sum(1 for pair in pairs if pair is not None)
-        pending = [i for i, pair in enumerate(pairs) if pair is None]
-        if hits:
-            _LOG.info(
-                "point store served %d/%d sweep points; evaluating %d",
-                hits,
-                len(points),
-                len(pending),
-            )
+        span_dicts: list[list[dict] | None] = [None] * len(points)
+        with tracer.span(
+            "sweep", points=len(points), workers=self.workers
+        ) as sweep_span:
+            if self.store is not None:
+                for i, point in enumerate(points):
+                    payload = point_key_payload(point, evaluate)
+                    if payload is None:
+                        continue
+                    keys[i] = self.store.key(KIND_POINT, payload)
+                    cached = self.store.get(KIND_POINT, keys[i])
+                    if isinstance(cached, dict) and "value" in cached:
+                        pairs[i] = (cached["value"], 0.0)
+            hits = sum(1 for pair in pairs if pair is not None)
+            pending = [i for i, pair in enumerate(pairs) if pair is None]
+            if hits:
+                _LOG.info(
+                    "point store served %d/%d sweep points; evaluating %d",
+                    hits,
+                    len(points),
+                    len(pending),
+                )
 
-        def persist(i: int, pair: tuple[Any, float]) -> None:
-            if self.store is None or keys[i] is None:
-                return
-            try:
-                self.store.put(KIND_POINT, keys[i], {"value": pair[0]})
-            except (ConfigurationError, TypeError):
-                keys[i] = None  # value not JSON-representable: skip caching
+            def persist(i: int, pair: tuple[Any, float]) -> None:
+                if self.store is None or keys[i] is None:
+                    return
+                try:
+                    self.store.put(KIND_POINT, keys[i], {"value": pair[0]})
+                except (ConfigurationError, TypeError):
+                    keys[i] = None  # value not JSON-representable: skip caching
 
-        if self.workers == 1 or len(pending) <= 1:
-            for i in pending:
-                pairs[i] = _timed(evaluate, points[i])
-                persist(i, pairs[i])
-        else:
-            self._run_pool(points, pending, evaluate, pairs, persist)
+            if self.workers == 1 or len(pending) <= 1:
+                for i in pending:
+                    if traced:
+                        value, seconds, span_dicts[i] = _timed_traced(
+                            evaluate, points[i], i
+                        )
+                        pairs[i] = (value, seconds)
+                    else:
+                        pairs[i] = _timed(evaluate, points[i])
+                    persist(i, pairs[i])
+            else:
+                self._run_pool(
+                    points,
+                    pending,
+                    evaluate,
+                    pairs,
+                    persist,
+                    span_dicts if traced else None,
+                )
+            if traced:
+                _stitch_spans(tracer, sweep_span, pairs, keys, span_dicts)
+            if sweep_span is not None:
+                sweep_span.attributes["evaluated"] = len(pending)
+                sweep_span.attributes["store_hits"] = hits
 
         if self.metrics is not None:
             self.metrics.count("points_evaluated", len(pending))
@@ -249,6 +342,7 @@ class ParallelRunner:
         evaluate: Callable[[Any], Any],
         pairs: list[tuple[Any, float] | None],
         persist: Callable[[int, tuple[Any, float]], None],
+        span_dicts: list[list[dict] | None] | None = None,
     ) -> None:
         """Fan the pending points over a process pool, surviving worker death.
 
@@ -259,24 +353,39 @@ class ParallelRunner:
         is re-evaluated inline (safe: points are deterministic and
         side-effect free).  Ordinary exceptions raised by ``evaluate``
         itself still propagate — only pool breakage triggers the retry.
+
+        With ``span_dicts`` given (the parent has an enabled tracer),
+        workers run :func:`_timed_traced` and ship their serialized span
+        trees back alongside the value; the slot layout mirrors
+        ``pairs`` so the caller can stitch them in input order.
         """
+
+        def take(i: int, result: Any) -> tuple[Any, float]:
+            if span_dicts is None:
+                return result
+            value, seconds, span_dicts[i] = result
+            return (value, seconds)
+
+        def submit(pool: ProcessPoolExecutor, i: int) -> Any:
+            if span_dicts is None:
+                return pool.submit(_timed, evaluate, points[i])
+            return pool.submit(_timed_traced, evaluate, points[i], i)
+
         futures: dict[Any, int] = {}
         try:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending))
             ) as pool:
-                futures = {
-                    pool.submit(_timed, evaluate, points[i]): i for i in pending
-                }
+                futures = {submit(pool, i): i for i in pending}
                 for future in as_completed(futures):
                     i = futures[future]
-                    pairs[i] = future.result()
+                    pairs[i] = take(i, future.result())
                     persist(i, pairs[i])
         except BrokenProcessPool:
             for future, i in futures.items():
                 if pairs[i] is None and future.done() and not future.cancelled():
                     try:
-                        pairs[i] = future.result()
+                        pairs[i] = take(i, future.result())
                     except BaseException:
                         continue
                     persist(i, pairs[i])
@@ -291,7 +400,10 @@ class ParallelRunner:
             if self.metrics is not None:
                 self.metrics.count("points_retried_inline", len(remaining))
             for i in remaining:
-                pairs[i] = _timed(evaluate, points[i])
+                if span_dicts is None:
+                    pairs[i] = _timed(evaluate, points[i])
+                else:
+                    pairs[i] = take(i, _timed_traced(evaluate, points[i], i))
                 persist(i, pairs[i])
 
     def __repr__(self) -> str:

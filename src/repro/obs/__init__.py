@@ -1,0 +1,84 @@
+"""Observability: hierarchical span tracing, trace export, run manifests.
+
+The subsystem has four pieces (see DESIGN.md §2.5 for the span
+vocabulary and the trace-format mapping):
+
+:mod:`repro.obs.tracer`
+    :class:`Tracer` / :class:`Span` — contextvar-parented, monotonic-
+    clock span trees with a strict disabled-is-a-no-op contract, plus
+    the ambient-tracer hooks (:func:`current_tracer` / :func:`use_tracer`)
+    the rest of the stack consults, and the relative-offset span
+    serialization behind cross-process stitching.
+:mod:`repro.obs.export`
+    Chrome trace-event / Perfetto JSON export of span forests, and the
+    :func:`validate_trace_events` schema check.
+:mod:`repro.obs.timeline`
+    Simulated-execution and analytic-schedule timelines rendered into
+    the same trace format (site lanes, utilization counters, fault
+    instants).
+:mod:`repro.obs.session`
+    :class:`TraceSession` — the CLI bundle writing ``trace.json``,
+    ``events.jsonl`` and a :class:`RunManifest` per run.
+
+Import-weight contract: ``import repro.obs`` must stay dependency-light
+— the scheduling kernels import it at module load.  Only the stdlib and
+:mod:`repro.store` (itself stdlib-only) are reachable from here;
+engine/sim/core types appear solely behind ``TYPE_CHECKING``.
+"""
+
+from repro.obs.export import (
+    TRACE_EVENT_PHASES,
+    span_events,
+    trace_payload,
+    tracer_events,
+    validate_trace_events,
+    write_trace,
+)
+from repro.obs.session import (
+    EVENTS_FILE,
+    MANIFEST_FILE,
+    MANIFEST_SCHEMA,
+    TRACE_FILE,
+    RunLog,
+    RunManifest,
+    TraceSession,
+    collect_point_keys,
+    git_describe,
+)
+from repro.obs.timeline import schedule_result_events, simulation_events
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    span_from_dict,
+    span_to_dict,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "span_to_dict",
+    "span_from_dict",
+    "TRACE_EVENT_PHASES",
+    "span_events",
+    "tracer_events",
+    "trace_payload",
+    "write_trace",
+    "validate_trace_events",
+    "simulation_events",
+    "schedule_result_events",
+    "TraceSession",
+    "RunManifest",
+    "RunLog",
+    "collect_point_keys",
+    "git_describe",
+    "MANIFEST_SCHEMA",
+    "TRACE_FILE",
+    "EVENTS_FILE",
+    "MANIFEST_FILE",
+]

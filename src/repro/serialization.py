@@ -187,8 +187,13 @@ def phased_schedule_from_dict(payload: dict[str, Any]) -> PhasedSchedule:
 
 
 def instrumentation_to_dict(inst: Instrumentation) -> dict[str, Any]:
-    """Serialize scheduler-run instrumentation."""
-    return {
+    """Serialize scheduler-run instrumentation.
+
+    The ``spans`` key (span-tree summaries recorded under an enabled
+    tracer) is emitted only when non-empty, so payloads written with
+    tracing disabled are byte-identical to pre-tracing payloads.
+    """
+    payload = {
         "wall_clock_seconds": inst.wall_clock_seconds,
         "operators_scheduled": inst.operators_scheduled,
         "clones_created": inst.clones_created,
@@ -196,6 +201,9 @@ def instrumentation_to_dict(inst: Instrumentation) -> dict[str, Any]:
         "counters": dict(inst.counters),
         "timers": dict(inst.timers),
     }
+    if inst.spans:
+        payload["spans"] = [dict(span) for span in inst.spans]
+    return payload
 
 
 def instrumentation_from_dict(payload: dict[str, Any]) -> Instrumentation:
@@ -207,6 +215,7 @@ def instrumentation_from_dict(payload: dict[str, Any]) -> Instrumentation:
         bins_opened=int(payload.get("bins_opened", 0)),
         counters=dict(payload.get("counters", {})),
         timers=dict(payload.get("timers", {})),
+        spans=[dict(span) for span in payload.get("spans", [])],
     )
 
 

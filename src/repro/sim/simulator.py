@@ -33,6 +33,7 @@ from repro.core.resource_model import ConvexCombinationOverlap
 from repro.core.schedule import PhasedSchedule, Schedule
 from repro.core.site import Site
 from repro.core.work_vector import WorkVector
+from repro.obs.tracer import current_tracer
 from repro.sim.events import CloneTrace, RateInterval
 from repro.sim.faults import FaultPlan, FaultReport, SiteFaults
 from repro.sim.policies import SharingPolicy
@@ -710,26 +711,36 @@ def simulate_phased(
     produces phases byte-identical to ``plan=None`` (golden-tested),
     plus an all-zero report — the layer is pure extension.
     """
-    if plan is None:
-        phases = [simulate_schedule(schedule, policy) for schedule in phased.phases]
+    tracer = current_tracer()
+    faulted = plan is not None
+    with tracer.span(
+        "simulate_phased",
+        policy=policy.value,
+        num_phases=phased.num_phases,
+        faulted=faulted,
+    ) as run_span:
+        report = None if plan is None else FaultReport.from_counts(plan.counts())
+        phases = []
+        for k, schedule in enumerate(phased.phases):
+            with tracer.span("simulate_phase", index=k) as phase_span:
+                if plan is None:
+                    phase = simulate_schedule(schedule, policy)
+                else:
+                    phase, phase_report = _simulate_schedule_with_plan(
+                        schedule, policy, plan, k
+                    )
+                    assert report is not None
+                    report.merge(phase_report)
+                if phase_span is not None:
+                    phase_span.attributes["makespan"] = phase.makespan
+            phases.append(phase)
         response = math.fsum(p.makespan for p in phases)
+        if run_span is not None:
+            run_span.attributes["response_time"] = response
         return SimulationResult(
             policy=policy,
             phases=phases,
             response_time=response,
             analytic_response_time=phased.response_time(),
+            fault_report=report,
         )
-    report = FaultReport.from_counts(plan.counts())
-    phases = []
-    for k, schedule in enumerate(phased.phases):
-        phase, phase_report = _simulate_schedule_with_plan(schedule, policy, plan, k)
-        report.merge(phase_report)
-        phases.append(phase)
-    response = math.fsum(p.makespan for p in phases)
-    return SimulationResult(
-        policy=policy,
-        phases=phases,
-        response_time=response,
-        analytic_response_time=phased.response_time(),
-        fault_report=report,
-    )

@@ -9,6 +9,7 @@ time depends on the idealized sharing assumptions A2/A3).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.exceptions import ModelValidationError, SimulationError
@@ -110,6 +111,13 @@ def validate_schedule_result(
     under OPTIMAL_STRETCH.  Bound-only results (``phased_schedule is
     None``) have nothing to simulate and return ``None``.
 
+    Additionally warns (``UserWarning``) when the result's
+    instrumentation references counter or timer names outside the
+    vocabulary of :mod:`repro.engine.metrics` — the kernels in
+    ``repro.core`` record metrics through duck-typed *strings*, so a
+    typo there silently creates a counter nobody reads, and this check
+    is where it surfaces.
+
     Raises
     ------
     SchedulingError
@@ -117,6 +125,18 @@ def validate_schedule_result(
     SimulationError
         On analytic/simulated disagreement beyond ``rel_tolerance``.
     """
+    from repro.engine.metrics import unknown_metric_names
+
+    unknown = unknown_metric_names(
+        result.instrumentation.counters, result.instrumentation.timers
+    )
+    if unknown:
+        warnings.warn(
+            f"{result.algorithm or 'schedule'}: instrumentation references "
+            f"metric names outside the known vocabulary: {sorted(unknown)} "
+            "(typo'd counter string in a kernel?)",
+            stacklevel=2,
+        )
     if result.phased_schedule is None:
         return None
     result.validate()

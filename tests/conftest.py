@@ -39,6 +39,7 @@ if np is None:
         "test_hong.py",
         "test_join_tree.py",
         "test_materialization.py",
+        "test_obs_integration.py",
         "test_operator_tree.py",
         "test_phases.py",
         "test_plan_selection.py",

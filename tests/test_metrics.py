@@ -178,3 +178,80 @@ class TestKernelInstrumentation:
             "scans_per_clone": 0.0,
             "kernel_seconds": 0.0,
         }
+
+
+class TestMergeTimerModes:
+    def _pair(self):
+        a = MetricsRecorder()
+        a.count("n", 1)
+        a.timers["t"] = 0.5
+        b = MetricsRecorder()
+        b.count("n", 2)
+        b.timers["t"] = 0.75
+        b.timers["u"] = 0.1
+        return a, b
+
+    def test_sum_mode_is_additive(self):
+        a, b = self._pair()
+        a.merge(b, timer_mode="sum")
+        assert a.timers == {"t": 1.25, "u": 0.1}
+
+    def test_max_mode_keeps_slowest_contributor(self):
+        """Cross-process wall-clock semantics: overlapping workers'
+        elapsed times must not be double-counted."""
+        a, b = self._pair()
+        a.merge(b, timer_mode="max")
+        assert a.timers == {"t": 0.75, "u": 0.1}
+
+    def test_counters_add_in_both_modes(self):
+        for mode in ("sum", "max"):
+            a, b = self._pair()
+            a.merge(b, timer_mode=mode)
+            assert a.counters == {"n": 3.0}
+
+    def test_unknown_mode_rejected(self):
+        a, b = self._pair()
+        import pytest
+
+        with pytest.raises(ValueError, match="timer_mode"):
+            a.merge(b, timer_mode="median")
+        # A rejected merge must not have half-applied the counters.
+        assert a.counters == {"n": 1.0}
+
+
+class TestMetricVocabulary:
+    def test_known_names_pass(self):
+        from repro.engine.metrics import unknown_metric_names
+
+        m = MetricsRecorder()
+        m.count("clones_placed")
+        m.count("placement_scans", 5)
+        with m.timer("pack_vectors"):
+            pass
+        assert unknown_metric_names(m.counters, m.timers) == set()
+
+    def test_typo_surfaces(self):
+        from repro.engine.metrics import unknown_metric_names
+
+        m = MetricsRecorder()
+        m.count("clones_plcaed")  # the typo this check exists for
+        with m.timer("pack_vectors"):
+            pass
+        assert unknown_metric_names(m.counters, m.timers) == {"clones_plcaed"}
+
+    def test_accepts_bare_iterables(self):
+        from repro.engine.metrics import unknown_metric_names
+
+        assert unknown_metric_names(["phases"], ["run"]) == set()
+        assert unknown_metric_names((), ("mystery",)) == {"mystery"}
+
+    def test_kernel_constants_are_in_vocabulary(self):
+        from repro.engine import metrics
+
+        names = {
+            value
+            for key, value in vars(metrics).items()
+            if key.startswith(("COUNTER_", "TIMER_")) and isinstance(value, str)
+        }
+        known = metrics.KNOWN_COUNTER_NAMES | metrics.KNOWN_TIMER_NAMES
+        assert names <= known

@@ -1,0 +1,308 @@
+"""End-to-end observability: tracing changes no output bytes, span
+forests are deterministic at any worker count, and TraceSession writes
+valid Perfetto/manifest/event-log artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import prepare_workload
+from repro.experiments.cli import main
+from repro.experiments.config import PAPER_CONFIG
+from repro.experiments.parallel import ParallelRunner, SweepPoint
+from repro.experiments.runner import schedule_query
+from repro.obs import (
+    EVENTS_FILE,
+    MANIFEST_FILE,
+    TRACE_FILE,
+    TraceSession,
+    Tracer,
+    collect_point_keys,
+    use_tracer,
+    validate_trace_events,
+)
+from repro.serialization import schedule_result_to_dict
+from repro.store import ENV_CACHE_DIR, KIND_POINT, ArtifactStore, content_key
+
+GRID = [
+    SweepPoint("treeschedule", 4, 2, 3, p, 0.7, 0.5)
+    for p in (4, 8, 16)
+]
+
+CLI_ARGS = ["fig6b", "--quick", "--queries", "1", "--sites", "4", "8", "--json"]
+
+
+@pytest.fixture(autouse=True)
+def _no_env_store(monkeypatch):
+    """Isolate from an ambient REPRO_CACHE_DIR — and scrub it again on
+    teardown: the CLI's --cache-dir writes the variable into os.environ
+    (for forked workers), which monkeypatch cannot restore when the
+    variable did not exist before the test."""
+    monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+    yield
+    os.environ.pop(ENV_CACHE_DIR, None)
+
+
+def _strip(span_dict_or_span, drop=("workers",)):
+    """Structural view of a span (tree): names + attributes, no clocks.
+
+    ``store_key`` and timing vary run to run; ``workers`` is the one
+    sweep attribute that legitimately differs between worker counts.
+    """
+    attrs = {
+        k: v
+        for k, v in span_dict_or_span.attributes.items()
+        if k not in drop and k != "store_key"
+    }
+    return (
+        span_dict_or_span.name,
+        tuple(sorted(attrs.items())),
+        tuple(_strip(child, drop) for child in span_dict_or_span.children),
+    )
+
+
+class TestTracingChangesNoResults:
+    def test_schedule_query_equal_with_tracing_on(self):
+        query = prepare_workload(3, 1, 2)[0]
+        baseline = schedule_query("treeschedule", query, p=6, f=0.7, epsilon=0.5)
+        with use_tracer(Tracer(enabled=True)):
+            traced = schedule_query(
+                "treeschedule", query, p=6, f=0.7, epsilon=0.5
+            )
+        a = schedule_result_to_dict(baseline)
+        b = schedule_result_to_dict(traced)
+        # Tracing adds instrumentation (spans, timer noise) but must not
+        # perturb the schedule itself.
+        a.pop("instrumentation")
+        b.pop("instrumentation")
+        assert a == b
+
+    def test_runner_values_equal_with_tracing_on(self):
+        baseline = ParallelRunner().run(GRID)
+        with use_tracer(Tracer(enabled=True)):
+            traced = ParallelRunner().run(GRID)
+        assert traced == baseline
+
+
+class TestCliByteIdentity:
+    def _stdout(self, capsys, args):
+        assert main(args) == 0
+        out, _err = capsys.readouterr()
+        return out
+
+    def test_stdout_identical_with_trace_flag(self, capsys):
+        baseline = self._stdout(capsys, CLI_ARGS)
+        traced = self._stdout(capsys, [*CLI_ARGS, "--trace"])
+        assert traced == baseline
+
+    def test_stdout_identical_with_trace_dir(self, capsys, tmp_path):
+        baseline = self._stdout(capsys, CLI_ARGS)
+        traced = self._stdout(
+            capsys, [*CLI_ARGS, "--trace-dir", str(tmp_path / "t")]
+        )
+        assert traced == baseline
+
+    def test_stdout_identical_at_any_worker_count(self, capsys, tmp_path):
+        baseline = self._stdout(capsys, CLI_ARGS)
+        traced = self._stdout(
+            capsys,
+            [
+                *CLI_ARGS,
+                "--workers",
+                "2",
+                "--trace-dir",
+                str(tmp_path / "t"),
+            ],
+        )
+        assert traced == baseline
+
+    def test_trace_flag_prints_summary_to_stderr(self, capsys):
+        assert main([*CLI_ARGS, "--trace"]) == 0
+        _out, err = capsys.readouterr()
+        assert "[trace] span summary" in err
+        assert "sweep" in err
+
+
+class TestSpanForestDeterminism:
+    def _point_forest(self, workers):
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            ParallelRunner(workers=workers).run(GRID)
+        (sweep,) = tracer.roots
+        assert sweep.name == "sweep"
+        return [_strip(child) for child in sweep.children]
+
+    def test_same_structure_at_workers_1_and_2(self):
+        serial = self._point_forest(1)
+        parallel = self._point_forest(2)
+        assert serial == parallel
+        assert len(serial) == len(GRID)
+
+    def test_points_in_input_index_order(self):
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            ParallelRunner(workers=2).run(GRID)
+        points = tracer.roots[0].children
+        assert [s.attributes["index"] for s in points] == list(range(len(GRID)))
+
+    def test_stitched_points_tile_sequentially(self):
+        """Re-rooted worker spans lie on the logical sequential timeline:
+        point k+1 starts exactly where point k ended."""
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            ParallelRunner(workers=2).run(GRID)
+        sweep = tracer.roots[0]
+        cursor = sweep.start
+        for span in sweep.children:
+            assert span.start == pytest.approx(cursor)
+            cursor = span.end
+
+    def test_cached_points_appear_as_markers(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        ParallelRunner(store=store).run(GRID)  # warm the store, untraced
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            ParallelRunner(store=store).run(GRID)
+        points = tracer.roots[0].children
+        assert len(points) == len(GRID)
+        for span in points:
+            assert span.attributes["cached"] is True
+            assert span.attributes["store_key"]
+            assert span.seconds == 0.0
+
+
+class TestTraceSession:
+    def _run_session(self, tmp_path, store=None):
+        session = TraceSession(
+            tmp_path / "trace",
+            target="fig6a",
+            argv=["fig6a", "--quick"],
+            config=PAPER_CONFIG,
+            store=store,
+        )
+        with session:
+            ParallelRunner(store=store).run(GRID)
+            assert session.log is not None
+            session.log.emit("figure", figure_id="fig6a", seconds=0.5)
+        return session
+
+    def test_artifacts_written_and_trace_validates(self, tmp_path):
+        self._run_session(tmp_path)
+        trace_dir = tmp_path / "trace"
+        assert (trace_dir / TRACE_FILE).exists()
+        assert (trace_dir / MANIFEST_FILE).exists()
+        assert (trace_dir / EVENTS_FILE).exists()
+        payload = json.loads((trace_dir / TRACE_FILE).read_text())
+        assert validate_trace_events(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"sweep", "point", "schedule", "tree_schedule"} <= names
+
+    def test_event_log_brackets_the_run(self, tmp_path):
+        self._run_session(tmp_path)
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "trace" / EVENTS_FILE)
+            .read_text()
+            .splitlines()
+        ]
+        events = [line["event"] for line in lines]
+        assert events[0] == "run_start"
+        assert events[-1] == "run_end"
+        assert "figure" in events
+        assert lines[-1]["ok"] is True
+        assert lines[-1]["spans"] > 0
+        assert all(line["t"] >= 0.0 for line in lines)
+
+    def test_manifest_config_hash_recomputable(self, tmp_path):
+        self._run_session(tmp_path)
+        manifest = json.loads(
+            (tmp_path / "trace" / MANIFEST_FILE).read_text()
+        )
+        assert manifest["schema"] == "repro-manifest/1"
+        assert manifest["target"] == "fig6a"
+        assert manifest["seed"] == PAPER_CONFIG.seed
+        # The CI trace-roundtrip check: the hash must be recomputable
+        # from the manifest alone with the store's hashing scheme.
+        recomputed = content_key("manifest-config", manifest["config"])
+        assert recomputed == manifest["config_hash"]
+        assert manifest["span_summary"]["point"]["count"] == len(GRID)
+        assert manifest["wall_seconds"] > 0.0
+
+    def test_manifest_point_keys_exist_in_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        self._run_session(tmp_path, store=store)
+        manifest = json.loads(
+            (tmp_path / "trace" / MANIFEST_FILE).read_text()
+        )
+        assert len(manifest["point_keys"]) == len(GRID)
+        assert manifest["store_root"] == str(store.root)
+        assert manifest["store_stats"]["writes"] == len(GRID)
+        reader = ArtifactStore(tmp_path / "cache")
+        for key in manifest["point_keys"]:
+            assert reader.get(KIND_POINT, key) is not None
+
+    def test_no_dir_session_traces_without_files(self, tmp_path):
+        session = TraceSession(None, target="fig6a")
+        with session:
+            ParallelRunner().run(GRID[:1])
+        assert session.log is None
+        assert list(tmp_path.iterdir()) == []
+        assert session.tracer.roots
+        assert any("sweep" in line for line in session.summary_lines())
+
+    def test_exception_still_writes_artifacts(self, tmp_path):
+        session = TraceSession(tmp_path / "trace", target="fig6a")
+        with pytest.raises(ValueError):
+            with session:
+                raise ValueError("boom")
+        lines = (tmp_path / "trace" / EVENTS_FILE).read_text().splitlines()
+        assert json.loads(lines[-1])["ok"] is False
+        assert (tmp_path / "trace" / MANIFEST_FILE).exists()
+
+    def test_collect_point_keys_dedups_and_sorts(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("point", store_key="b"):
+            pass
+        with tracer.span("point", store_key="a"):
+            pass
+        with tracer.span("point", store_key="a"):
+            pass
+        with tracer.span("schedule", store_key="ignored-wrong-name"):
+            pass
+        assert collect_point_keys(tracer) == ["a", "b"]
+
+
+class TestCliTraceDirArtifacts:
+    def test_cli_emits_valid_artifacts_with_cache(self, capsys, tmp_path):
+        trace_dir = tmp_path / "t"
+        cache_dir = tmp_path / "cache"
+        args = [
+            *CLI_ARGS,
+            "--cache-dir",
+            str(cache_dir),
+            "--trace-dir",
+            str(trace_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        payload = json.loads((trace_dir / TRACE_FILE).read_text())
+        assert validate_trace_events(payload) == []
+        manifest = json.loads((trace_dir / MANIFEST_FILE).read_text())
+        assert manifest["config_hash"] == content_key(
+            "manifest-config", manifest["config"]
+        )
+        assert manifest["point_keys"]
+        store = ArtifactStore(cache_dir)
+        for key in manifest["point_keys"]:
+            assert store.get(KIND_POINT, key) is not None
+        events = [
+            json.loads(line)
+            for line in (trace_dir / EVENTS_FILE).read_text().splitlines()
+        ]
+        assert [e["event"] for e in events if e["event"] != "figure"] == [
+            "run_start",
+            "run_end",
+        ]

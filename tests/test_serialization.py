@@ -126,6 +126,33 @@ class TestInstrumentation:
     def test_all_fields_optional(self):
         assert instrumentation_from_dict({}) == Instrumentation()
 
+    def test_span_tree_roundtrip(self):
+        spans = [
+            {
+                "name": "schedule",
+                "offset": 0.0,
+                "seconds": 0.25,
+                "attributes": {"algorithm": "treeschedule", "p": 8},
+                "children": [
+                    {
+                        "name": "shelf",
+                        "offset": 0.01,
+                        "seconds": 0.2,
+                        "attributes": {"label": "T0"},
+                        "children": [],
+                    }
+                ],
+            }
+        ]
+        inst = Instrumentation(spans=spans)
+        payload = json.loads(json.dumps(instrumentation_to_dict(inst)))
+        assert instrumentation_from_dict(payload) == inst
+
+    def test_no_spans_key_when_untraced(self):
+        """Pre-tracing payload layout is preserved byte for byte: the
+        ``spans`` key appears only when spans were recorded."""
+        assert "spans" not in instrumentation_to_dict(Instrumentation())
+
 
 class TestScheduleResult:
     def test_roundtrip_full_result(self, annotated_query, comm, overlap):

@@ -85,3 +85,40 @@ class TestPolicyReport:
         )
         report = sharing_policy_report(ts.phased_schedule)
         assert report.serial >= report.analytic
+
+
+class TestMetricVocabularyWarning:
+    def _result(self):
+        # Workload generation requires numpy (absent in the no-numpy job).
+        pytest.importorskip("numpy", exc_type=ImportError)
+        from repro.experiments import prepare_workload
+        from repro.experiments.runner import schedule_query
+
+        query = prepare_workload(3, 1, 2)[0]
+        return schedule_query("treeschedule", query, p=4, f=0.7, epsilon=0.5)
+
+    def test_clean_result_does_not_warn(self):
+        import warnings
+
+        from repro.sim.validate import validate_schedule_result
+
+        result = self._result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            validate_schedule_result(result)
+
+    def test_unknown_counter_name_warns(self):
+        from repro.sim.validate import validate_schedule_result
+
+        result = self._result()
+        result.instrumentation.counters["clones_plcaed"] = 3.0
+        with pytest.warns(UserWarning, match="clones_plcaed"):
+            validate_schedule_result(result)
+
+    def test_unknown_timer_name_warns(self):
+        from repro.sim.validate import validate_schedule_result
+
+        result = self._result()
+        result.instrumentation.timers["mystery_seconds"] = 0.1
+        with pytest.warns(UserWarning, match="mystery_seconds"):
+            validate_schedule_result(result)
