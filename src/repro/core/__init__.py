@@ -15,7 +15,9 @@ depends on the plan substrate; import it via :mod:`repro` or directly.
 from repro.core.batch import (
     HAVE_NUMPY,
     eq3_makespans_over_epsilon,
+    family_congestions,
     lower_bounds_batch,
+    pack_least_loaded_batch,
     set_length_batch,
     sum_length,
 )
@@ -45,12 +47,15 @@ from repro.core.granularity import (
     processing_area,
 )
 from repro.core.malleable import (
+    CandidateFamily,
     MalleableResult,
     ParallelizationCandidate,
     candidate_parallelizations,
+    enumerate_candidate_family,
     malleable_schedule,
     malleable_tree_schedule,
     select_parallelization,
+    select_parallelization_batched,
 )
 from repro.core.operator_schedule import (
     OperatorScheduleResult,
@@ -79,6 +84,12 @@ from repro.core.skew import (
     zipf_weights,
 )
 from repro.core.placement_heap import SiteHeap
+from repro.core.reschedule import (
+    RescheduleStats,
+    ScheduleDelta,
+    reschedule_reference,
+    reschedule_schedule,
+)
 from repro.core.vector_packing import (
     CloneItem,
     PlacementRule,
@@ -148,10 +159,15 @@ __all__ = [
     "set_length_batch",
     "lower_bounds_batch",
     "eq3_makespans_over_epsilon",
+    "pack_least_loaded_batch",
+    "family_congestions",
     # malleable
     "ParallelizationCandidate",
+    "CandidateFamily",
     "candidate_parallelizations",
+    "enumerate_candidate_family",
     "select_parallelization",
+    "select_parallelization_batched",
     "malleable_schedule",
     "malleable_tree_schedule",
     "MalleableResult",
@@ -166,6 +182,11 @@ __all__ = [
     "pack_vectors",
     "pack_vectors_reference",
     "SiteHeap",
+    # incremental rescheduling
+    "ScheduleDelta",
+    "RescheduleStats",
+    "reschedule_schedule",
+    "reschedule_reference",
     # skew (EA1 relaxation)
     "zipf_weights",
     "skewed_clone_work_vectors",

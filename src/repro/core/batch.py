@@ -16,16 +16,24 @@ Selection semantics
   (:data:`NUMPY_CUTOVER` vectors), below which interpreter-loop evaluation
   is faster than array construction.
 * the pure-Python path reproduces the scalar kernels bit-for-bit.  The
-  numpy path may differ from sequential summation in the last ulp
-  (pairwise summation); callers that require bit-stable output across
-  environments (the golden packing tests) do not go through this module.
+  numpy path of the *reduction* kernels (:func:`sum_length`,
+  :func:`set_length_batch`, …) may differ from sequential summation in
+  the last ulp (pairwise summation); callers that require bit-stable
+  output across environments do not go through those kernels.
+* the *placement* and *family* kernels added for the batched shelf
+  packer (:func:`pack_least_loaded_batch`, :func:`family_congestions`)
+  are engineered to be **bit-stable**: they only use element-wise adds,
+  exact max/argmin selections and sequential ``np.add.accumulate``
+  folds, all of which reproduce the scalar left-to-right arithmetic of
+  :class:`~repro.core.site.Site` exactly.  The golden packing tests
+  assert this byte-for-byte against the rescanning reference.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.exceptions import SchedulingError
+from repro.exceptions import InfeasibleScheduleError, SchedulingError
 from repro.core.schedule import Schedule
 from repro.core.work_vector import WorkVector, vector_sum
 
@@ -44,6 +52,8 @@ __all__ = [
     "set_length_batch",
     "lower_bounds_batch",
     "eq3_makespans_over_epsilon",
+    "pack_least_loaded_batch",
+    "family_congestions",
 ]
 
 #: Minimum total vector count before the numpy path pays for its own
@@ -183,4 +193,204 @@ def eq3_makespans_over_epsilon(
     for eps in epsilons:
         worst = max(eps * ln + (1.0 - eps) * tt for ln, tt in zip(lens, tots))
         out.append(max(max_site_length, worst))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched shelf packing (array-shaped placement loop)
+# ----------------------------------------------------------------------
+def pack_least_loaded_batch(
+    components: Sequence[tuple[float, ...]],
+    operators: Sequence[str],
+    p: int,
+    d: int,
+    *,
+    clone_indices: Sequence[int] | None = None,
+    tiebreak_total: bool = False,
+    initial_sites: Sequence | None = None,
+) -> list[int] | None:
+    """Array-shaped least-loaded placement: one site index per clone.
+
+    This is the batched core of the Figure 3 rule *place on the least
+    filled allowable site*.  ``components[i]`` is clone ``i``'s work
+    vector (in the already-sorted packing order) and ``operators[i]`` its
+    constraint (A) key.  Site lengths live in one flat ``(p,)`` float64
+    array instead of :class:`~repro.core.site.Site` objects, and the
+    per-clone site choice is a C-speed ``argmin`` over that array with
+    the operator's own sites temporarily masked to ``+inf`` —
+    ``argmin``'s first-occurrence semantics reproduce the deterministic
+    ``(length, index)`` tie-break of the heap and rescanning rules.
+
+    With ``tiebreak_total=True`` the selection key becomes
+    ``(length, total_load, index)`` — the OPERATORSCHEDULE step 3 key —
+    by refining length-ties through a per-site running total maintained
+    with *scalar* left-to-right adds (bit-identical to
+    :meth:`Site.place <repro.core.site.Site.place>`).
+
+    ``initial_sites`` warm-starts the arrays from existing
+    :class:`~repro.core.site.Site` objects (their incremental statistics
+    are copied exactly), so rooted placements made before the batch are
+    respected.
+
+    Bit-stability: loads and lengths are updated with the same scalar
+    left-to-right adds and running-max comparisons that
+    :meth:`Site.place <repro.core.site.Site.place>` performs, so every
+    intermediate equals the arithmetic of repeated ``place()`` calls bit
+    for bit; the returned assignment is byte-identical to the heap and
+    reference paths (golden tests).
+
+    Returns ``None`` when numpy is unavailable or the batch is below
+    :data:`NUMPY_CUTOVER` — the caller falls back to the exact
+    pure-Python (heap) path.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        When some clone has no allowable site (its operator already
+        occupies every site).
+    """
+    n = len(components)
+    if len(operators) != n:
+        raise SchedulingError(
+            f"pack_least_loaded_batch: {n} work vectors vs {len(operators)} operators"
+        )
+    if p < 1:
+        raise SchedulingError(f"number of sites must be >= 1, got {p}")
+    if not (HAVE_NUMPY and n >= NUMPY_CUTOVER):
+        return None
+    for row in components:
+        if len(row) != d:
+            raise SchedulingError(
+                f"pack_least_loaded_batch: component rows must have d={d}"
+            )
+    # The argmin selection runs over a flat numpy length array (C speed,
+    # first occurrence == lowest index), but the O(d) load updates stay
+    # scalar Python floats: that is *exactly* the left-to-right
+    # accumulation Site.place() performs, making bit-identity to the
+    # heap/reference paths self-evident rather than argued.
+    lengths = _np.zeros(p, dtype=_np.float64)
+    loads = [[0.0] * d for _ in range(p)]
+    # Totals likewise accumulate left-to-right like Site.place().
+    totals = [0.0] * p
+    op_sites: dict[str, list[int]] = {}
+    if initial_sites is not None:
+        for site in initial_sites:
+            j = site.index
+            lengths[j] = site.length()
+            loads[j] = list(site.load_vector().components)
+            totals[j] = site.total_load()
+            for op in site.operators:
+                op_sites.setdefault(op, []).append(j)
+    # Operators contributing a single clone need no constraint (A)
+    # bookkeeping at all — precompute the multi-clone set so the hot loop
+    # skips every dict operation for them.
+    counts: dict[str, int] = {}
+    for op in operators:
+        counts[op] = counts.get(op, 0) + 1
+    multi = {op for op, c in counts.items() if c > 1}
+    # Operators already resident on warm-start sites must keep their
+    # bookkeeping even if the batch adds only one more clone of them.
+    multi.update(op_sites)
+    inf = _np.inf
+    out: list[int] = []
+    out_append = out.append
+    argmin = lengths.argmin
+    for i, op in enumerate(operators):
+        if op in multi:
+            used = op_sites.get(op)
+        else:
+            used = None
+        if used:
+            saved = lengths[used]
+            lengths[used] = inf
+        j = int(argmin())
+        best_len = float(lengths[j])
+        if best_len == inf:
+            if used:
+                lengths[used] = saved
+            clone = clone_indices[i] if clone_indices is not None else i
+            raise InfeasibleScheduleError(
+                f"no allowable site for clone {clone} of {op!r}"
+            )
+        if tiebreak_total:
+            ties = _np.flatnonzero(lengths == best_len)
+            if ties.shape[0] > 1:
+                j = int(ties[0])
+                best_total = totals[j]
+                for cand in ties[1:].tolist():
+                    if totals[cand] < best_total:
+                        j = cand
+                        best_total = totals[cand]
+        if used:
+            lengths[used] = saved
+        # Mirror Site.place() exactly: left-to-right component adds with a
+        # running max against the *updated* components.
+        row = loads[j]
+        length = best_len
+        if tiebreak_total:
+            t = totals[j]
+            for k, c in enumerate(components[i]):
+                updated = row[k] + c
+                row[k] = updated
+                t += c
+                if updated > length:
+                    length = updated
+            totals[j] = t
+        else:
+            for k, c in enumerate(components[i]):
+                updated = row[k] + c
+                row[k] = updated
+                if updated > length:
+                    length = updated
+        lengths[j] = length
+        if op in multi:
+            op_sites.setdefault(op, []).append(j)
+        out_append(j)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched malleable candidate family (Section 7)
+# ----------------------------------------------------------------------
+def family_congestions(
+    load0: Sequence[float],
+    delta: Sequence[float],
+    steps: int,
+    p: int,
+) -> list[float]:
+    """Congestion curve ``l(S(N̄^k))/P`` of the greedy family in one pass.
+
+    The Section 7 family starts from the degree-1 total-work vector
+    ``load0`` and every step adds the same startup quantum ``delta``
+    (one more clone of the slowest operator).  The reference generator
+    maintains the load with a sequential left fold ``load += delta`` and
+    reports ``max(load)/p`` per candidate; this kernel reproduces that
+    fold exactly — the numpy path uses ``np.add.accumulate`` (a strict
+    left fold, bit-identical to repeated addition), never ``load0 +
+    k*delta`` (which rounds differently).
+
+    Returns ``steps + 1`` values: candidate 0 (all degrees 1) through
+    candidate ``steps``.
+    """
+    if p < 1:
+        raise SchedulingError(f"number of sites must be >= 1, got {p}")
+    if steps < 0:
+        raise SchedulingError(f"steps must be >= 0, got {steps}")
+    d = len(load0)
+    if len(delta) != d:
+        raise SchedulingError(
+            f"family_congestions: load0 has d={d}, delta has d={len(delta)}"
+        )
+    if HAVE_NUMPY and steps + 1 >= NUMPY_CUTOVER:
+        rows = _np.empty((steps + 1, d), dtype=_np.float64)
+        rows[0] = load0
+        rows[1:] = delta
+        acc = _np.add.accumulate(rows, axis=0)
+        return [float(v) / p for v in acc.max(axis=1)]
+    load = list(load0)
+    out = [max(load) / p]
+    for _ in range(steps):
+        for i, c in enumerate(delta):
+            load[i] += c
+        out.append(max(load) / p)
     return out

@@ -33,6 +33,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import SchedulingError
+from repro.core import batch as _batch
 from repro.core.bounds import theorem51_fixed_degree_bound
 from repro.core.cloning import (
     DEFAULT_COORDINATOR_POLICY,
@@ -55,8 +56,11 @@ from repro.engine.result import ScheduleResult
 
 __all__ = [
     "ParallelizationCandidate",
+    "CandidateFamily",
     "candidate_parallelizations",
+    "enumerate_candidate_family",
     "select_parallelization",
+    "select_parallelization_batched",
     "malleable_schedule",
     "malleable_tree_schedule",
     "MalleableResult",
@@ -167,6 +171,172 @@ def select_parallelization(
 
 
 @dataclass(frozen=True)
+class CandidateFamily:
+    """The whole greedy family in O(M + K) memory instead of O(M·K).
+
+    :func:`candidate_parallelizations` materializes a full ``degrees``
+    dict per member, which makes enumerating the family
+    ``O(M²P)`` in time and memory for ``K = 1 + M(P-1)`` members.  This
+    compressed form exploits the family's delta structure: member ``k``
+    differs from member ``k-1`` by a single degree increment, so the
+    family is fully described by the operator set, the per-step
+    incremented operator, and the two per-member statistics.
+
+    Attributes
+    ----------
+    operators:
+        Operator names, each starting at degree 1 in member 0.
+    increments:
+        ``increments[k]`` is the operator whose degree was increased to
+        obtain member ``k + 1`` from member ``k`` (length ``size - 1``).
+    h_values:
+        ``h(N̄^k)`` per member — the slowest operator's parallel time.
+    congestions:
+        ``l(S(N̄^k)) / P`` per member.
+    p:
+        Number of sites the family was generated for.
+    """
+
+    operators: tuple[str, ...]
+    increments: tuple[str, ...]
+    h_values: tuple[float, ...]
+    congestions: tuple[float, ...]
+    p: int
+
+    def __post_init__(self) -> None:
+        if len(self.h_values) != len(self.congestions):
+            raise SchedulingError(
+                f"candidate family: {len(self.h_values)} h values vs "
+                f"{len(self.congestions)} congestions"
+            )
+        if self.h_values and len(self.increments) != len(self.h_values) - 1:
+            raise SchedulingError(
+                f"candidate family: {len(self.h_values)} members need "
+                f"{len(self.h_values) - 1} increments, got {len(self.increments)}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of family members (at most ``1 + M(P-1)``)."""
+        return len(self.h_values)
+
+    def lower_bounds(self) -> list[float]:
+        """``LB(N̄^k) = max{ l(S(N̄^k))/P, h(N̄^k) }`` for every member."""
+        return [max(h, c) for h, c in zip(self.h_values, self.congestions)]
+
+    def degrees_at(self, k: int) -> dict[str, int]:
+        """Materialize member ``k``'s degree map (O(M + k))."""
+        if not 0 <= k < self.size:
+            raise SchedulingError(
+                f"candidate index {k} outside family of size {self.size}"
+            )
+        degrees = {name: 1 for name in self.operators}
+        for name in self.increments[:k]:
+            degrees[name] += 1
+        return degrees
+
+    def candidate_at(self, k: int) -> ParallelizationCandidate:
+        """Materialize member ``k`` as a :class:`ParallelizationCandidate`."""
+        return ParallelizationCandidate(
+            degrees=self.degrees_at(k),
+            h=self.h_values[k],
+            congestion=self.congestions[k],
+        )
+
+
+def enumerate_candidate_family(
+    specs: Sequence[OperatorSpec],
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> CandidateFamily:
+    """Enumerate the entire greedy family as one batched pass.
+
+    Runs the same max-heap walk as :func:`candidate_parallelizations`
+    (identical ``parallel_time`` calls, identical ``(-t, name)``
+    tie-breaking) but records only the per-step increment and ``h``; the
+    congestion curve is evaluated for *all* members at once by
+    :func:`repro.core.batch.family_congestions`, which reproduces the
+    incremental ``load += delta`` fold of the generator bit for bit.
+    The result is byte-identical to collecting the generator (golden
+    tests), at O(M + K) rather than O(M·K) cost for a K-member family.
+    """
+    if p < 1:
+        raise SchedulingError(f"number of sites must be >= 1, got {p}")
+    if not specs:
+        return CandidateFamily(
+            operators=(), increments=(), h_values=(), congestions=(), p=p
+        )
+    d = specs[0].d
+    by_name = {spec.name: spec for spec in specs}
+    if len(by_name) != len(specs):
+        raise SchedulingError("duplicate operator names in malleable problem")
+    degrees = {spec.name: 1 for spec in specs}
+
+    load0 = [0.0] * d
+    heap: list[tuple[float, str]] = []
+    for spec in specs:
+        t = parallel_time(spec, 1, comm, overlap, policy)
+        heapq.heappush(heap, (-t, spec.name))
+        for i, c in enumerate(total_work_vector(spec, 1, comm, policy).components):
+            load0[i] += c
+
+    h_values: list[float] = []
+    increments: list[str] = []
+    while True:
+        neg_h, slowest = heap[0]
+        h_values.append(-neg_h)
+        if degrees[slowest] >= p:
+            break
+        heapq.heappop(heap)
+        degrees[slowest] += 1
+        increments.append(slowest)
+        spec = by_name[slowest]
+        t = parallel_time(spec, degrees[slowest], comm, overlap, policy)
+        heapq.heappush(heap, (-t, slowest))
+
+    steps = len(increments)
+    startup_delta = policy.startup_vector(d, comm.startup_cost(1)).components
+    congestions = _batch.family_congestions(load0, startup_delta, steps, p)
+    return CandidateFamily(
+        operators=tuple(spec.name for spec in specs),
+        increments=tuple(increments),
+        h_values=tuple(h_values),
+        congestions=tuple(congestions),
+        p=p,
+    )
+
+
+def select_parallelization_batched(
+    specs: Sequence[OperatorSpec],
+    p: int,
+    comm: CommunicationModel,
+    overlap: OverlapModel,
+    policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+) -> tuple[ParallelizationCandidate, int]:
+    """Batched form of :func:`select_parallelization` — same result, O(M + K).
+
+    Scans the family's lower bounds with the exact comparison the
+    reference uses (``lb < best_lb * (1 - 1e-12)``, earlier member kept
+    on ties) and materializes a degree map only for the winner.
+    """
+    family = enumerate_candidate_family(specs, p, comm, overlap, policy)
+    if family.size == 0:
+        raise SchedulingError("no operators to parallelize")
+    h_values = family.h_values
+    congestions = family.congestions
+    best_k = 0
+    best_lb = max(h_values[0], congestions[0])
+    for k in range(1, family.size):
+        lb = max(h_values[k], congestions[k])
+        if lb < best_lb * (1.0 - 1e-12):
+            best_k = k
+            best_lb = lb
+    return family.candidate_at(best_k), family.size
+
+
+@dataclass(frozen=True)
 class MalleableResult:
     """Outcome of the malleable scheduler.
 
@@ -238,7 +408,11 @@ def malleable_schedule(
         raise SchedulingError("malleable_schedule requires at least one operator")
     guarantee = theorem51_fixed_degree_bound(specs[0].d)
     if selection == "lower_bound":
-        candidate, examined = select_parallelization(specs, p, comm, overlap, policy)
+        # The batched pass is byte-identical to select_parallelization()
+        # (retained as the test oracle) at O(M + K) instead of O(M·K).
+        candidate, examined = select_parallelization_batched(
+            specs, p, comm, overlap, policy
+        )
         result = operator_schedule(
             specs,
             rooted,

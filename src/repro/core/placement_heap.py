@@ -17,6 +17,16 @@ replaces it with a heap using *lazy deletion*:
   re-pushed after the selection, costing O(log p) per clone of the same
   operator already placed — at most ``N_i - 1`` per placement.
 
+Long-running incremental use (the rescheduling layer keeps a heap alive
+across many repair deltas) adds two maintenance operations:
+:meth:`SiteHeap.discard_batch` lazily untracks sites (their queued
+entries become stale) and :meth:`SiteHeap.rebuild` compacts the heap to
+exactly one fresh entry per live site.  :meth:`SiteHeap.update` triggers
+:meth:`SiteHeap.rebuild` automatically once the entry count exceeds
+``max(32, 3·live sites)``, so lazy-deletion garbage stays bounded by a
+constant factor regardless of how many updates and discards a session
+performs.
+
 Because every key tuple ends in the site index, the heap minimum is the
 unique minimizer the linear scan would have found, so packings produced
 through the heap are bit-identical to the rescanning reference
@@ -77,14 +87,17 @@ class SiteHeap:
         pick with :meth:`update` after mutating the chosen site.
         """
         heap = self._heap
+        keys = self._keys
         skipped: list[tuple[tuple, int]] = []
         chosen: Site | None = None
         while heap:
             entry = heapq.heappop(heap)
             self.scans += 1
             k, j = entry
-            if k != self._keys[j]:
-                continue  # stale: a fresher entry for j is (or was) queued
+            if k != keys.get(j):
+                # Stale: a fresher entry for j is (or was) queued, or the
+                # site was discarded since this entry was pushed.
+                continue
             site = self._sites[j]
             if allowable(site):
                 chosen = site
@@ -95,7 +108,47 @@ class SiteHeap:
         return chosen
 
     def update(self, site: Site) -> None:
-        """Re-key ``site`` after its load changed and queue the fresh entry."""
+        """Re-key ``site`` after its load changed and queue the fresh entry.
+
+        Also serves as the (re-)tracking entry point: updating a site the
+        heap does not currently know adds it.  When the queued-entry
+        count exceeds ``max(32, 3·live sites)`` the heap is compacted via
+        :meth:`rebuild`, bounding lazy-deletion garbage during long
+        incremental runs.
+        """
         k = self._key(site)
+        self._sites[site.index] = site
         self._keys[site.index] = k
         heapq.heappush(self._heap, (k, site.index))
+        if len(self._heap) > max(32, 3 * len(self._sites)):
+            self.rebuild()
+
+    def add_batch(self, sites: Sequence[Site]) -> None:
+        """Track (or re-track) several sites — e.g. restored after a fault."""
+        for site in sites:
+            self.update(site)
+
+    def discard_batch(self, site_indices: Sequence[int]) -> None:
+        """Stop tracking the given sites (lazy; unknown indices are ignored).
+
+        Their queued entries are *not* removed eagerly — they are
+        recognized as stale (no cached key) and dropped when popped, or
+        swept out wholesale by the next :meth:`rebuild`.
+        """
+        for j in site_indices:
+            self._sites.pop(j, None)
+            self._keys.pop(j, None)
+
+    def rebuild(self) -> None:
+        """Compact to exactly one fresh entry per live site (O(p)).
+
+        Discards all stale and discarded-site garbage at once; the heap
+        order afterwards is identical to a freshly constructed heap over
+        the currently tracked sites.
+        """
+        self._heap = [(k, j) for j, k in self._keys.items()]
+        heapq.heapify(self._heap)
+
+    def tracked_sites(self) -> frozenset[int]:
+        """Indices of the sites currently tracked (live, not discarded)."""
+        return frozenset(self._sites)

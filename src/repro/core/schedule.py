@@ -83,6 +83,10 @@ class Schedule:
         # queries below never rescan the site array.
         self._total_work = [0.0] * d
         self._clone_count = 0
+        # Sites taken out of service (failed and not yet restored); they
+        # keep their slot so indices stay dense, but placement on them is
+        # rejected.  Only the rescheduling layer flips these flags.
+        self._disabled: set[int] = set()
 
     @classmethod
     def from_sites(cls, sites: list[Site]) -> "Schedule":
@@ -139,15 +143,31 @@ class Schedule:
         """Total number of placed clones ``N = sum_i N_i`` (maintained O(1))."""
         return self._clone_count
 
+    @property
+    def disabled_sites(self) -> frozenset[int]:
+        """Indices of sites currently taken out of service."""
+        return frozenset(self._disabled)
+
+    def enabled_sites(self) -> tuple[Site, ...]:
+        """The in-service sites, by index (all sites minus the disabled)."""
+        if not self._disabled:
+            return tuple(self._sites)
+        return tuple(s for s in self._sites if s.index not in self._disabled)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def place(self, site_index: int, clone: PlacedClone) -> None:
-        """Place ``clone`` on site ``site_index`` (enforces constraint (A))."""
+    def _check_site_index(self, site_index: int) -> None:
         if not 0 <= site_index < len(self._sites):
             raise SchedulingError(
                 f"site index {site_index} out of range 0..{len(self._sites) - 1}"
             )
+
+    def place(self, site_index: int, clone: PlacedClone) -> None:
+        """Place ``clone`` on site ``site_index`` (enforces constraint (A))."""
+        self._check_site_index(site_index)
+        if site_index in self._disabled:
+            raise SchedulingError(f"site {site_index} is out of service")
         self._sites[site_index].place(clone)
         self._homes.setdefault(clone.operator, []).append(
             (clone.clone_index, site_index)
@@ -155,6 +175,115 @@ class Schedule:
         for i, c in enumerate(clone.work.components):
             self._total_work[i] += c
         self._clone_count += 1
+
+    def place_batch(self, placements: list[tuple[int, PlacedClone]]) -> None:
+        """Bulk :meth:`place`: ``(site_index, clone)`` pairs in placement order.
+
+        Site indices are validated and the clones grouped per site, then
+        each site folds its group through
+        :meth:`Site.place_batch <repro.core.site.Site.place_batch>`.
+        Because grouping preserves the relative order of each site's
+        clones and the schedule-level totals are folded in the original
+        pair order, every incremental statistic is bit-identical to the
+        sequential :meth:`place` loop.
+        """
+        by_site: dict[int, list[PlacedClone]] = {}
+        for site_index, clone in placements:
+            self._check_site_index(site_index)
+            if site_index in self._disabled:
+                raise SchedulingError(f"site {site_index} is out of service")
+            by_site.setdefault(site_index, []).append(clone)
+        for site_index, group in by_site.items():
+            self._sites[site_index].place_batch(group)
+        homes = self._homes
+        total = self._total_work
+        for site_index, clone in placements:
+            homes.setdefault(clone.operator, []).append(
+                (clone.clone_index, site_index)
+            )
+            for i, c in enumerate(clone.work.components):
+                total[i] += c
+        self._clone_count += len(placements)
+
+    def disable_site(self, site_index: int) -> None:
+        """Take a site out of service (no new placements allowed on it)."""
+        self._check_site_index(site_index)
+        self._disabled.add(site_index)
+
+    def enable_site(self, site_index: int) -> None:
+        """Return a site to service (idempotent)."""
+        self._check_site_index(site_index)
+        self._disabled.discard(site_index)
+
+    def drain_site(self, site_index: int) -> tuple[PlacedClone, ...]:
+        """Remove and return all clones of one site (in placement order).
+
+        The site is replaced by a fresh empty one; homes and the running
+        aggregates are updated.  The running total-work vector is
+        adjusted by subtraction, which may drift from a full
+        re-accumulation by floating-point rounding — acceptable because
+        no placement decision reads it (site-level statistics are
+        rebuilt exactly).
+        """
+        self._check_site_index(site_index)
+        site = self._sites[site_index]
+        clones = site.clones
+        self._sites[site_index] = Site(site_index, self._d)
+        total = self._total_work
+        for clone in clones:
+            self._drop_home(clone.operator, clone.clone_index, site_index)
+            for i, c in enumerate(clone.work.components):
+                total[i] -= c
+        self._clone_count -= len(clones)
+        return clones
+
+    def remove_operator(self, operator: str) -> tuple[tuple[int, PlacedClone], ...]:
+        """Remove every clone of ``operator``; returns ``(site, clone)`` pairs.
+
+        Each affected site is rebuilt from its remaining clones in the
+        original placement order, so the surviving incremental statistics
+        stay bit-identical to a from-scratch fold.
+        """
+        if operator not in self._homes:
+            raise SchedulingError(f"operator {operator!r} has no placed clones")
+        pairs = self._homes.pop(operator)
+        removed: list[tuple[int, PlacedClone]] = []
+        total = self._total_work
+        for _, site_index in pairs:
+            old = self._sites[site_index]
+            fresh = Site(site_index, self._d)
+            keep: list[PlacedClone] = []
+            for clone in old.clones:
+                if clone.operator == operator:
+                    removed.append((site_index, clone))
+                    for i, c in enumerate(clone.work.components):
+                        total[i] -= c
+                    self._clone_count -= 1
+                else:
+                    keep.append(clone)
+            if keep:
+                fresh.place_batch(keep)
+            self._sites[site_index] = fresh
+        return tuple(removed)
+
+    def _drop_home(self, operator: str, clone_index: int, site_index: int) -> None:
+        pairs = self._homes[operator]
+        pairs.remove((clone_index, site_index))
+        if not pairs:
+            del self._homes[operator]
+
+    def copy(self) -> "Schedule":
+        """Deep-enough copy: fresh sites/aggregates, shared immutable clones.
+
+        Site statistics are re-folded per site in placement order
+        (bit-identical); the schedule-level total-work vector is
+        re-accumulated in site order, which may differ from the original
+        placement interleaving in the last ulp — no placement decision
+        reads it.
+        """
+        dup = Schedule.from_sites([site.copy() for site in self._sites])
+        dup._disabled = set(self._disabled)
+        return dup
 
     # ------------------------------------------------------------------
     # Homes

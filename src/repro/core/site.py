@@ -156,6 +156,63 @@ class Site:
         if clone.t_seq > self._max_t_seq:
             self._max_t_seq = clone.t_seq
 
+    def place_batch(self, clones: "list[PlacedClone] | tuple[PlacedClone, ...]") -> None:
+        """Place several clones at once (bulk form of :meth:`place`).
+
+        Validates the whole batch up front (dimensionality and
+        constraint (A), including duplicates *within* the batch), then
+        folds the load updates in placement order with locals hoisted out
+        of the loop.  The resulting incremental statistics are
+        bit-identical to calling :meth:`place` once per clone; on a
+        validation error nothing is mutated.
+        """
+        d = self._d
+        resident = self._operators
+        batch_ops: set[str] = set()
+        for clone in clones:
+            if clone.work.d != d:
+                raise SchedulingError(
+                    f"site {self.index}: clone of {clone.operator!r} has "
+                    f"d={clone.work.d}, site has d={d}"
+                )
+            if clone.operator in resident or clone.operator in batch_ops:
+                raise SchedulingError(
+                    f"site {self.index}: already hosts a clone of "
+                    f"{clone.operator!r} (constraint (A) of Section 5.3)"
+                )
+            batch_ops.add(clone.operator)
+        load = self._load
+        length = self._length
+        total = self._total_load
+        max_t = self._max_t_seq
+        append = self._clones.append
+        for clone in clones:
+            append(clone)
+            for i, c in enumerate(clone.work.components):
+                updated = load[i] + c
+                load[i] = updated
+                total += c
+                if updated > length:
+                    length = updated
+            if clone.t_seq > max_t:
+                max_t = clone.t_seq
+        resident.update(batch_ops)
+        self._length = length
+        self._total_load = total
+        self._max_t_seq = max_t
+
+    def copy(self) -> "Site":
+        """Return an independent site with bit-identical statistics.
+
+        Clones are immutable and shared; the incremental statistics are
+        re-folded in the original placement order, so they match the
+        source site's exactly.
+        """
+        fresh = Site(self.index, self._d)
+        if self._clones:
+            fresh.place_batch(self._clones)
+        return fresh
+
     # ------------------------------------------------------------------
     # Paper metrics
     # ------------------------------------------------------------------

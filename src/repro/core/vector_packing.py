@@ -21,18 +21,30 @@ Kernel performance
 :func:`pack_vectors` is the inner loop of every figure sweep, so its
 placement step is engineered to avoid rescans:
 
-* ``LEAST_LOADED_LENGTH`` consults a lazy min-heap
+* ``LEAST_LOADED_LENGTH`` has two fast paths.  At or above
+  :data:`~repro.core.batch.NUMPY_CUTOVER` clones (numpy present) the
+  whole shelf goes through the array-shaped kernel
+  :func:`~repro.core.batch.pack_least_loaded_batch` — site state lives
+  in flat arrays, the per-clone choice is a C-speed ``argmin``, and the
+  chosen assignment is committed in one
+  :meth:`~repro.core.schedule.Schedule.place_batch` call.  Below the
+  cutover (or without numpy) it consults a lazy min-heap
   (:class:`~repro.core.placement_heap.SiteHeap`) keyed on
-  ``(l(work(s)), index)``, giving O(log p) amortized placement instead of
-  an O(p) scan per clone;
-* ``FIRST_FIT`` early-exits at the lowest-indexed allowable site;
+  ``(l(work(s)), index)``, giving O(log p) amortized placement instead
+  of an O(p) scan per clone;
+* ``FIRST_FIT`` early-exits at the lowest-indexed allowable site and —
+  like every other non-heap rule — never constructs or maintains a
+  :class:`SiteHeap` (heap construction is gated on the rule, so linear
+  rules pay zero heap overhead);
 * ``MIN_RESULTING_LENGTH`` evaluates the tentative length in O(d) off the
   site's running load vector without materializing the sum;
 * every allowability test is the O(1) per-site operator-set lookup.
 
-All fast paths are deterministic and bit-identical to the naive
-rescanning rule, which is retained as :func:`pack_vectors_reference` and
-asserted equivalent by the golden-packing test-suite.
+All fast paths — including the numpy batch kernel, which uses only
+bit-stable element-wise arithmetic — are deterministic and bit-identical
+to the naive rescanning rule, which is retained as
+:func:`pack_vectors_reference` and asserted equivalent by the
+golden-packing test-suite.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.exceptions import InfeasibleScheduleError, SchedulingError
+from repro.core import batch as _batch
 from repro.core.placement_heap import SiteHeap
 from repro.core.resource_model import OverlapModel
 from repro.core.schedule import Schedule
@@ -234,36 +247,92 @@ def pack_vectors(
     with current_tracer().span(
         "pack_vectors", items=len(items), p=p, sort=sort.value, rule=rule.value
     ), timer:
-        rr_state = [0]
+        ordered = _sorted_items(items, sort, rng)
         scans = 0
-        heap: SiteHeap | None = None
         if rule is PlacementRule.LEAST_LOADED_LENGTH:
-            heap = SiteHeap(schedule.sites, key=lambda s: (s.length(), s.index))
-        for item in _sorted_items(items, sort, rng):
-            if heap is not None:
-                op = item.operator
-                site = heap.pick(lambda s: not s.hosts_operator(op))
-                if site is None:
-                    raise _no_allowable_site(item)
-                j = site.index
-            else:
+            scans = _pack_least_loaded(schedule, ordered, overlap)
+        else:
+            # Linear rules (FIRST_FIT, ROUND_ROBIN, …) never construct or
+            # maintain a SiteHeap: heap work is gated on the rule, so
+            # e.g. FIRST_FIT pays only its own early-exit scans
+            # (observable through the placement_scans counter).
+            rr_state = [0]
+            for item in ordered:
                 j, examined = _choose_site_linear(schedule, item, rule, rng, rr_state)
                 scans += examined
-            schedule.place(
-                j,
-                PlacedClone(
-                    operator=item.operator,
-                    clone_index=item.clone_index,
-                    work=item.work,
-                    t_seq=overlap.t_seq(item.work),
-                ),
-            )
-            if heap is not None:
-                heap.update(schedule.site(j))
+                schedule.place(
+                    j,
+                    PlacedClone(
+                        operator=item.operator,
+                        clone_index=item.clone_index,
+                        work=item.work,
+                        t_seq=overlap.t_seq(item.work),
+                    ),
+                )
         if metrics is not None:
-            metrics.count("placement_scans", heap.scans if heap is not None else scans)
+            metrics.count("placement_scans", scans)
             metrics.count("clones_packed", len(items))
     return schedule
+
+
+def _pack_least_loaded(
+    schedule: Schedule,
+    ordered: list[CloneItem],
+    overlap: OverlapModel,
+) -> int:
+    """Place pre-sorted clones under the ``LEAST_LOADED_LENGTH`` rule.
+
+    Tries the array-shaped batch kernel first (numpy present and the
+    shelf at least :data:`~repro.core.batch.NUMPY_CUTOVER` clones); the
+    whole assignment is then computed in flat arrays and committed with
+    one :meth:`Schedule.place_batch` call.  Otherwise falls back to the
+    exact pure-Python lazy-heap loop.  Both paths produce byte-identical
+    schedules.  Returns the placement-scan count (one bulk argmin per
+    clone on the batch path; heap pops on the heap path).
+    """
+    assignment = _batch.pack_least_loaded_batch(
+        [item.work.components for item in ordered],
+        [item.operator for item in ordered],
+        schedule.p,
+        schedule.d,
+        clone_indices=[item.clone_index for item in ordered],
+        initial_sites=schedule.sites if schedule.clone_count() else None,
+    )
+    if assignment is not None:
+        t_seqs = overlap.t_seq_batch([item.work for item in ordered])
+        schedule.place_batch(
+            [
+                (
+                    j,
+                    PlacedClone(
+                        operator=item.operator,
+                        clone_index=item.clone_index,
+                        work=item.work,
+                        t_seq=t,
+                    ),
+                )
+                for j, item, t in zip(assignment, ordered, t_seqs)
+            ]
+        )
+        return len(ordered)
+    heap = SiteHeap(schedule.sites, key=lambda s: (s.length(), s.index))
+    for item in ordered:
+        op = item.operator
+        site = heap.pick(lambda s: not s.hosts_operator(op))
+        if site is None:
+            raise _no_allowable_site(item)
+        j = site.index
+        schedule.place(
+            j,
+            PlacedClone(
+                operator=item.operator,
+                clone_index=item.clone_index,
+                work=item.work,
+                t_seq=overlap.t_seq(item.work),
+            ),
+        )
+        heap.update(schedule.site(j))
+    return heap.scans
 
 
 # ----------------------------------------------------------------------

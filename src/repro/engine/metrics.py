@@ -33,9 +33,14 @@ __all__ = [
     "COUNTER_STORE_MISSES",
     "COUNTER_POINT_STORE_HITS",
     "COUNTER_POINT_STORE_MISSES",
+    "COUNTER_RESCHEDULES",
+    "COUNTER_CLONES_MOVED",
+    "COUNTER_SITES_DRAINED",
+    "COUNTER_SITES_RESTORED",
     "TIMER_LIST_SCHEDULE",
     "TIMER_PACK_VECTORS",
     "TIMER_PACK_PHASE",
+    "TIMER_RESCHEDULE",
 ]
 
 # ----------------------------------------------------------------------
@@ -72,12 +77,22 @@ COUNTER_STORE_MISSES = "store_misses"
 COUNTER_POINT_STORE_HITS = "point_store_hits"
 #: Sweep-point values the parallel runner actually had to evaluate.
 COUNTER_POINT_STORE_MISSES = "point_store_misses"
+#: Repair passes applied by :func:`repro.core.reschedule.reschedule_schedule`.
+COUNTER_RESCHEDULES = "reschedules"
+#: Displaced clones re-placed on surviving sites during repairs.
+COUNTER_CLONES_MOVED = "clones_moved"
+#: Sites drained and taken out of service by repair deltas.
+COUNTER_SITES_DRAINED = "sites_drained"
+#: Sites returned to service by repair deltas.
+COUNTER_SITES_RESTORED = "sites_restored"
 #: Wall-clock spent in the Figure 3 step-3 placement loop.
 TIMER_LIST_SCHEDULE = "list_schedule"
 #: Wall-clock spent inside ``pack_vectors``.
 TIMER_PACK_VECTORS = "pack_vectors"
 #: Wall-clock spent in a whole shelf-packing call (driver-level).
 TIMER_PACK_PHASE = "pack_phase"
+#: Wall-clock spent repairing a schedule after a delta.
+TIMER_RESCHEDULE = "reschedule"
 
 #: The complete counter vocabulary.  Kernels in ``repro.core`` record
 #: these as duck-typed *strings* (core must not import this package), so
@@ -99,6 +114,10 @@ KNOWN_COUNTER_NAMES = frozenset(
         COUNTER_STORE_MISSES,
         COUNTER_POINT_STORE_HITS,
         COUNTER_POINT_STORE_MISSES,
+        COUNTER_RESCHEDULES,
+        COUNTER_CLONES_MOVED,
+        COUNTER_SITES_DRAINED,
+        COUNTER_SITES_RESTORED,
         "phases",
         "floating_operators",
         "rooted_operators",
@@ -114,6 +133,7 @@ KNOWN_TIMER_NAMES = frozenset(
         TIMER_LIST_SCHEDULE,
         TIMER_PACK_VECTORS,
         TIMER_PACK_PHASE,
+        TIMER_RESCHEDULE,
         "run",
         "point_seconds",
     }

@@ -19,7 +19,9 @@ import dataclasses
 
 from repro.exceptions import ConfigurationError
 from repro.core.cloning import OperatorSpec
+from repro.core.reschedule import ScheduleDelta
 from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
+from repro.core.vector_packing import CloneItem
 from repro.core.site import PlacedClone
 from repro.core.work_vector import WorkVector
 from repro.cost.params import SystemParameters
@@ -36,6 +38,8 @@ __all__ = [
     "system_parameters_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "schedule_delta_to_dict",
+    "schedule_delta_from_dict",
     "phased_schedule_to_dict",
     "phased_schedule_from_dict",
     "instrumentation_to_dict",
@@ -140,12 +144,17 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
                     "t_seq": clone.t_seq,
                 }
             )
-    return {
+    payload = {
         "schema": _SCHEMA,
         "p": schedule.p,
         "d": schedule.d,
         "placements": placements,
     }
+    # Emitted only when non-empty: payloads of schedules that never saw
+    # a repair delta stay byte-identical to pre-rescheduling payloads.
+    if schedule.disabled_sites:
+        payload["disabled_sites"] = sorted(schedule.disabled_sites)
+    return payload
 
 
 def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
@@ -162,7 +171,47 @@ def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
                 t_seq=float(_expect(item, "t_seq")),
             ),
         )
+    for j in payload.get("disabled_sites", []):
+        schedule.disable_site(int(j))
     return schedule
+
+
+def schedule_delta_to_dict(delta: ScheduleDelta) -> dict[str, Any]:
+    """Serialize a repair delta (also the store-key payload for repairs)."""
+    return {
+        "schema": _SCHEMA,
+        "remove_sites": list(delta.remove_sites),
+        "restore_sites": list(delta.restore_sites),
+        "remove_operators": list(delta.remove_operators),
+        "add_items": [
+            {
+                "operator": item.operator,
+                "clone_index": item.clone_index,
+                "work": work_vector_to_dict(item.work),
+            }
+            for item in delta.add_items
+        ],
+        "phase_index": delta.phase_index,
+    }
+
+
+def schedule_delta_from_dict(payload: dict[str, Any]) -> ScheduleDelta:
+    """Deserialize a repair delta (re-validates its invariants)."""
+    _check_schema(payload)
+    return ScheduleDelta(
+        remove_sites=tuple(int(j) for j in payload.get("remove_sites", [])),
+        restore_sites=tuple(int(j) for j in payload.get("restore_sites", [])),
+        remove_operators=tuple(payload.get("remove_operators", [])),
+        add_items=tuple(
+            CloneItem(
+                operator=_expect(item, "operator"),
+                clone_index=int(_expect(item, "clone_index")),
+                work=work_vector_from_dict(_expect(item, "work")),
+            )
+            for item in payload.get("add_items", [])
+        ),
+        phase_index=int(payload.get("phase_index", 0)),
+    )
 
 
 def phased_schedule_to_dict(phased: PhasedSchedule) -> dict[str, Any]:

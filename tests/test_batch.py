@@ -162,6 +162,91 @@ class TestOverlapRobustness:
             overlap_robustness(schedule, ())
 
 
+class TestPackLeastLoadedBatch:
+    @staticmethod
+    def _rows(n, d=3, seed=0):
+        rng = random.Random(seed)
+        comps = [tuple(rng.uniform(0.1, 10.0) for _ in range(d)) for _ in range(n)]
+        ops = [f"op{i}" for i in range(n)]
+        return comps, ops
+
+    def test_declines_below_cutover(self):
+        comps, ops = self._rows(4)
+        assert batch.pack_least_loaded_batch(comps, ops, 3, 3) is None
+
+    def test_declines_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        comps, ops = self._rows(batch.NUMPY_CUTOVER + 10)
+        assert batch.pack_least_loaded_batch(comps, ops, 4, 3) is None
+
+    def test_assignment_matches_reference_pack(self, monkeypatch):
+        if not batch.HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(batch, "NUMPY_CUTOVER", 0)
+        comps, ops = self._rows(40, seed=3)
+        assignment = batch.pack_least_loaded_batch(comps, ops, 6, 3)
+        # Replay through the naive rule: least current length, lowest index.
+        loads = [[0.0] * 3 for _ in range(6)]
+        hosting = [set() for _ in range(6)]
+        for i, (row, op) in enumerate(zip(comps, ops)):
+            j = min(
+                (j for j in range(6) if op not in hosting[j]),
+                key=lambda j: (max(loads[j], default=0.0), j),
+            )
+            assert assignment[i] == j
+            hosting[j].add(op)
+            for k, c in enumerate(row):
+                loads[j][k] += c
+
+    def test_row_length_mismatch_rejected(self, monkeypatch):
+        if not batch.HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(batch, "NUMPY_CUTOVER", 0)
+        with pytest.raises(SchedulingError):
+            batch.pack_least_loaded_batch([(1.0, 2.0)], ["a"], 2, 3)
+
+    def test_infeasible_raises(self, monkeypatch):
+        from repro.exceptions import InfeasibleScheduleError
+
+        if not batch.HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(batch, "NUMPY_CUTOVER", 0)
+        comps = [(1.0, 1.0, 1.0)] * 3
+        ops = ["a", "a", "a"]  # 3 clones of one operator, 2 sites
+        with pytest.raises(InfeasibleScheduleError):
+            batch.pack_least_loaded_batch(
+                comps, ops, 2, 3, clone_indices=[0, 1, 2]
+            )
+
+
+class TestFamilyCongestions:
+    def test_matches_sequential_fold(self):
+        p = 4
+        load0 = [3.0, 1.0, 2.0]
+        delta = [0.5, 0.25, 0.125]
+        steps = batch.NUMPY_CUTOVER + 8  # force the numpy path if present
+        out = batch.family_congestions(load0, delta, steps, p)
+        assert len(out) == steps + 1
+        load = list(load0)
+        expected = [max(load) / p]
+        for _ in range(steps):
+            load = [a + b for a, b in zip(load, delta)]
+            expected.append(max(load) / p)
+        assert out == expected  # exact: strict left fold on both paths
+
+    def test_python_and_numpy_paths_agree(self, monkeypatch):
+        if not batch.HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        load0, delta, steps, p = [7.0, 2.0], [0.1, 0.9], 100, 5
+        with_numpy = batch.family_congestions(load0, delta, steps, p)
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        without = batch.family_congestions(load0, delta, steps, p)
+        assert with_numpy == without
+
+    def test_zero_steps(self):
+        assert batch.family_congestions([4.0], [1.0], 0, 2) == [2.0]
+
+
 def test_numpy_flag_matches_environment():
     """HAVE_NUMPY must mirror actual importability (fast path active iff
     numpy is installed; the no-numpy CI job exercises the False side)."""

@@ -166,3 +166,102 @@ class TestMalleableSchedule:
         specs = [spec("big", 40.0, 40.0), spec("small", 1.0, 1.0)]
         result = malleable_schedule(specs, p=8, comm=COMM, overlap=OVERLAP)
         assert result.candidate.degrees["big"] > 1
+
+
+class TestBatchedFamily:
+    """enumerate_candidate_family / select_parallelization_batched are
+    byte-identical to the generator-based reference (tentpole contract)."""
+
+    CASES = [
+        ([("a", 10.0, 0.0, 0.0), ("b", 5.0, 5.0, 0.0)], 4),
+        ([("a", 50.0, 0.0, 0.0)], 3),
+        ([(f"op{i}", 5.0 + i, 2.0, 1e4 * i) for i in range(5)], 6),
+        ([(f"op{i}", 1.0 + 0.1 * i, 3.0, 0.0) for i in range(8)], 3),
+        ([("solo", 7.0, 7.0, 1e6)], 1),
+    ]
+
+    @staticmethod
+    def _specs(raw):
+        return [spec(name, cpu, disk, data) for name, cpu, disk, data in raw]
+
+    @pytest.mark.parametrize("raw,p", CASES)
+    def test_members_match_generator(self, raw, p):
+        from repro import CandidateFamily, enumerate_candidate_family
+
+        specs = self._specs(raw)
+        family = enumerate_candidate_family(specs, p, COMM, OVERLAP)
+        assert isinstance(family, CandidateFamily)
+        reference = list(candidate_parallelizations(specs, p, COMM, OVERLAP))
+        assert family.size == len(reference)
+        for k, cand in enumerate(reference):
+            got = family.candidate_at(k)
+            assert got.degrees == cand.degrees
+            assert got.h == cand.h                    # exact, not approx
+            assert got.congestion == cand.congestion  # exact, not approx
+
+    @pytest.mark.parametrize("raw,p", CASES)
+    def test_selection_matches_reference(self, raw, p):
+        from repro import select_parallelization_batched
+
+        specs = self._specs(raw)
+        ref_cand, ref_size = select_parallelization(specs, p, COMM, OVERLAP)
+        got_cand, got_size = select_parallelization_batched(
+            specs, p, COMM, OVERLAP
+        )
+        assert got_size == ref_size
+        assert got_cand.degrees == ref_cand.degrees
+        assert got_cand.h == ref_cand.h
+        assert got_cand.congestion == ref_cand.congestion
+
+    def test_lower_bounds_match_candidates(self):
+        from repro import enumerate_candidate_family
+
+        specs = self._specs(self.CASES[2][0])
+        family = enumerate_candidate_family(specs, 6, COMM, OVERLAP)
+        for k, lb in enumerate(family.lower_bounds()):
+            assert lb == family.candidate_at(k).lower_bound
+
+    def test_numpy_and_python_congestions_agree(self, monkeypatch):
+        from repro.core import batch
+        from repro import enumerate_candidate_family
+
+        if not batch.HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        specs = self._specs(self.CASES[3][0])
+        monkeypatch.setattr(batch, "NUMPY_CUTOVER", 0)
+        fam_np = enumerate_candidate_family(specs, 3, COMM, OVERLAP)
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        fam_py = enumerate_candidate_family(specs, 3, COMM, OVERLAP)
+        assert fam_np == fam_py
+
+    def test_empty_specs(self):
+        from repro import enumerate_candidate_family, select_parallelization_batched
+
+        family = enumerate_candidate_family([], 4, COMM, OVERLAP)
+        assert family.size == 0
+        with pytest.raises(SchedulingError):
+            select_parallelization_batched([], 4, COMM, OVERLAP)
+
+    def test_duplicate_names_rejected(self):
+        from repro import enumerate_candidate_family
+
+        specs = [spec("dup", 1.0, 1.0), spec("dup", 2.0, 2.0)]
+        with pytest.raises(SchedulingError):
+            enumerate_candidate_family(specs, 4, COMM, OVERLAP)
+
+    def test_degrees_at_bounds_checked(self):
+        from repro import enumerate_candidate_family
+
+        family = enumerate_candidate_family(
+            self._specs(self.CASES[0][0]), 4, COMM, OVERLAP
+        )
+        with pytest.raises(SchedulingError):
+            family.degrees_at(family.size)
+
+    def test_malleable_schedule_uses_batched_selection(self):
+        # The "lower_bound" strategy routes through the batched selector;
+        # results must be unchanged vs the generator-based oracle.
+        specs = self._specs(self.CASES[2][0])
+        result = malleable_schedule(specs, p=6, comm=COMM, overlap=OVERLAP)
+        ref_cand, _ = select_parallelization(specs, 6, COMM, OVERLAP)
+        assert result.candidate.degrees == ref_cand.degrees

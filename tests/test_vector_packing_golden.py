@@ -217,6 +217,88 @@ def test_site_heap_returns_none_when_nothing_allowable():
     assert heap.pick(lambda s: True) is not None
 
 
+def forced_numpy(monkeypatch):
+    """Force the batch kernel on regardless of shelf size (if numpy exists)."""
+    from repro.core import batch
+
+    monkeypatch.setattr(batch, "NUMPY_CUTOVER", 0)
+    return batch.HAVE_NUMPY
+
+
+def forced_python(monkeypatch):
+    """Force the pure-Python path even above the cutover."""
+    from repro.core import batch
+
+    monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+
+
+@pytest.mark.parametrize("sort", list(SortKey))
+@pytest.mark.parametrize("rule", list(PlacementRule))
+def test_forced_numpy_path_matches_reference(sort, rule, monkeypatch):
+    """Small shelves through the batch kernel stay byte-identical."""
+    if not forced_numpy(monkeypatch):
+        pytest.skip("numpy unavailable")
+    items = golden_items(30, seed=2)
+    fast = pack_vectors(
+        items, p=7, overlap=OVERLAP, sort=sort, rule=rule, rng=random.Random(2)
+    )
+    slow = pack_vectors_reference(
+        items, p=7, overlap=OVERLAP, sort=sort, rule=rule, rng=random.Random(2)
+    )
+    assert as_json(fast) == as_json(slow)
+
+
+@pytest.mark.parametrize("sort", list(SortKey))
+@pytest.mark.parametrize("rule", list(PlacementRule))
+def test_forced_python_path_matches_reference(sort, rule, monkeypatch):
+    """Large shelves through the heap loop (numpy off) stay byte-identical."""
+    forced_python(monkeypatch)
+    items = golden_items(120, seed=5)
+    fast = pack_vectors(
+        items, p=9, overlap=OVERLAP, sort=sort, rule=rule, rng=random.Random(5)
+    )
+    slow = pack_vectors_reference(
+        items, p=9, overlap=OVERLAP, sort=sort, rule=rule, rng=random.Random(5)
+    )
+    assert as_json(fast) == as_json(slow)
+
+
+def test_numpy_and_python_paths_agree(monkeypatch):
+    """The two LEAST_LOADED_LENGTH fast paths agree with each other."""
+    from repro.core import batch
+
+    if not batch.HAVE_NUMPY:
+        pytest.skip("numpy unavailable")
+    items = golden_items(150, seed=8)
+    monkeypatch.setattr(batch, "NUMPY_CUTOVER", 0)
+    via_kernel = pack_vectors(items, p=11, overlap=OVERLAP)
+    monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+    via_heap = pack_vectors(items, p=11, overlap=OVERLAP)
+    assert as_json(via_kernel) == as_json(via_heap)
+
+
+def test_first_fit_never_constructs_heap(monkeypatch):
+    """Linear rules must pay zero heap overhead (satellite contract)."""
+    from repro.core import vector_packing
+
+    class Exploder:
+        def __init__(self, *a, **kw):
+            raise AssertionError("FIRST_FIT must not build a SiteHeap")
+
+    monkeypatch.setattr(vector_packing, "SiteHeap", Exploder)
+    from repro.engine import MetricsRecorder
+
+    metrics = MetricsRecorder()
+    items = golden_items(40, seed=1)
+    schedule = pack_vectors(
+        items, p=6, overlap=OVERLAP, rule=PlacementRule.FIRST_FIT,
+        metrics=metrics,
+    )
+    assert schedule.clone_count() == len(items)
+    # Early-exit scans only: far below clones × p, and never zero.
+    assert 0 < metrics.counters["placement_scans"] <= len(items) * 6
+
+
 def test_site_heap_stale_entries_are_discarded():
     from repro.core.site import PlacedClone, Site
 
@@ -230,3 +312,72 @@ def test_site_heap_stale_entries_are_discarded():
     heap.update(sites[0])
     # Site 0 now has length 5; the minimum must move to the empty site 1.
     assert heap.pick(lambda s: True).index == 1
+
+
+def test_site_heap_discard_and_rebuild():
+    from repro.core.site import PlacedClone, Site
+
+    sites = [Site(j, 2) for j in range(6)]
+    heap = SiteHeap(sites, key=lambda s: (s.length(), s.index))
+    heap.discard_batch([0, 1, 99])   # unknown indices are ignored
+    assert heap.tracked_sites() == frozenset({2, 3, 4, 5})
+    assert heap.pick(lambda s: True).index == 2
+    # Re-track a discarded site (e.g. restored after a fault).
+    heap.add_batch([sites[0]])
+    assert heap.tracked_sites() == frozenset({0, 2, 3, 4, 5})
+    heap.rebuild()
+    assert len(heap._heap) == 5
+    sites[2].place(
+        PlacedClone(operator="x", clone_index=0, work=WorkVector([9.0, 9.0]), t_seq=9.0)
+    )
+    heap.update(sites[2])
+    assert heap.pick(lambda s: True).index == 0
+
+
+@settings(max_examples=80)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["place", "discard", "restore", "rebuild"]),
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_site_heap_tracks_minimum_through_maintenance(ops):
+    """After arbitrary place/discard/restore/rebuild traffic, pick() returns
+    the least-loaded live site and lazy-deletion garbage stays bounded."""
+    from repro.core.site import PlacedClone, Site
+
+    sites = [Site(j, 2) for j in range(8)]
+    heap = SiteHeap(sites, key=lambda s: (s.length(), s.index))
+    live = set(range(8))
+    counter = 0
+    for action, j, weight in ops:
+        if action == "place" and j in live:
+            counter += 1
+            sites[j].place(
+                PlacedClone(
+                    operator=f"op{counter}", clone_index=0,
+                    work=WorkVector([weight, weight / 2]), t_seq=weight,
+                )
+            )
+            heap.update(sites[j])
+        elif action == "discard" and j in live:
+            live.discard(j)
+            heap.discard_batch([j])
+        elif action == "restore" and j not in live:
+            live.add(j)
+            heap.add_batch([sites[j]])
+        elif action == "rebuild":
+            heap.rebuild()
+    assert heap.tracked_sites() == frozenset(live)
+    # Garbage bound: update() auto-rebuilds past max(32, 3·live).
+    assert len(heap._heap) <= max(32, 3 * len(live)) + 1
+    picked = heap.pick(lambda s: True)
+    if live:
+        best = min(((sites[j].length(), j) for j in live))
+        assert (picked.length(), picked.index) == best
+    else:
+        assert picked is None
