@@ -74,13 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
             *FIGURES,
             *SENSITIVITY_TARGETS,
             "robustness",
+            "plansearch",
             "all",
             "table2",
             "algorithms",
         ],
         help=(
             "figure to regenerate, a sensitivity sweep (sens-*), "
-            "'robustness' for the fault-injection degradation sweep, 'all' "
+            "'robustness' for the fault-injection degradation sweep, "
+            "'plansearch' for the schedule-aware plan search, 'all' "
             "for every figure, 'table2' for the configuration, or "
             "'algorithms' to list the registered schedulers"
         ),
@@ -141,6 +143,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="base seed of the deterministic fault plans",
     )
     parser.add_argument(
+        "--relations",
+        type=int,
+        default=9,
+        metavar="N",
+        help="number of relations in the plansearch query (default 9)",
+    )
+    parser.add_argument(
+        "--pareto",
+        action="store_true",
+        help=(
+            "plansearch: score every candidate and report the ε-approximate "
+            "Pareto frontier over (response time, total work, max site load)"
+        ),
+    )
+    parser.add_argument(
+        "--pareto-eps",
+        type=float,
+        default=0.05,
+        metavar="E",
+        help="plansearch: Pareto approximation factor (default 0.05)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -173,6 +197,106 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def _run_plansearch(args, config, store) -> int:
+    """The ``plansearch`` target: schedule-aware search on a random query.
+
+    Stdout carries only search-determined facts (stats, winner, ranking,
+    frontier) and is byte-identical at any ``--workers`` count and with
+    the cache disabled, cold, or warm; store hit/miss accounting — which
+    legitimately varies with cache state — goes to stderr.
+    """
+    import numpy as np
+
+    from repro.plans.query_graph import random_tree_query
+    from repro.plans.relations import random_catalog
+    from repro.search import search_plans
+
+    p = args.sites[0] if args.sites else 16
+    rng = np.random.default_rng(config.seed)
+    catalog = random_catalog(args.relations, rng)
+    graph = random_tree_query(catalog, rng)
+    start = time.perf_counter()
+    result = search_plans(
+        graph,
+        catalog,
+        p=p,
+        params=config.params,
+        seed=config.seed,
+        workers=args.workers,
+        store=store,
+        pareto=args.pareto,
+        pareto_eps=args.pareto_eps,
+    )
+    elapsed = time.perf_counter() - start
+    stats = result.stats
+
+    def row(sp):
+        return {
+            "key": sp.key,
+            "response_time": sp.response_time,
+            "num_phases": sp.num_phases,
+            "total_work": sp.total_work,
+            "max_site_load": sp.max_site_load,
+        }
+
+    if args.json:
+        payload = {
+            "schema": 1,
+            "target": "plansearch",
+            "relations": args.relations,
+            "p": p,
+            "seed": config.seed,
+            "exhaustive": stats.exhaustive,
+            "enumerated": stats.enumerated,
+            "unique": stats.unique,
+            "pruned": stats.pruned,
+            "scored": stats.scored,
+            "winner": row(result.winner),
+            "candidates": [row(sp) for sp in result.candidates],
+            "frontier": [row(sp) for sp in result.frontier],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        regime = "exhaustive" if stats.exhaustive else "local search"
+        print(
+            f"Schedule-aware plan search: {args.relations} relations, "
+            f"p={p}, seed={config.seed}"
+        )
+        print(
+            f"regime: {regime}; enumerated {stats.enumerated}, "
+            f"unique {stats.unique}, pruned {stats.pruned} "
+            f"({stats.prune_rate:.0%}), scored {stats.scored}"
+        )
+        w = result.winner
+        print(
+            f"winner {w.key[:12]}: response={w.response_time:.6g} "
+            f"phases={w.num_phases} work={w.total_work:.6g} "
+            f"max_site_load={w.max_site_load:.6g}"
+        )
+        for rank, sp in enumerate(result.candidates[:5], start=1):
+            print(
+                f"  {rank}. {sp.key[:12]}  response={sp.response_time:.6g}  "
+                f"phases={sp.num_phases}"
+            )
+        if result.frontier:
+            print(
+                f"pareto frontier (eps={args.pareto_eps:g}): "
+                f"{len(result.frontier)} plans"
+            )
+            for sp in result.frontier:
+                print(
+                    f"  {sp.key[:12]}  response={sp.response_time:.6g} "
+                    f"work={sp.total_work:.6g} load={sp.max_site_load:.6g}"
+                )
+        print(f"(searched in {elapsed:.1f}s)")
+    print(
+        f"[plansearch] store: {stats.store_hits} hits, "
+        f"{stats.store_misses} misses ({stats.hit_rate:.0%} hit rate)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -286,6 +410,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             emit(figure, time.perf_counter() - start)
             cache_summary()
             return 0
+
+        if args.target == "plansearch":
+            code = _run_plansearch(args, config, store)
+            cache_summary()
+            return code
 
         targets = list(FIGURES) if args.target == "all" else [args.target]
         for name in targets:

@@ -27,10 +27,12 @@ engine/sim/core types appear solely behind ``TYPE_CHECKING``.
 """
 
 from repro.obs.export import (
+    KNOWN_SPAN_NAMES,
     TRACE_EVENT_PHASES,
     span_events,
     trace_payload,
     tracer_events,
+    unknown_span_names,
     validate_trace_events,
     write_trace,
 )
@@ -65,6 +67,8 @@ __all__ = [
     "span_to_dict",
     "span_from_dict",
     "TRACE_EVENT_PHASES",
+    "KNOWN_SPAN_NAMES",
+    "unknown_span_names",
     "span_events",
     "tracer_events",
     "trace_payload",

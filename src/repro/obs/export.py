@@ -33,6 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "TRACE_EVENT_PHASES",
+    "KNOWN_SPAN_NAMES",
+    "unknown_span_names",
     "duration_event",
     "instant_event",
     "counter_event",
@@ -47,6 +49,63 @@ __all__ = [
 
 #: Event phases this exporter emits (a subset of the format).
 TRACE_EVENT_PHASES = ("X", "M", "C", "i")
+
+#: The span-name vocabulary (DESIGN.md §2.5 table).  Span names are
+#: recorded as plain strings at the emitting sites, so — exactly like the
+#: metric vocabulary in :mod:`repro.engine.metrics` — a typo silently
+#: creates a lane nobody looks for; :func:`unknown_span_names` is the
+#: check validators run against recorded span trees.
+KNOWN_SPAN_NAMES = frozenset(
+    {
+        # engine / kernels
+        "schedule",
+        "tree_schedule",
+        "phase_decomposition",
+        "shelf",
+        "degree_selection",
+        "pack",
+        "list_placement",
+        "pack_vectors",
+        # simulator
+        "simulate_phased",
+        "simulate_phase",
+        # parallel runner
+        "sweep",
+        "point",
+        # incremental repair
+        "reschedule",
+        "reschedule_repair",
+        # schedule-aware plan search
+        "plan_search",
+        "plan_enumerate",
+        "plan_screen",
+        "plan_score",
+    }
+)
+
+
+def unknown_span_names(spans: Any) -> set[str]:
+    """Span names outside :data:`KNOWN_SPAN_NAMES`, recursively.
+
+    Accepts an iterable of span dicts (the relative-offset form of
+    :func:`repro.obs.tracer.span_to_dict`, as carried by
+    ``ScheduleResult.instrumentation.spans``) and walks their children.
+    """
+    unknown: set[str] = set()
+
+    def visit(span_dict: Any) -> None:
+        if not isinstance(span_dict, dict):
+            return
+        name = span_dict.get("name")
+        if isinstance(name, str) and name not in KNOWN_SPAN_NAMES:
+            unknown.add(name)
+        for child in span_dict.get("children", ()):
+            visit(child)
+
+    for span_dict in spans:
+        visit(span_dict)
+    return unknown
+
 
 _MICROS = 1e6
 

@@ -75,11 +75,23 @@ class OperatorTree:
             raise PlanStructureError(
                 f"duplicate edge {producer.name!r} -> {consumer.name!r}"
             )
+        # The edge closes a cycle iff ``producer`` is already reachable
+        # from ``consumer``.  A targeted DFS beats revalidating the whole
+        # graph: during bottom-up plan expansion the consumer was just
+        # created and has no successors, so the search ends immediately.
+        stack = [consumer]
+        seen = {consumer}
+        while stack:
+            node = stack.pop()
+            if node is producer:
+                raise PlanStructureError(
+                    f"edge {producer.name!r} -> {consumer.name!r} creates a cycle"
+                )
+            for succ in self._graph.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
         self._graph.add_edge(producer, consumer, kind=kind)
-        if not nx.is_directed_acyclic_graph(self._graph):
-            raise PlanStructureError(
-                f"edge {producer.name!r} -> {consumer.name!r} creates a cycle"
-            )
 
     def set_root(self, op: PhysicalOperator) -> None:
         """Mark the operator producing the query's final output."""

@@ -1,0 +1,130 @@
+"""Canonical plan form: structural hashing and the plan ↔ payload codec.
+
+Two sampled bushy plans are *structurally identical* when they join the
+same relations in the same tree shape with the same build/probe
+orientation, join method and materialization flags — the ``join_id``
+labels are bookkeeping, not structure.  :func:`plan_payload` maps a plan
+to a nested plain-data form that deliberately omits the labels, and
+:func:`plan_key` hashes that form through the artifact store's
+canonical-JSON keying (:func:`repro.store.content_key`), so the dedupe
+hash, the candidate-score cache key, and the on-disk winner-schedule key
+are all the same bytes for the same plan.
+
+:func:`plan_from_payload` rebuilds a :class:`~repro.plans.join_tree.PlanNode`
+tree from a payload, assigning fresh ``join_id`` labels in post-order
+(``J0`` is the deepest-leftmost join).  Round-tripping any plan through
+the codec therefore yields its *canonical* copy
+(:func:`canonical_plan`): same structure, deterministic labels —
+whatever process, hash seed, or search move produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import PlanStructureError
+from repro.plans.join_tree import BaseRelationNode, JoinMethod, JoinNode, PlanNode
+from repro.plans.relations import Catalog, Relation
+from repro.store import KIND_PLAN, content_key
+
+__all__ = [
+    "plan_payload",
+    "plan_from_payload",
+    "plan_key",
+    "canonical_plan",
+    "catalog_from_payload",
+]
+
+
+def plan_payload(plan: PlanNode) -> dict[str, Any]:
+    """The label-free plain-data form of ``plan`` (canonical-JSON-safe).
+
+    Leaves carry the relation name and cardinality (so a payload is
+    self-contained: cardinalities do not need a catalog to re-derive);
+    joins carry method, materialization flag, and the two child payloads
+    under ``"build"`` / ``"probe"``.  ``join_id`` labels are omitted —
+    they are assigned canonically on rebuild.
+    """
+    if isinstance(plan, BaseRelationNode):
+        return {
+            "relation": plan.relation.name,
+            "tuples": plan.relation.tuples,
+        }
+    if isinstance(plan, JoinNode):
+        return {
+            "method": plan.method.value,
+            "materialize": plan.materialize_output,
+            "build": plan_payload(plan.build_side),
+            "probe": plan_payload(plan.probe_side),
+        }
+    raise PlanStructureError(f"unknown plan node type {type(plan).__name__}")
+
+
+def plan_from_payload(payload: dict[str, Any]) -> PlanNode:
+    """Rebuild a plan tree from :func:`plan_payload` output.
+
+    Join ids are assigned in post-order (``J0``, ``J1``, ...), which is
+    what makes the rebuilt tree canonical: two structurally identical
+    plans rebuild to trees whose operator names match exactly.
+    """
+    counter = 0
+
+    def build(node: dict[str, Any]) -> PlanNode:
+        nonlocal counter
+        if "relation" in node:
+            return BaseRelationNode(
+                Relation(name=node["relation"], tuples=int(node["tuples"]))
+            )
+        build_side = build(node["build"])
+        probe_side = build(node["probe"])
+        join = JoinNode(
+            f"J{counter}",
+            build_side,
+            probe_side,
+            method=JoinMethod(node["method"]),
+            materialize_output=bool(node.get("materialize", False)),
+        )
+        counter += 1
+        return join
+
+    if not isinstance(payload, dict):
+        raise PlanStructureError(
+            f"plan payload must be a mapping, got {type(payload).__name__}"
+        )
+    return build(payload)
+
+
+def plan_key(plan: PlanNode) -> str:
+    """Content key of the plan's structure (labels excluded).
+
+    Reuses the store's canonical-JSON SHA-256 keying under the
+    :data:`~repro.store.KIND_PLAN` kind, so equal structures hash equal
+    in any process, under any ``PYTHONHASHSEED``, on any machine.
+    """
+    return content_key(KIND_PLAN, plan_payload(plan))
+
+
+def canonical_plan(plan: PlanNode) -> PlanNode:
+    """A fresh copy of ``plan`` with canonical post-order join ids."""
+    return plan_from_payload(plan_payload(plan))
+
+
+def catalog_from_payload(payload: dict[str, Any]) -> Catalog:
+    """The minimal catalog covering every leaf relation of a payload."""
+    relations: dict[str, Relation] = {}
+
+    def walk(node: dict[str, Any]) -> None:
+        if "relation" in node:
+            name = node["relation"]
+            rel = Relation(name=name, tuples=int(node["tuples"]))
+            if name in relations and relations[name] != rel:
+                raise PlanStructureError(
+                    f"conflicting cardinalities for relation {name!r}"
+                )
+            relations[name] = rel
+            return
+        walk(node["build"])
+        walk(node["probe"])
+
+    walk(payload)
+    return Catalog(list(relations.values()))

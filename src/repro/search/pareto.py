@@ -1,0 +1,69 @@
+"""ε-approximate Pareto frontiers over plan objectives.
+
+The many-objective mode follows the approximation-scheme idea of
+"Approximation Schemes for Many-Objective Query Optimization" (see
+PAPERS.md): instead of the exact Pareto frontier — which can be as large
+as the candidate set — keep an *ε-cover*: a subset such that every
+candidate is ε-dominated by some kept plan.  With ``eps = 0`` the cover
+is exactly the set of non-dominated objective vectors.
+
+All objectives are minimized and non-negative here (response time,
+total work, max per-site load).  Construction is deterministic:
+candidates are sorted lexicographically by objective vector with the
+canonical plan key as the final tie-break, and a candidate is kept iff
+no already-kept plan ε-dominates it.  Because a (weak) dominator always
+sorts no later than what it dominates, the ``eps = 0`` pass provably
+returns the exact frontier (first occurrence per objective vector).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["epsilon_dominates", "epsilon_pareto_front"]
+
+
+def epsilon_dominates(
+    a: Sequence[float], b: Sequence[float], eps: float = 0.0
+) -> bool:
+    """Does ``a`` ε-dominate ``b``?  (``a_i <= (1 + eps) * b_i`` for all i.)
+
+    Weak dominance: equal vectors dominate each other, which is exactly
+    what collapses objective-duplicates onto one representative.
+    """
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    if eps < 0.0:
+        raise ConfigurationError(f"eps must be >= 0, got {eps}")
+    scale = 1.0 + eps
+    return all(x <= scale * y for x, y in zip(a, b))
+
+
+def epsilon_pareto_front(
+    items: Sequence[tuple[str, tuple[float, ...]]], eps: float = 0.0
+) -> list[str]:
+    """Keys of an ε-cover of ``items`` (``(key, objectives)`` pairs).
+
+    Guarantees:
+
+    * **cover** — every input is ε-dominated by some returned item;
+    * **determinism** — output depends only on the multiset of inputs
+      (sorted by ``(objectives, key)``, first occurrence kept);
+    * **exactness at zero** — ``eps = 0`` returns precisely the
+      non-dominated objective vectors (one key per distinct vector).
+
+    Returned keys are in objective-lexicographic order.
+    """
+    ordered = sorted(items, key=lambda item: (item[1], item[0]))
+    kept: list[tuple[str, tuple[float, ...]]] = []
+    for key, objectives in ordered:
+        if any(
+            epsilon_dominates(prev, objectives, eps) for _, prev in kept
+        ):
+            continue
+        kept.append((key, objectives))
+    return [key for key, _ in kept]

@@ -137,6 +137,16 @@ def validate_schedule_result(
             "(typo'd counter string in a kernel?)",
             stacklevel=2,
         )
+    if result.instrumentation.spans:
+        from repro.obs.export import unknown_span_names
+
+        unknown_spans = unknown_span_names(result.instrumentation.spans)
+        if unknown_spans:
+            warnings.warn(
+                f"{result.algorithm or 'schedule'}: recorded spans reference "
+                f"names outside the known vocabulary: {sorted(unknown_spans)}",
+                stacklevel=2,
+            )
     if result.phased_schedule is None:
         return None
     result.validate()

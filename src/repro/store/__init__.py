@@ -11,6 +11,7 @@ missing points.
 from repro.store.artifact_store import (
     ENV_CACHE_DIR,
     KIND_ANNOTATION,
+    KIND_PLAN,
     KIND_POINT,
     KIND_RESULT,
     NO_STORE,
@@ -30,6 +31,7 @@ __all__ = [
     "KIND_ANNOTATION",
     "KIND_RESULT",
     "KIND_POINT",
+    "KIND_PLAN",
     "NO_STORE",
     "ArtifactStore",
     "StoreStats",

@@ -42,6 +42,7 @@ __all__ = [
     "KIND_ANNOTATION",
     "KIND_RESULT",
     "KIND_POINT",
+    "KIND_PLAN",
     "NO_STORE",
     "StoreStats",
     "ArtifactStore",
@@ -66,6 +67,7 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 KIND_ANNOTATION = "annotation"
 KIND_RESULT = "result"
 KIND_POINT = "point"
+KIND_PLAN = "plan"
 
 
 class _NoStore:

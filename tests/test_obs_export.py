@@ -368,3 +368,28 @@ class TestScheduleResultTimeline:
         assert bound.phased_schedule is None
         events = schedule_result_events(bound)
         assert [e["ph"] for e in events] == ["M", "M"]
+
+
+class TestSpanVocabulary:
+    def test_known_names_include_search_spans(self):
+        from repro.obs.export import KNOWN_SPAN_NAMES
+
+        assert {"plan_search", "plan_enumerate", "plan_screen", "plan_score"} <= KNOWN_SPAN_NAMES
+
+    def test_unknown_span_names_walks_children(self):
+        from repro.obs.export import unknown_span_names
+
+        spans = [
+            {"name": "plan_search", "children": [
+                {"name": "bogus_inner", "children": []},
+                {"name": "plan_score"},
+            ]},
+            {"name": "bogus_outer"},
+            "not-a-span",
+        ]
+        assert unknown_span_names(spans) == {"bogus_inner", "bogus_outer"}
+
+    def test_unknown_span_names_empty_for_clean_tree(self):
+        from repro.obs.export import unknown_span_names
+
+        assert unknown_span_names([{"name": "schedule", "children": [{"name": "shelf"}]}]) == set()

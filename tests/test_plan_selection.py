@@ -40,7 +40,8 @@ class TestSelection:
         ranking, _ = run(*query_inputs)
         times = [c.response_time for c in ranking.candidates]
         assert times == sorted(times)
-        assert len(times) == 6
+        assert ranking.sampled == 6
+        assert 1 <= len(times) <= 6  # duplicates collapse before scoring
 
     def test_best_is_first(self, query_inputs):
         ranking, schedule = run(*query_inputs)
@@ -83,3 +84,85 @@ class TestSelection:
         # Only one possible plan; all candidates tie.
         times = {round(c.response_time, 12) for c in ranking.candidates}
         assert len(times) == 1
+
+
+class TestMedian:
+    @staticmethod
+    def _ranking(times):
+        from repro.experiments.plan_selection import PlanCandidate, PlanSelectionResult
+
+        return PlanSelectionResult(
+            candidates=tuple(
+                PlanCandidate(plan=None, response_time=t, num_phases=1)
+                for t in times
+            ),
+            sampled=len(times),
+        )
+
+    def test_odd_count_middle_element(self):
+        assert self._ranking([1.0, 2.0, 9.0]).median_response_time == 2.0
+
+    def test_even_count_mean_of_middle_pair(self):
+        # Regression: the historical len//2 indexing returned 4.0 here.
+        assert self._ranking([1.0, 2.0, 4.0, 8.0]).median_response_time == 3.0
+
+    def test_two_candidates(self):
+        assert self._ranking([1.0, 3.0]).median_response_time == 2.0
+
+
+class TestDedupeAndDeterminism:
+    def test_structural_duplicates_collapse(self):
+        # Two relations admit exactly two plan shapes, so five samples
+        # must collapse to at most two scheduled candidates.
+        catalog = Catalog([Relation("A", 50_000), Relation("B", 1_000)])
+        from repro import QueryGraph
+
+        graph = QueryGraph(["A", "B"], [("A", "B")])
+        ranking, schedule = run(graph, catalog, k=5)
+        assert ranking.sampled == 5
+        assert len(ranking.candidates) <= 2
+        counters = schedule.instrumentation.counters
+        assert counters["plans_enumerated"] == 5
+        assert counters["plans_deduped"] == 5 - len(ranking.candidates)
+        assert counters["plans_scored"] == len(ranking.candidates)
+        assert all(c.key for c in ranking.candidates)
+
+    def test_workers_bit_identical(self, query_inputs):
+        graph, catalog = query_inputs
+        serial, s_sched = run(graph, catalog)
+        fanned, f_sched = select_best_plan(
+            graph, catalog, k=6, seed=0, p=16,
+            params=PAPER_PARAMETERS, comm=COMM, overlap=OVERLAP, f=0.7,
+            workers=2,
+        )
+        assert [(c.key, c.response_time) for c in serial.candidates] == [
+            (c.key, c.response_time) for c in fanned.candidates
+        ]
+        assert s_sched.response_time == f_sched.response_time
+
+    def test_store_cold_then_warm(self, query_inputs, tmp_path):
+        from repro.engine.metrics import MetricsRecorder
+        from repro.store import ArtifactStore
+
+        graph, catalog = query_inputs
+        store = ArtifactStore(str(tmp_path / "cache"))
+        cold_rec, warm_rec = MetricsRecorder(), MetricsRecorder()
+        cold, c_sched = select_best_plan(
+            graph, catalog, k=6, seed=0, p=16,
+            params=PAPER_PARAMETERS, comm=COMM, overlap=OVERLAP, f=0.7,
+            store=store, metrics=cold_rec,
+        )
+        warm, w_sched = select_best_plan(
+            graph, catalog, k=6, seed=0, p=16,
+            params=PAPER_PARAMETERS, comm=COMM, overlap=OVERLAP, f=0.7,
+            store=store, metrics=warm_rec,
+        )
+        assert cold_rec.counters["plan_store_hits"] == 0
+        assert cold_rec.counters["plan_store_misses"] == len(cold.candidates) + 1
+        # Warm rerun: every score and the winner schedule come from the store.
+        assert warm_rec.counters["plan_store_misses"] == 0
+        assert warm_rec.counters["plan_store_hits"] == len(warm.candidates) + 1
+        assert [(c.key, c.response_time) for c in cold.candidates] == [
+            (c.key, c.response_time) for c in warm.candidates
+        ]
+        assert c_sched.response_time == w_sched.response_time

@@ -1,0 +1,233 @@
+"""Tests for plan enumeration, canonical hashing and ε-Pareto (no numpy).
+
+The enumerator, the canonical plan codec and the frontier construction
+are all stdlib-only (``random.Random``, pure dataclasses), so this
+module runs in the no-numpy CI job.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Catalog, QueryGraph, Relation
+from repro.exceptions import ConfigurationError, PlanStructureError
+from repro.search import (
+    canonical_plan,
+    catalog_from_payload,
+    count_exhaustive_plans,
+    enumerate_exhaustive_plans,
+    epsilon_dominates,
+    epsilon_pareto_front,
+    greedy_plan,
+    mutate_plan,
+    plan_from_payload,
+    plan_key,
+    plan_payload,
+    random_plan,
+)
+
+
+def make_query(cards: dict[str, int], joins: list[tuple[str, str]]):
+    catalog = Catalog([Relation(name, tuples) for name, tuples in cards.items()])
+    return QueryGraph(list(cards), joins), catalog
+
+
+def chain(n: int, base: int = 1_000):
+    cards = {f"R{i}": base * (i + 1) for i in range(n)}
+    names = list(cards)
+    joins = [(names[i], names[i + 1]) for i in range(n - 1)]
+    return make_query(cards, joins)
+
+
+def star(n_leaves: int):
+    cards = {"C": 50_000}
+    cards.update({f"L{i}": 1_000 * (i + 1) for i in range(n_leaves)})
+    joins = [("C", f"L{i}") for i in range(n_leaves)]
+    return make_query(cards, joins)
+
+
+CATALAN = [1, 1, 2, 5, 14, 42, 132, 429]
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_chain_counts_are_catalan(self, n):
+        # Bushy plans of a chain query = binary trees over contiguous
+        # intervals: Catalan(n - 1) of them.
+        graph, _ = chain(n)
+        assert count_exhaustive_plans(graph, limit=1_000) == CATALAN[n - 1]
+
+    @pytest.mark.parametrize("leaves,expected", [(2, 2), (3, 6), (4, 24)])
+    def test_star_counts_are_factorial(self, leaves, expected):
+        # A star's connected subsets all contain the hub, so every plan
+        # is a caterpillar joining one leaf per step: leaves! orders.
+        graph, _ = star(leaves)
+        assert count_exhaustive_plans(graph, limit=1_000) == expected
+
+    def test_single_relation(self):
+        graph, _ = chain(1)
+        assert count_exhaustive_plans(graph, limit=10) == 1
+
+    def test_count_saturates_at_limit(self):
+        graph, _ = chain(12)  # Catalan(11) = 58786
+        assert count_exhaustive_plans(graph, limit=100) == 101
+
+
+class TestEnumeration:
+    def test_all_plans_distinct(self):
+        graph, catalog = chain(5)
+        plans = enumerate_exhaustive_plans(graph, catalog, limit=100)
+        keys = {plan_key(p) for p in plans}
+        assert len(plans) == CATALAN[4] == len(keys)
+
+    def test_leaf_sets_complete(self):
+        graph, catalog = star(3)
+        for plan in enumerate_exhaustive_plans(graph, catalog, limit=100):
+            leaves = sorted(leaf.relation.name for leaf in plan.leaves())
+            assert leaves == sorted(graph.relations)
+
+    def test_over_limit_raises(self):
+        graph, catalog = chain(12)
+        with pytest.raises(PlanStructureError):
+            enumerate_exhaustive_plans(graph, catalog, limit=100)
+
+    def test_enumeration_deterministic(self):
+        graph, catalog = chain(6)
+        a = [plan_key(p) for p in enumerate_exhaustive_plans(graph, catalog, limit=100)]
+        b = [plan_key(p) for p in enumerate_exhaustive_plans(graph, catalog, limit=100)]
+        assert a == b
+
+    def test_sampled_plans_are_enumerated(self):
+        # The random generator explores exactly the space the DP counts:
+        # every sampled plan's canonical key appears in the enumeration.
+        graph, catalog = chain(6)
+        keys = {plan_key(p) for p in enumerate_exhaustive_plans(graph, catalog, limit=100)}
+        rng = random.Random(11)
+        for _ in range(60):
+            assert plan_key(random_plan(graph, catalog, rng)) in keys
+
+    def test_greedy_plan_is_enumerated_and_deterministic(self):
+        graph, catalog = chain(6)
+        keys = {plan_key(p) for p in enumerate_exhaustive_plans(graph, catalog, limit=100)}
+        assert plan_key(greedy_plan(graph, catalog)) in keys
+        assert plan_key(greedy_plan(graph, catalog)) == plan_key(greedy_plan(graph, catalog))
+
+    def test_mutation_stays_in_plan_space(self):
+        graph, catalog = chain(6)
+        keys = {plan_key(p) for p in enumerate_exhaustive_plans(graph, catalog, limit=100)}
+        rng = random.Random(5)
+        plan = greedy_plan(graph, catalog)
+        for _ in range(40):
+            plan = mutate_plan(plan, graph, catalog, rng)
+            assert plan_key(plan) in keys
+
+    def test_mutation_deterministic(self):
+        graph, catalog = star(4)
+        seed_plan = greedy_plan(graph, catalog)
+        a = [plan_key(mutate_plan(seed_plan, graph, catalog, random.Random(3))) for _ in range(3)]
+        b = [plan_key(mutate_plan(seed_plan, graph, catalog, random.Random(3))) for _ in range(3)]
+        assert a == b
+
+
+class TestCanonicalCodec:
+    def test_round_trip_preserves_key(self):
+        graph, catalog = star(4)
+        for plan in enumerate_exhaustive_plans(graph, catalog, limit=100):
+            rebuilt = plan_from_payload(plan_payload(plan))
+            assert plan_key(rebuilt) == plan_key(plan)
+
+    def test_canonical_plan_is_stable(self):
+        graph, catalog = chain(5)
+        plan = greedy_plan(graph, catalog)
+        assert plan_key(canonical_plan(plan)) == plan_key(plan)
+
+    def test_join_ids_do_not_affect_key(self):
+        # Structural hash: two builds of the same shape share a key even
+        # when their internal join ids differ.
+        graph, catalog = chain(4)
+        rng = random.Random(2)
+        plan = random_plan(graph, catalog, rng)
+        mutated_back = plan
+        for _ in range(50):
+            candidate = mutate_plan(mutated_back, graph, catalog, rng)
+            if plan_key(candidate) == plan_key(plan):
+                # Same structure found through a different construction
+                # path (mutation suffixes its join ids).
+                assert plan_payload(candidate) == plan_payload(plan)
+                return
+            mutated_back = candidate
+        pytest.skip("mutation never revisited the start shape")
+
+    def test_catalog_from_payload(self):
+        graph, catalog = chain(4)
+        plan = greedy_plan(graph, catalog)
+        rebuilt = catalog_from_payload(plan_payload(plan))
+        for name in graph.relations:
+            assert rebuilt.get(name).tuples == catalog.get(name).tuples
+
+
+class TestEpsilonPareto:
+    def test_dominates_basic(self):
+        assert epsilon_dominates((1.0, 1.0), (2.0, 2.0))
+        assert not epsilon_dominates((1.0, 3.0), (2.0, 2.0))
+        assert epsilon_dominates((1.0, 1.0), (1.0, 1.0))  # weak
+
+    def test_dominates_epsilon_slack(self):
+        assert not epsilon_dominates((1.05, 1.0), (1.0, 1.0))
+        assert epsilon_dominates((1.05, 1.0), (1.0, 1.0), eps=0.05)
+
+    def test_dominates_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_dominates((1.0,), (1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            epsilon_dominates((1.0,), (1.0,), eps=-0.1)
+
+    def test_exact_frontier_golden(self):
+        items = [
+            ("a", (1.0, 4.0)),
+            ("b", (2.0, 2.0)),
+            ("c", (4.0, 1.0)),
+            ("d", (3.0, 3.0)),  # dominated by b
+            ("e", (2.0, 2.0)),  # objective-duplicate of b; b wins the tie
+        ]
+        assert epsilon_pareto_front(items, eps=0.0) == ["a", "b", "c"]
+
+    def test_exact_frontier_matches_brute_force(self):
+        rng = random.Random(7)
+        items = [
+            (f"k{i}", (rng.randrange(1, 8) * 1.0, rng.randrange(1, 8) * 1.0, rng.randrange(1, 8) * 1.0))
+            for i in range(40)
+        ]
+        front = set(epsilon_pareto_front(items, eps=0.0))
+        by_key = dict(items)
+        for key, obj in items:
+            dominated = any(
+                epsilon_dominates(other, obj)
+                and (by_key[ok] != obj or ok < key)
+                for ok, other in items
+                if ok != key
+            )
+            assert (key not in front) == dominated
+
+    def test_epsilon_cover_property(self):
+        rng = random.Random(13)
+        items = [
+            (f"k{i}", (rng.uniform(1.0, 9.0), rng.uniform(1.0, 9.0)))
+            for i in range(60)
+        ]
+        for eps in (0.0, 0.1, 0.5):
+            front = epsilon_pareto_front(items, eps=eps)
+            kept = {key: obj for key, obj in items if key in front}
+            for _, obj in items:
+                assert any(epsilon_dominates(kobj, obj, eps) for kobj in kept.values())
+
+    def test_larger_eps_never_grows_frontier(self):
+        rng = random.Random(29)
+        items = [
+            (f"k{i}", (rng.uniform(1.0, 9.0), rng.uniform(1.0, 9.0)))
+            for i in range(50)
+        ]
+        sizes = [len(epsilon_pareto_front(items, eps=e)) for e in (0.0, 0.05, 0.2, 1.0)]
+        assert sizes == sorted(sizes, reverse=True)

@@ -122,3 +122,46 @@ class TestMetricVocabularyWarning:
         result.instrumentation.timers["mystery_seconds"] = 0.1
         with pytest.warns(UserWarning, match="mystery_seconds"):
             validate_schedule_result(result)
+
+
+class TestSpanVocabularyWarning:
+    def _result(self):
+        pytest.importorskip("numpy", exc_type=ImportError)
+        from repro.experiments import prepare_workload
+        from repro.experiments.runner import schedule_query
+
+        query = prepare_workload(3, 1, 2)[0]
+        return schedule_query("treeschedule", query, p=4, f=0.7, epsilon=0.5)
+
+    def test_known_spans_do_not_warn(self):
+        import warnings
+
+        from repro.sim.validate import validate_schedule_result
+
+        result = self._result()
+        result.instrumentation.spans.append(
+            {"name": "plan_search", "children": [{"name": "plan_score"}]}
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            validate_schedule_result(result)
+
+    def test_unknown_span_name_warns(self):
+        from repro.sim.validate import validate_schedule_result
+
+        result = self._result()
+        result.instrumentation.spans.append(
+            {"name": "plan_serach", "children": []}
+        )
+        with pytest.warns(UserWarning, match="plan_serach"):
+            validate_schedule_result(result)
+
+    def test_unknown_nested_span_warns(self):
+        from repro.sim.validate import validate_schedule_result
+
+        result = self._result()
+        result.instrumentation.spans.append(
+            {"name": "plan_search", "children": [{"name": "mystery_phase"}]}
+        )
+        with pytest.warns(UserWarning, match="mystery_phase"):
+            validate_schedule_result(result)
