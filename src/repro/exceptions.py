@@ -77,3 +77,12 @@ class SimulationError(ReproError, RuntimeError):
     Raised when a simulated schedule violates a per-resource capacity
     constraint or when a sharing policy produces a non-physical rate.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The online scheduler service reached an inconsistent state.
+
+    Examples: a virtual-time deadlock (every service task is blocked and
+    no timer is pending), a query retired twice from the site pool, or a
+    placement that exceeds the pool's site count.
+    """

@@ -75,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
             *SENSITIVITY_TARGETS,
             "robustness",
             "plansearch",
+            "serve",
             "all",
             "table2",
             "algorithms",
@@ -82,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "figure to regenerate, a sensitivity sweep (sens-*), "
             "'robustness' for the fault-injection degradation sweep, "
-            "'plansearch' for the schedule-aware plan search, 'all' "
+            "'plansearch' for the schedule-aware plan search, 'serve' "
+            "for the online multi-query scheduler service, 'all' "
             "for every figure, 'table2' for the configuration, or "
             "'algorithms' to list the registered schedulers"
         ),
@@ -163,6 +165,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         metavar="E",
         help="plansearch: Pareto approximation factor (default 0.05)",
+    )
+    serve = parser.add_argument_group(
+        "serve", "options of the online scheduler service target"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=600.0,
+        metavar="T",
+        help="serve: virtual seconds of load generation (default 600)",
+    )
+    serve.add_argument(
+        "--arrival",
+        choices=["open", "closed"],
+        default="open",
+        help="serve: open (Poisson) or closed (client-loop) arrivals",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.06,
+        metavar="R",
+        help="serve: mean open-arrival rate in queries/s (default 0.06)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="serve: closed-loop client population (default 8)",
+    )
+    serve.add_argument(
+        "--think-mean",
+        type=float,
+        default=10.0,
+        metavar="T",
+        help="serve: mean closed-loop think time in seconds (default 10)",
+    )
+    serve.add_argument(
+        "--diurnal",
+        type=float,
+        default=0.3,
+        metavar="A",
+        help="serve: diurnal rate-modulation amplitude in [0,1) (default 0.3)",
+    )
+    serve.add_argument(
+        "--governor",
+        choices=["adaptive", "fixed"],
+        default="adaptive",
+        help="serve: degree-governor policy (default adaptive)",
+    )
+    serve.add_argument(
+        "--max-degree",
+        type=int,
+        default=8,
+        metavar="K",
+        help="serve: clone-degree budget per query (default 8)",
+    )
+    serve.add_argument(
+        "--max-coresident",
+        type=int,
+        default=3,
+        metavar="M",
+        help="serve: co-resident query cap per site (default 3)",
+    )
+    serve.add_argument(
+        "--granularity",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="serve: granularity parameter f (default 0.1)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -299,6 +372,91 @@ def _run_plansearch(args, config, store) -> int:
     return 0
 
 
+def _run_serve(args, config, store) -> int:
+    """The ``serve`` target: one online multi-query scheduling run.
+
+    Stdout carries the deterministic run summary only — identical for
+    identical seeds at any ``--workers`` count (the service is
+    single-loop virtual-time code; worker processes do not exist in it)
+    and with the cache disabled, cold, or warm.  Wall-clock goes to
+    stderr.
+    """
+    from repro.serve import (
+        GovernorConfig,
+        GovernorPolicy,
+        SchedulerService,
+        ServeConfig,
+        WorkloadSpec,
+    )
+
+    p = args.sites[0] if args.sites else 20
+    spec = WorkloadSpec(
+        duration=args.duration,
+        arrival=args.arrival,
+        rate=args.rate,
+        diurnal_amplitude=args.diurnal,
+        clients=args.clients,
+        think_mean=args.think_mean,
+        seed=config.seed,
+    )
+    serve_config = ServeConfig(
+        p=p,
+        f=args.granularity,
+        epsilon=config.default_epsilon,
+        params=config.params,
+        workload=spec,
+        governor=GovernorConfig(
+            policy=GovernorPolicy(args.governor), max_degree=args.max_degree
+        ),
+        max_coresident=args.max_coresident,
+    )
+    service = SchedulerService(serve_config, store=store)
+    report = service.run()
+    summary = report.summary()
+    if args.json:
+        payload = {
+            "schema": 1,
+            "target": "serve",
+            "p": p,
+            "arrival": args.arrival,
+            "governor": args.governor,
+            "seed": config.seed,
+            "summary": summary,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        lat = summary["latency"]["all"]
+        print(
+            f"Online scheduler service: p={p}, {args.arrival} arrivals, "
+            f"{args.governor} governor, seed={config.seed}"
+        )
+        print(
+            f"offered {summary['offered']}, outcomes {summary['outcomes']}, "
+            f"deferred-then-run {summary['deferred_then_run']}"
+        )
+        print(
+            f"throughput {summary['qps']:.6g} queries/s over "
+            f"{summary['elapsed']:.6g}s (virtual)"
+        )
+        print(
+            f"latency p50={lat['p50']:.6g} p95={lat['p95']:.6g} "
+            f"p99={lat['p99']:.6g} mean_wait={lat['mean_wait']:.6g}"
+        )
+        deg = summary["degrees"]
+        print(
+            f"degrees min={deg['min']} max={deg['max']} mean={deg['mean']:.6g} "
+            f"histogram={deg['histogram']}"
+        )
+        pool = summary["pool"]
+        print(
+            f"pool utilization {pool['site_utilization']:.6g}, mean "
+            f"concurrency {pool['mean_concurrency']:.6g}, "
+            f"placement scans {pool['placement_scans']}"
+        )
+    print(f"[serve] ran in {report.wall_seconds:.2f}s wall", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -413,6 +571,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         if args.target == "plansearch":
             code = _run_plansearch(args, config, store)
+            cache_summary()
+            return code
+
+        if args.target == "serve":
+            code = _run_serve(args, config, store)
             cache_summary()
             return code
 

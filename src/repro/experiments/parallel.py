@@ -386,7 +386,17 @@ class ParallelRunner:
                 if pairs[i] is None and future.done() and not future.cancelled():
                     try:
                         pairs[i] = take(i, future.result())
-                    except BaseException:
+                    except Exception:
+                        # The future carries the pool breakage (its worker
+                        # died mid-point): nothing to salvage, the inline
+                        # pass below re-evaluates it.  Only Exception is
+                        # absorbed — KeyboardInterrupt/SystemExit during
+                        # salvage must still abort the sweep.
+                        _LOG.warning(
+                            "no salvageable result for sweep point %d; "
+                            "re-evaluating inline",
+                            i,
+                        )
                         continue
                     persist(i, pairs[i])
             remaining = [i for i in pending if pairs[i] is None]
@@ -397,14 +407,17 @@ class ParallelRunner:
                 len(pending),
                 len(remaining),
             )
-            if self.metrics is not None:
-                self.metrics.count("points_retried_inline", len(remaining))
             for i in remaining:
                 if span_dicts is None:
                     pairs[i] = _timed(evaluate, points[i])
                 else:
                     pairs[i] = take(i, _timed_traced(evaluate, points[i], i))
                 persist(i, pairs[i])
+                # Counted per completed retry (not len(remaining) up
+                # front), so a retry that raises leaves the counter equal
+                # to the retries that actually finished.
+                if self.metrics is not None:
+                    self.metrics.count("points_retried_inline")
 
     def __repr__(self) -> str:
         return f"ParallelRunner(workers={self.workers})"

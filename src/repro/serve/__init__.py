@@ -1,0 +1,61 @@
+"""Online multi-query scheduler service (the serve layer).
+
+Turns the batch reproduction into a long-running service: a stream of
+queries is admitted (:mod:`repro.serve.admission`), degree-governed
+(:mod:`repro.serve.governor`), placed onto a shared site pool through
+incremental reschedule deltas (:mod:`repro.serve.pool`), and executed
+under fluid fair-share contention (:mod:`repro.serve.executor`) — all
+on a deterministic virtual clock (:mod:`repro.serve.clock`).  See
+DESIGN.md §2.8 and the ``serve`` CLI target.
+"""
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.clock import VirtualTimeEventLoop, run_virtual
+from repro.serve.executor import FluidExecutor
+from repro.serve.governor import DegreeGovernor, GovernorConfig, GovernorPolicy
+from repro.serve.pool import SitePool
+from repro.serve.service import (
+    JobRecord,
+    SchedulerService,
+    ServeConfig,
+    ServiceReport,
+)
+from repro.serve.workload import (
+    ArrivalMode,
+    JobFactory,
+    QueryJob,
+    QueryTemplate,
+    SLOClass,
+    WorkloadSpec,
+    diurnal_factor,
+    make_templates,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ArrivalMode",
+    "DegreeGovernor",
+    "FluidExecutor",
+    "GovernorConfig",
+    "GovernorPolicy",
+    "JobFactory",
+    "JobRecord",
+    "QueryJob",
+    "QueryTemplate",
+    "SLOClass",
+    "SchedulerService",
+    "ServeConfig",
+    "ServiceReport",
+    "SitePool",
+    "VirtualTimeEventLoop",
+    "WorkloadSpec",
+    "diurnal_factor",
+    "make_templates",
+    "run_virtual",
+]

@@ -1,0 +1,172 @@
+"""SLO-aware admission control with a bounded, high-water-marked queue.
+
+The admission controller is the service's front door.  Every submitted
+:class:`~repro.serve.workload.QueryJob` receives exactly one decision:
+
+``ADMITTED``
+    Enqueued for placement.  Latency-class jobs always go to the front
+    partition of the queue (served before any batch job).
+``DEFERRED``
+    The queue is past its *high-water* mark and the job is batch-class:
+    it is parked in a side FIFO and only promoted back into the queue
+    once depth drains below the *low-water* mark (hysteresis, so the
+    controller does not flap around a single threshold).
+``SHED``
+    The queue (admitted + deferred) is at its hard cap; the job is
+    rejected outright.  In closed-loop mode the client's outcome future
+    resolves immediately, so shedding feeds back into the arrival
+    process exactly like a real load-shedding tier.
+
+The queue itself is two FIFOs (latency / batch): strict priority between
+classes, arrival order within a class — deterministic under the virtual
+clock, and exactly the "bounded queue that sheds or defers load past a
+high-water mark" of the service spec.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.serve.workload import QueryJob, SLOClass
+
+__all__ = ["AdmissionDecision", "AdmissionConfig", "AdmissionController"]
+
+
+class AdmissionDecision(str, enum.Enum):
+    """Outcome of one admission request."""
+
+    ADMITTED = "admitted"
+    DEFERRED = "deferred"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Thresholds of the bounded admission queue.
+
+    Attributes
+    ----------
+    max_queue:
+        Hard cap on jobs the controller holds (admitted + deferred);
+        beyond it every arrival is shed.
+    high_water:
+        Queue depth at which batch arrivals start being deferred.
+    low_water:
+        Queue depth below which parked batch jobs are promoted back
+        (must be < ``high_water`` for hysteresis).
+    """
+
+    max_queue: int = 64
+    high_water: int = 16
+    low_water: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {self.max_queue}")
+        if not 0 < self.high_water <= self.max_queue:
+            raise ConfigurationError(
+                f"high_water must be in 1..max_queue, got {self.high_water}"
+            )
+        if not 0 <= self.low_water < self.high_water:
+            raise ConfigurationError(
+                f"low_water must be in 0..high_water-1, got {self.low_water}"
+            )
+
+
+@dataclass
+class AdmissionController:
+    """Bounded two-class queue with defer/shed thresholds.
+
+    Synchronous and event-loop-agnostic: the service wires the
+    ``on_available`` callback to an :class:`asyncio.Event` so its
+    placement loop can await work without the controller importing
+    asyncio.  All state transitions are deterministic functions of the
+    submission/pop sequence.
+    """
+
+    config: AdmissionConfig = field(default_factory=AdmissionConfig)
+    on_available: "callable | None" = None
+
+    _latency: deque[QueryJob] = field(default_factory=deque, init=False)
+    _batch: deque[QueryJob] = field(default_factory=deque, init=False)
+    _deferred: deque[QueryJob] = field(default_factory=deque, init=False)
+    #: decision counts per (decision, slo) pair, for the report.
+    decisions: dict[tuple[str, str], int] = field(default_factory=dict, init=False)
+    #: jobs that were deferred at least once before being queued.
+    promoted: int = field(default=0, init=False)
+    _draining: bool = field(default=False, init=False)
+
+    @property
+    def queued(self) -> int:
+        """Jobs currently runnable (admitted, not yet popped)."""
+        return len(self._latency) + len(self._batch)
+
+    @property
+    def parked(self) -> int:
+        """Jobs currently deferred (parked past the high-water mark)."""
+        return len(self._deferred)
+
+    @property
+    def depth(self) -> int:
+        """Everything the controller is holding."""
+        return self.queued + self.parked
+
+    def _count(self, decision: AdmissionDecision, job: QueryJob) -> None:
+        key = (decision.value, job.slo.value)
+        self.decisions[key] = self.decisions.get(key, 0) + 1
+
+    def _enqueue(self, job: QueryJob) -> None:
+        (self._latency if job.slo is SLOClass.LATENCY else self._batch).append(job)
+        if self.on_available is not None:
+            self.on_available()
+
+    def submit(self, job: QueryJob) -> AdmissionDecision:
+        """Decide one arrival; returns the decision taken."""
+        if self.depth >= self.config.max_queue:
+            decision = AdmissionDecision.SHED
+        elif self.queued >= self.config.high_water and job.slo is SLOClass.BATCH:
+            self._deferred.append(job)
+            decision = AdmissionDecision.DEFERRED
+        else:
+            self._enqueue(job)
+            decision = AdmissionDecision.ADMITTED
+        self._count(decision, job)
+        return decision
+
+    def _promote(self) -> None:
+        """Move parked batch jobs back once depth drains (hysteresis).
+
+        Once intake has closed, hysteresis no longer buys anything (no
+        more load is coming), so parked jobs refill straight up to the
+        high-water mark as room frees.
+        """
+        threshold = (
+            self.config.high_water if self._draining else self.config.low_water
+        )
+        while self._deferred and self.queued < threshold:
+            self._enqueue(self._deferred.popleft())
+            self.promoted += 1
+
+    def pop(self) -> QueryJob | None:
+        """Take the next runnable job: latency first, FIFO within class."""
+        if self._latency:
+            job = self._latency.popleft()
+        elif self._batch:
+            job = self._batch.popleft()
+        else:
+            job = None
+        self._promote()
+        return job
+
+    def drain_intake(self) -> None:
+        """Intake closed (workload finished): start promoting parked jobs.
+
+        Deferral only makes sense while new load may arrive; at drain
+        time the parked batch jobs re-enter the queue (up to high-water
+        immediately, the rest as :meth:`pop` frees room).
+        """
+        self._draining = True
+        self._promote()

@@ -1,0 +1,162 @@
+"""Fluid execution of resident queries on the virtual clock.
+
+The executor is the serve-layer counterpart of the fluid fair-share
+policy in :mod:`repro.sim.simulator`: instead of event-stepping one
+static schedule, it advances a *changing* population of queries.  Each
+running query ``q`` has remaining work ``R_q`` (initialized to its
+stand-alone response time ``T0`` at the scheduled degree) and progresses
+at rate
+
+    ``r_q = 1 / max over hosts(q) of residents(site)``
+
+— the fair share of its most contended site, since a query proceeds at
+the pace of its slowest clone.  Rates are piecewise constant between
+*events* (a launch, a retirement), so the executor simply computes the
+next completion time analytically, sleeps the virtual clock to whichever
+comes first — that completion or a membership change — and integrates
+progress over the elapsed interval.  No polling, no tolerance-tuned
+time steps, and byte-deterministic on the virtual loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServiceError
+
+__all__ = ["FluidExecutor"]
+
+#: Relative slack for "remaining work is zero" (pure float drift guard).
+_COMPLETION_SLACK = 1e-9
+
+
+@dataclass
+class _Running:
+    name: str
+    demand: float
+    remaining: float
+    hosts: tuple[int, ...]
+    started_at: float
+
+
+@dataclass
+class FluidExecutor:
+    """Advances resident queries under fair-share site contention.
+
+    Parameters
+    ----------
+    residents_of:
+        Site index -> number of distinct query-operators resident there
+        (the pool's co-residency view; drives the fair-share rate).
+    on_complete:
+        Called synchronously, in launch order, as each query finishes:
+        ``on_complete(name, finished_at)``.  The service uses it to
+        retire the pool entry, resolve the client future, and record the
+        job — all before the next rate recomputation, so retirement
+        immediately speeds up the survivors.
+    """
+
+    residents_of: Callable[[int], int]
+    on_complete: Callable[[str, float], None]
+
+    _running: dict[str, _Running] = field(default_factory=dict, init=False)
+    _changed: asyncio.Event = field(default_factory=asyncio.Event, init=False)
+    _draining: bool = field(default=False, init=False)
+    #: ∫ busy-sites dt and ∫ running-queries dt, for the report.
+    busy_site_seconds: float = field(default=0.0, init=False)
+    query_seconds: float = field(default=0.0, init=False)
+
+    @property
+    def running_count(self) -> int:
+        """Queries currently executing."""
+        return len(self._running)
+
+    def launch(self, name: str, demand: float, hosts: tuple[int, ...], now: float) -> None:
+        """Admit a placed query into the fluid race."""
+        if name in self._running:
+            raise ServiceError(f"query {name!r} is already running")
+        if demand <= 0.0:
+            raise ServiceError(
+                f"query {name!r} has non-positive demand {demand}"
+            )
+        self._running[name] = _Running(
+            name=name,
+            demand=demand,
+            remaining=demand,
+            hosts=tuple(hosts),
+            started_at=now,
+        )
+        self._changed.set()
+
+    def stop_when_idle(self) -> None:
+        """Let the run loop exit once the last query completes."""
+        self._draining = True
+        self._changed.set()
+
+    def _rate(self, query: _Running) -> float:
+        residents = max(self.residents_of(site) for site in query.hosts)
+        if residents < 1:
+            raise ServiceError(
+                f"query {query.name!r} runs on a site with no residents "
+                "(pool and executor disagree)"
+            )
+        return 1.0 / residents
+
+    def _advance(self, rates: dict[str, float], elapsed: float, now: float) -> None:
+        """Integrate ``elapsed`` seconds of progress and fire completions."""
+        if elapsed > 0.0:
+            # Queries launched during the wait are not in ``rates``: they
+            # joined at the interval's end and make no progress over it.
+            interval = [q for q in self._running.values() if q.name in rates]
+            self.busy_site_seconds += elapsed * len(
+                {s for q in interval for s in q.hosts}
+            )
+            self.query_seconds += elapsed * len(interval)
+            for query in interval:
+                query.remaining -= elapsed * rates[query.name]
+        done = [
+            q.name
+            for q in self._running.values()
+            if q.remaining <= _COMPLETION_SLACK * max(1.0, q.demand)
+        ]
+        for name in done:
+            del self._running[name]
+            self.on_complete(name, now)
+
+    async def run(self) -> None:
+        """Drive the fluid race until drained.
+
+        Exits when :meth:`stop_when_idle` was called and no query
+        remains.  Each iteration waits for ``min(remaining/rate)`` of
+        virtual time *or* a membership change, whichever fires first,
+        then integrates the interval at the rates that were in force.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            self._changed.clear()
+            if not self._running:
+                if self._draining:
+                    return
+                await self._changed.wait()
+                continue
+            rates = {q.name: self._rate(q) for q in self._running.values()}
+            dt = min(q.remaining / rates[q.name] for q in self._running.values())
+            started = loop.time()
+            sleeper = asyncio.ensure_future(asyncio.sleep(dt))
+            waker = asyncio.ensure_future(self._changed.wait())
+            try:
+                await asyncio.wait(
+                    (sleeper, waker), return_when=asyncio.FIRST_COMPLETED
+                )
+            finally:
+                for task in (sleeper, waker):
+                    if not task.done():
+                        task.cancel()
+                        try:
+                            await task
+                        except asyncio.CancelledError:
+                            pass
+            now = loop.time()
+            self._advance(rates, now - started, now)

@@ -1,0 +1,100 @@
+"""Degree governor: the intra-/inter-query parallelism trade-off.
+
+The clone degree ``N_i`` a query is scheduled with is the service's one
+big lever, per the graph-query scheduling literature cited in PAPERS.md:
+a high degree minimizes that query's stand-alone response time (intra-
+query parallelism), but each clone occupies a distinct site (constraint
+(A)), so high degrees crowd the pool and serialize *other* queries
+(inter-query parallelism).  Because the paper's cost model charges
+startup and communication overhead per clone, total work ``k · T0(k)``
+grows with ``k`` — running many queries at low degree sustains strictly
+more throughput than a few at maximum degree.
+
+:class:`DegreeGovernor` picks the degree for the next placement from the
+current *pressure* (queued + running queries): each ``pressure_step``
+units of pressure halve the degree, floored at ``min_degree``.  When the
+pool drains the same formula raises the degree back — no extra state,
+no flapping, fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["GovernorPolicy", "GovernorConfig", "DegreeGovernor"]
+
+
+class GovernorPolicy(str, enum.Enum):
+    """Degree selection policy."""
+
+    #: Always schedule at ``max_degree`` (the batch-mode default, and
+    #: the baseline the serve bench compares against).
+    FIXED = "fixed"
+    #: Halve the degree per ``pressure_step`` of load, floor at
+    #: ``min_degree``; recover as load drains.
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Knobs of the degree governor.
+
+    Attributes
+    ----------
+    policy:
+        Fixed-max or adaptive.
+    max_degree:
+        Degree used at zero pressure (and always, under ``FIXED``).
+    min_degree:
+        Floor the adaptive policy never goes below.
+    pressure_step:
+        Pressure units (queued + running queries) per halving.
+    """
+
+    policy: GovernorPolicy = GovernorPolicy.ADAPTIVE
+    max_degree: int = 8
+    min_degree: int = 1
+    pressure_step: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", GovernorPolicy(self.policy))
+        if self.min_degree < 1:
+            raise ConfigurationError(
+                f"min_degree must be >= 1, got {self.min_degree}"
+            )
+        if self.max_degree < self.min_degree:
+            raise ConfigurationError(
+                f"max_degree {self.max_degree} < min_degree {self.min_degree}"
+            )
+        if self.pressure_step < 1:
+            raise ConfigurationError(
+                f"pressure_step must be >= 1, got {self.pressure_step}"
+            )
+
+
+@dataclass
+class DegreeGovernor:
+    """Stateless degree selection + a histogram of what it chose."""
+
+    config: GovernorConfig = field(default_factory=GovernorConfig)
+    #: degree -> number of placements made at that degree.
+    chosen: dict[int, int] = field(default_factory=dict, init=False)
+
+    def degree(self, pressure: int) -> int:
+        """The clone-degree cap for a placement under ``pressure``.
+
+        Pressure is the number of queries competing for the pool right
+        now: queued (runnable) plus running.  The job being placed is
+        not yet counted in either.
+        """
+        cfg = self.config
+        if cfg.policy is GovernorPolicy.FIXED:
+            k = cfg.max_degree
+        else:
+            halvings = max(0, pressure) // cfg.pressure_step
+            k = max(cfg.min_degree, cfg.max_degree >> halvings)
+        self.chosen[k] = self.chosen.get(k, 0) + 1
+        return k

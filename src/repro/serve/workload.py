@@ -1,0 +1,261 @@
+"""Seeded query-stream generation for the online scheduler service.
+
+A service run is driven by a :class:`WorkloadSpec`: either an **open**
+arrival process (Poisson arrivals whose rate follows a diurnal curve —
+arrivals keep coming regardless of how far the service falls behind) or
+a **closed** loop (a fixed population of clients that each submit a
+query, wait for its outcome, think for an exponentially distributed
+pause, and submit again — offered load self-regulates with service
+capacity, the classic closed-loop benchmark harness).
+
+Queries are drawn from a small pool of **templates** — ``(n_joins,
+workload seed)`` pairs resolved through the usual seeded generator
+(:func:`repro.experiments.runner.prepare_workload`) — mirroring a real
+system serving a fixed set of parameterized query shapes.  Template
+reuse is also what makes the service fast: the structural cohort and
+annotation caches mean each template is generated and costed once per
+process, and the per-``(template, degree)`` schedule memo in the
+service layer means it is scheduled once per degree.
+
+Everything is seeded through :class:`random.Random`; two runs with the
+same spec produce the identical arrival sequence, class labels, and
+template choices on any machine.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ArrivalMode",
+    "SLOClass",
+    "QueryTemplate",
+    "QueryJob",
+    "WorkloadSpec",
+    "JobFactory",
+    "make_templates",
+    "diurnal_factor",
+]
+
+
+class ArrivalMode(str, enum.Enum):
+    """How new queries enter the system."""
+
+    #: Poisson arrivals at a (diurnally modulated) offered rate,
+    #: independent of completions.
+    OPEN = "open"
+    #: A fixed client population with exponential think times; each
+    #: client waits for its query's outcome before thinking again.
+    CLOSED = "closed"
+
+
+class SLOClass(str, enum.Enum):
+    """Per-query service-level objective class.
+
+    ``LATENCY`` queries are interactive: the admission controller keeps
+    accepting them up to the hard queue cap and the placement loop
+    serves them first.  ``BATCH`` queries tolerate delay: past the
+    high-water mark they are parked (deferred) until the queue drains.
+    """
+
+    LATENCY = "latency"
+    BATCH = "batch"
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One reusable query shape: a seeded workload coordinate.
+
+    ``(n_joins, 1, seed)`` addresses exactly one generated query through
+    :func:`repro.experiments.runner.prepare_workload`, so a template is
+    a *value* — services, benchmarks, and the artifact store can all
+    name the same query without sharing objects.
+    """
+
+    index: int
+    n_joins: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class QueryJob:
+    """One query instance travelling through the service.
+
+    Attributes
+    ----------
+    job_id:
+        Dense arrival index (assigned in submission order).
+    slo:
+        The job's service-level class.
+    template:
+        The query shape this job executes.
+    submitted_at:
+        Virtual time of submission.
+    client:
+        Submitting client index (closed mode; ``-1`` for open arrivals).
+    """
+
+    job_id: int
+    slo: SLOClass
+    template: QueryTemplate
+    submitted_at: float
+    client: int = -1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one service workload.
+
+    Attributes
+    ----------
+    duration:
+        Virtual seconds during which new work is generated; the service
+        then drains what was admitted.
+    arrival:
+        Open (Poisson) or closed (client population) arrivals.
+    rate:
+        Mean arrival rate in queries per virtual second (open mode; the
+        diurnal curve modulates around this level).
+    diurnal_amplitude:
+        Relative amplitude of the sinusoidal rate modulation in
+        ``[0, 1)``; ``0`` gives a homogeneous Poisson process.
+    diurnal_period:
+        Period of the diurnal curve in virtual seconds (defaults to the
+        generation window, i.e. one full cycle per run).
+    clients:
+        Client population size (closed mode).
+    think_mean:
+        Mean exponential think time between a client's queries in
+        virtual seconds (closed mode).
+    latency_mix:
+        Probability that a job is latency-class (the rest are batch).
+    query_sizes:
+        Join counts the template pool cycles through.
+    template_pool:
+        Number of distinct query templates.
+    seed:
+        Master seed; every stream (arrivals, think times, class labels,
+        template choices) derives from it deterministically.
+    """
+
+    duration: float = 300.0
+    arrival: ArrivalMode = ArrivalMode.OPEN
+    rate: float = 1.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period: float | None = None
+    clients: int = 8
+    think_mean: float = 10.0
+    latency_mix: float = 0.5
+    query_sizes: tuple[int, ...] = (4, 6, 8)
+    template_pool: int = 12
+    seed: int = 1996
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "query_sizes", tuple(self.query_sizes))
+        object.__setattr__(self, "arrival", ArrivalMode(self.arrival))
+        if self.duration <= 0.0:
+            raise ConfigurationError(f"duration must be > 0, got {self.duration}")
+        if self.rate <= 0.0:
+            raise ConfigurationError(f"rate must be > 0, got {self.rate}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                f"diurnal amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period is not None and self.diurnal_period <= 0.0:
+            raise ConfigurationError(
+                f"diurnal period must be > 0, got {self.diurnal_period}"
+            )
+        if self.clients < 1:
+            raise ConfigurationError(f"clients must be >= 1, got {self.clients}")
+        if self.think_mean < 0.0:
+            raise ConfigurationError(
+                f"think time must be >= 0, got {self.think_mean}"
+            )
+        if self.arrival is ArrivalMode.CLOSED and self.think_mean <= 0.0:
+            # A zero think time would let a client whose submission is
+            # shed resubmit at the same virtual instant, forever.
+            raise ConfigurationError(
+                "closed-loop arrivals need think_mean > 0"
+            )
+        if not 0.0 <= self.latency_mix <= 1.0:
+            raise ConfigurationError(
+                f"latency mix must be in [0, 1], got {self.latency_mix}"
+            )
+        if not self.query_sizes or any(s < 1 for s in self.query_sizes):
+            raise ConfigurationError("query_sizes must be non-empty positive ints")
+        if self.template_pool < 1:
+            raise ConfigurationError(
+                f"template pool must be >= 1, got {self.template_pool}"
+            )
+
+
+def diurnal_factor(t: float, spec: WorkloadSpec) -> float:
+    """The arrival-rate multiplier at virtual time ``t``.
+
+    ``1 + amplitude * sin(2π t / period)``, floored at 0.05 so the
+    process never fully stops (expovariate needs a positive rate).
+    """
+    if spec.diurnal_amplitude == 0.0:
+        return 1.0
+    period = spec.diurnal_period if spec.diurnal_period is not None else spec.duration
+    factor = 1.0 + spec.diurnal_amplitude * math.sin(2.0 * math.pi * t / period)
+    return max(factor, 0.05)
+
+
+def make_templates(spec: WorkloadSpec) -> tuple[QueryTemplate, ...]:
+    """The spec's deterministic template pool.
+
+    Template ``i`` takes the ``i``-th query size (cycling) and workload
+    seed ``seed * 1000 + i``, so pools of different runs with the same
+    master seed coincide and the per-process workload caches stay warm
+    across service runs.
+    """
+    return tuple(
+        QueryTemplate(
+            index=i,
+            n_joins=spec.query_sizes[i % len(spec.query_sizes)],
+            seed=spec.seed * 1000 + i,
+        )
+        for i in range(spec.template_pool)
+    )
+
+
+@dataclass
+class JobFactory:
+    """Seeded draw of per-job attributes (class label, template).
+
+    Split from the arrival processes so open and closed generators
+    produce identically distributed jobs from one stream of decisions.
+    """
+
+    spec: WorkloadSpec
+    _rng: random.Random = field(init=False)
+    _templates: tuple[QueryTemplate, ...] = field(init=False)
+    _next_id: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.spec.seed * 7919 + 1)
+        self._templates = make_templates(self.spec)
+
+    def job(self, submitted_at: float, client: int = -1) -> QueryJob:
+        """Draw the next job (ids are dense and in submission order)."""
+        slo = (
+            SLOClass.LATENCY
+            if self._rng.random() < self.spec.latency_mix
+            else SLOClass.BATCH
+        )
+        template = self._templates[self._rng.randrange(len(self._templates))]
+        job = QueryJob(
+            job_id=self._next_id,
+            slo=slo,
+            template=template,
+            submitted_at=submitted_at,
+            client=client,
+        )
+        self._next_id += 1
+        return job

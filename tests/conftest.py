@@ -35,6 +35,7 @@ if np is None:
         "test_report_cli.py",
         "test_robustness.py",
         "test_sensitivity.py",
+        "test_serve_service.py",
         "test_generator.py",
         "test_hong.py",
         "test_join_tree.py",
