@@ -13,6 +13,10 @@ plus two headline cases introduced with the batched-kernel refactor:
 * the **scale point** ``n=10000, p=1000`` — the paper's problem sizes
   times ten, timed warm (one untimed warm-up rep first) through the
   batched shelf packer;
+* the **heterogeneous scale point** — the same ``n=10000, p=1000``
+  problem over three site classes (``fast:200:4.0`` / ``std:600:1.0``
+  / ``slow:200:0.5``), exercising the capacity-normalized argmin of
+  the batched kernel; the PR 9 target is a warm pack under 150 ms;
 * the **reschedule case** at ``n=1000, p=64`` — repairing a 3-site
   failure via :func:`repro.core.reschedule.reschedule_schedule` on a
   fresh copy per rep (the copy is taken outside the timed region)
@@ -61,11 +65,12 @@ from repro import (  # noqa: E402
     WorkVector,
     pack_vectors,
     pack_vectors_reference,
+    parse_cluster_spec,
     reschedule_schedule,
 )
 
 BENCH_PATH = REPO_ROOT / "BENCH_kernels.json"
-SCHEMA = "repro-bench-kernels/2"
+SCHEMA = "repro-bench-kernels/3"
 D = 3
 SIZES = (100, 1000, 5000)
 SITE_COUNTS = (8, 64)
@@ -74,6 +79,13 @@ GUARD_POINT = "n=1000,p=64"
 #: The batched-kernel scale target: 10^4 clones over 10^3 sites, warm.
 SCALE_POINT = "n=10000,p=1000"
 SCALE_N, SCALE_P = 10_000, 1_000
+#: The heterogeneous scale target: same size over three site classes.
+HETERO_SCALE_POINT = "n=10000,p=1000,classes=3"
+HETERO_CLUSTER = "fast:200:4.0,std:600:1.0,slow:200:0.5"
+#: PR 9 acceptance: the heterogeneous warm pack stays under this bound
+#: (checked against wall time directly, with --threshold slack for CI
+#: host noise).
+HETERO_BUDGET_S = 0.150
 #: The reschedule case repairs this delta at the guard point's size.
 RESCHEDULE_N, RESCHEDULE_P = 1000, 64
 RESCHEDULE_REMOVED_SITES = (3, 17, 42)
@@ -166,6 +178,31 @@ def run_scale(reps: int = 5) -> dict[str, float]:
     }
 
 
+def run_scale_hetero(reps: int = 5) -> dict[str, float]:
+    """Time the warm heterogeneous scale point (three site classes).
+
+    Same problem size as :func:`run_scale`, but the 10^3 sites span a
+    4.0/1.0/0.5 capacity spread, so every placement goes through the
+    capacity-normalized argmin instead of the plain least-loaded one.
+    """
+    spec = parse_cluster_spec(HETERO_CLUSTER)
+    assert spec.p == SCALE_P
+    capacities = spec.capacities()
+    items = make_items(SCALE_N)
+    pack_vectors(
+        items, p=SCALE_P, overlap=OVERLAP, capacities=capacities
+    )  # warm-up, untimed
+    return {
+        "cluster": HETERO_CLUSTER,
+        "optimized_s": _median_seconds(
+            lambda: pack_vectors(
+                items, p=SCALE_P, overlap=OVERLAP, capacities=capacities
+            ),
+            reps,
+        ),
+    }
+
+
 def run_reschedule(reps: int = 5) -> dict[str, float]:
     """Repair-vs-cold-repack at the guard point's problem size.
 
@@ -204,7 +241,10 @@ def write_bench(path: pathlib.Path = BENCH_PATH) -> dict:
         "scale_point": SCALE_POINT,
         "generated_by": "benchmarks/kernel_bench.py --write",
         "points": run_grid(),
-        "scale": {SCALE_POINT: run_scale()},
+        "scale": {
+            SCALE_POINT: run_scale(),
+            HETERO_SCALE_POINT: run_scale_hetero(),
+        },
         "reschedule": {
             f"n={RESCHEDULE_N},p={RESCHEDULE_P}": run_reschedule()
         },
@@ -244,6 +284,15 @@ def check_regression(
         f"pack_vectors {SCALE_POINT} (warm): current={scale_current:.6f}s "
         f"baseline={scale_baseline:.6f}s ratio={scale_ratio:.2f}x "
         f"(threshold {threshold:.1f}x)"
+    )
+
+    hetero_current = run_scale_hetero(reps=3)["optimized_s"]
+    hetero_budget = HETERO_BUDGET_S * threshold
+    ok &= hetero_current <= hetero_budget
+    lines.append(
+        f"pack_vectors {HETERO_SCALE_POINT} (warm): "
+        f"current={hetero_current:.6f}s "
+        f"budget={HETERO_BUDGET_S:.3f}s x {threshold:.1f} noise allowance"
     )
 
     fresh = run_reschedule(reps=3)
@@ -287,6 +336,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:14s} optimized {entry['optimized_s']:.6f}s{extra}")
         scale = payload["scale"][SCALE_POINT]
         print(f"{SCALE_POINT:14s} optimized {scale['optimized_s']:.6f}s (warm)")
+        hetero = payload["scale"][HETERO_SCALE_POINT]
+        print(
+            f"{HETERO_SCALE_POINT} optimized {hetero['optimized_s']:.6f}s "
+            f"(warm, {HETERO_CLUSTER})"
+        )
         resched = payload["reschedule"][f"n={RESCHEDULE_N},p={RESCHEDULE_P}"]
         print(
             f"reschedule n={RESCHEDULE_N},p={RESCHEDULE_P}: "

@@ -9,7 +9,11 @@ the degree governor pinned to ``FIXED`` max degree — the baseline the
 adaptive governor must beat: at granularity ``f = 0.1`` total work
 ``k·T0(k)`` grows with the clone degree ``k``, so scheduling narrow
 under pressure sustains strictly more throughput than always scheduling
-wide.
+wide.  A fifth run repeats the high-load level with a mid-run elastic
+capacity script (quadruple four sites a quarter in, drop them back at
+three quarters) — the PR 9 elasticity primitive driven end-to-end
+through :class:`~repro.serve.pool.SitePool.set_capacity` repair deltas,
+recorded with the same exact virtual-time fields.
 
 Everything executes in virtual time on a single event loop, so the
 recorded throughput/latency figures are deterministic functions of the
@@ -24,10 +28,12 @@ Usage::
         # CI gate: re-runs the bench fresh and fails when
         #   (a) two fresh high-load runs disagree (determinism broke),
         #   (b) adaptive throughput at high load does not strictly beat
-        #       the fixed-max-degree baseline (the governor claim), or
-        #   (c) qps/percentiles diverge from the committed baseline
+        #       the fixed-max-degree baseline (the governor claim),
+        #   (c) the elastic run applies fewer capacity changes than its
+        #       script (mid-run resizes stopped reaching the pool),
+        #   (d) qps/percentiles diverge from the committed baseline
         #       (the virtual-time results are exact, not timing-based),
-        #   (d) total bench wall time exceeds --wall-budget seconds.
+        #   (e) total bench wall time exceeds --wall-budget seconds.
 """
 
 from __future__ import annotations
@@ -50,7 +56,7 @@ from repro.serve import (  # noqa: E402
 )
 
 BENCH_PATH = REPO_ROOT / "BENCH_serve.json"
-SCHEMA = "repro-bench-serve/1"
+SCHEMA = "repro-bench-serve/2"
 
 P = 20
 MAX_CORESIDENT = 3
@@ -61,8 +67,18 @@ DURATION = 600.0
 #: and well past 100% of what the pool drains at max degree.
 LOAD_LEVELS = {"low": 0.02, "mid": 0.06, "high": 0.15}
 
+#: Elastic script for the fifth run: quadruple sites 0-3 a quarter of
+#: the way in, return them to unit capacity at three quarters.
+ELASTIC_EVENTS = tuple(
+    (DURATION * 0.25, site, 4.0) for site in range(4)
+) + tuple((DURATION * 0.75, site, 1.0) for site in range(4))
 
-def _service(rate: float, policy: GovernorPolicy) -> SchedulerService:
+
+def _service(
+    rate: float,
+    policy: GovernorPolicy,
+    capacity_events: tuple = (),
+) -> SchedulerService:
     return SchedulerService(
         ServeConfig(
             p=P,
@@ -79,14 +95,19 @@ def _service(rate: float, policy: GovernorPolicy) -> SchedulerService:
             governor=GovernorConfig(
                 policy=policy, max_degree=8, min_degree=1, pressure_step=4
             ),
+            capacity_events=capacity_events,
         )
     )
 
 
-def run_level(rate: float, policy: GovernorPolicy) -> dict:
+def run_level(
+    rate: float,
+    policy: GovernorPolicy,
+    capacity_events: tuple = (),
+) -> dict:
     """One service run; virtual-time results plus host wall time."""
     start = time.perf_counter()
-    summary = _service(rate, policy).run().summary()
+    summary = _service(rate, policy, capacity_events).run().summary()
     wall = time.perf_counter() - start
     lat = summary["latency"]["all"]
     return {
@@ -101,6 +122,7 @@ def run_level(rate: float, policy: GovernorPolicy) -> dict:
         "mean_slowdown": summary["mean_slowdown"],
         "site_utilization": summary["pool"]["site_utilization"],
         "mean_degree": summary["degrees"]["mean"],
+        "sites_resized": summary["pool"].get("sites_resized", 0),
         "wall_s": round(wall, 4),
     }
 
@@ -111,6 +133,9 @@ def run_bench() -> dict:
         for name, rate in LOAD_LEVELS.items()
     }
     fixed_high = run_level(LOAD_LEVELS["high"], GovernorPolicy.FIXED)
+    elastic_high = run_level(
+        LOAD_LEVELS["high"], GovernorPolicy.ADAPTIVE, ELASTIC_EVENTS
+    )
     return {
         "schema": SCHEMA,
         "config": {
@@ -125,6 +150,7 @@ def run_bench() -> dict:
         "generated_by": "benchmarks/serve_bench.py --write",
         "levels": levels,
         "fixed_baseline_high": fixed_high,
+        "elastic_high": elastic_high,
         "governor_speedup_high": round(
             levels["high"]["qps"] / fixed_high["qps"], 4
         ),
@@ -145,6 +171,7 @@ EXACT_FIELDS = (
     "mean_slowdown",
     "site_utilization",
     "mean_degree",
+    "sites_resized",
 )
 
 
@@ -182,17 +209,24 @@ def check_regression(
         f"{fixed_qps:.6g} qps ({adaptive_qps / fixed_qps:.2f}x, must be > 1)"
     )
 
-    # (c) virtual-time results match the committed file exactly.
-    for name in (*LOAD_LEVELS, "fixed_baseline_high"):
+    # (c) the elastic script really reached the pool: every scripted
+    # capacity event applied, mid-run, through a repair delta.
+    resized = fresh["elastic_high"]["sites_resized"]
+    elastic_ok = resized == len(ELASTIC_EVENTS)
+    ok &= elastic_ok
+    lines.append(
+        f"elastic high load: {resized} capacity changes applied "
+        f"(expected {len(ELASTIC_EVENTS)}) "
+        f"{'OK' if elastic_ok else 'FAIL'}"
+    )
+
+    # (d) virtual-time results match the committed file exactly.
+    for name in (*LOAD_LEVELS, "fixed_baseline_high", "elastic_high"):
         fresh_entry = (
-            fresh["fixed_baseline_high"]
-            if name == "fixed_baseline_high"
-            else fresh["levels"][name]
+            fresh[name] if name in fresh else fresh["levels"][name]
         )
         committed_entry = (
-            committed["fixed_baseline_high"]
-            if name == "fixed_baseline_high"
-            else committed["levels"][name]
+            committed[name] if name in committed else committed["levels"][name]
         )
         match = _virtual(fresh_entry) == _virtual(committed_entry)
         ok &= match
@@ -202,7 +236,7 @@ def check_regression(
             f"{'matches baseline' if match else 'DIVERGES from baseline'}"
         )
 
-    # (d) the whole bench stays inside the wall budget.
+    # (e) the whole bench stays inside the wall budget.
     wall = time.perf_counter() - start
     in_budget = wall <= wall_budget
     ok &= in_budget
@@ -249,6 +283,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"fixed baseline at high load: qps={fixed['qps']:.6g} "
             f"-> adaptive speedup {payload['governor_speedup_high']:.2f}x"
+        )
+        elastic = payload["elastic_high"]
+        print(
+            f"elastic high load: qps={elastic['qps']:.6g} "
+            f"p95={elastic['p95']:.6g} "
+            f"({elastic['sites_resized']} capacity changes)"
         )
         print(f"wrote {BENCH_PATH}")
     if args.check:

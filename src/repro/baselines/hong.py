@@ -29,6 +29,7 @@ The gap TREESCHEDULE keeps over this baseline isolates the value of
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import SchedulingError
@@ -103,10 +104,15 @@ def hong_schedule(
     overlap: OverlapModel,
     f: float = 0.7,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    capacities: Sequence[float] | None = None,
 ) -> HongResult:
     """Schedule a bushy plan with pairwise (XPRS-style) resource sharing.
 
-    Inputs mirror :func:`repro.core.tree_schedule.tree_schedule`.
+    Inputs mirror :func:`repro.core.tree_schedule.tree_schedule`.  On a
+    heterogeneous cluster (``capacities``) the pairing and block
+    allocation stay capacity-blind — Hong's 1992 policy assumed identical
+    sites, and we preserve that as the baseline's behaviour — but the
+    reported makespans account for site speeds.
     """
     if not op_tree.operators:
         raise SchedulingError("cannot schedule an empty operator tree")
@@ -119,7 +125,7 @@ def hong_schedule(
     all_pairs: list[list[tuple[str, ...]]] = []
 
     for phase_tasks in phases:
-        schedule = Schedule(p, d)
+        schedule = Schedule(p, d, capacities)
         # Rooted operators first (probes at builds, rescans at stores).
         for task in phase_tasks:
             for op in task.operators:
@@ -267,4 +273,5 @@ def _hong(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
         overlap=request.overlap,
         f=request.f,
         policy=request.policy,
+        capacities=request.capacities,
     )

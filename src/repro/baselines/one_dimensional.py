@@ -54,6 +54,7 @@ def scalar_list_schedule(
     f: float = 0.7,
     degrees: Mapping[str, int] | None = None,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    capacities: Sequence[float] | None = None,
 ) -> OperatorScheduleResult:
     """Schedule concurrent operators by scalar-work list scheduling.
 
@@ -62,7 +63,10 @@ def scalar_list_schedule(
     operators are placed first at their fixed homes — but floating clones
     are ordered by non-increasing *total* work and each is packed onto
     the allowable site with minimal total scalar load — the classical
-    LPT/Graham rule applied to the scalar metric.
+    LPT/Graham rule applied to the scalar metric.  On a heterogeneous
+    cluster (``capacities``) the rule compares capacity-normalized
+    scalar loads; division by 1.0 is bit-exact, so the homogeneous case
+    is byte-identical to the historical packer.
     """
     if not floating and not rooted:
         raise SchedulingError("nothing to schedule")
@@ -75,9 +79,10 @@ def scalar_list_schedule(
     if len(set(names)) != len(names):
         raise SchedulingError("duplicate operator names")
 
-    schedule = Schedule(p, d)
+    schedule = Schedule(p, d, capacities)
     chosen: dict[str, int] = {}
     scalar_load = [0.0] * p
+    caps = [site.capacity for site in schedule.sites]
 
     # Rooted operators first: fixed homes, scalar load still accrues so
     # the packer routes floating clones away from them.
@@ -127,9 +132,10 @@ def scalar_list_schedule(
         for site in schedule.sites:
             if site.hosts_operator(op_name):
                 continue
-            if best is None or scalar_load[site.index] < best_load:
+            norm_load = scalar_load[site.index] / caps[site.index]
+            if best is None or norm_load < best_load:
                 best = site
-                best_load = scalar_load[site.index]
+                best_load = norm_load
         if best is None:
             raise InfeasibleScheduleError(
                 f"no allowable site left for clone {k} of {op_name!r}"
@@ -158,6 +164,7 @@ def one_dimensional_tree_schedule(
     shelf: str = "min",
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
     metrics: MetricsRecorder | None = None,
+    capacities: Sequence[float] | None = None,
 ) -> ScheduleResult:
     """TREESCHEDULE's phase walk with the scalar packer (1-D ablation).
 
@@ -176,6 +183,7 @@ def one_dimensional_tree_schedule(
             f=f,
             degrees=forced,
             policy=policy,
+            capacities=capacities,
         )
 
     return schedule_phases(
@@ -209,4 +217,5 @@ def _onedim(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult:
         f=request.f,
         policy=request.policy,
         metrics=request.metrics,
+        capacities=request.capacities,
     )

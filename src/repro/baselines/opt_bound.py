@@ -40,6 +40,7 @@ Two details make the ceiling in ``T(CP)`` delicate:
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 
 from repro.exceptions import SchedulingError
 from repro.core.cloning import (
@@ -62,21 +63,31 @@ from repro.plans.task_tree import Task, TaskTree
 __all__ = ["opt_bound", "critical_path_time", "congestion_bound"]
 
 
-def congestion_bound(op_tree: OperatorTree, p: int) -> float:
-    """Return ``l(S) / P`` for the zero-communication work vectors.
+def congestion_bound(
+    op_tree: OperatorTree, p: int, *, total_capacity: float | None = None
+) -> float:
+    """Return ``l(S) / C`` for the zero-communication work vectors.
 
     ``S`` holds every operator's processing work vector; its length is the
-    aggregate demand on the busiest resource class, which ``P`` sites can
-    serve no faster than ``l(S)/P``.
+    aggregate demand on the busiest resource class, which the cluster can
+    serve no faster than ``l(S)/C`` where ``C`` is the total capacity.
+    ``C`` defaults to ``P`` (homogeneous, bit-identical to the historical
+    ``/ p``); pass the sum of site capacities for a heterogeneous
+    cluster.
     """
     if p < 1:
         raise SchedulingError(f"number of sites must be >= 1, got {p}")
     specs = [op.require_spec() for op in op_tree.operators]
     if not specs:
         return 0.0
+    denom = float(p) if total_capacity is None else float(total_capacity)
+    if not denom > 0.0:
+        raise SchedulingError(
+            f"total capacity must be positive, got {total_capacity!r}"
+        )
     # Batch kernel: numpy column-sum for wide plans, exact sequential sum
     # below the cutover (repro.core.batch.NUMPY_CUTOVER).
-    return sum_length([spec.work for spec in specs]) / p
+    return sum_length([spec.work for spec in specs]) / denom
 
 
 def _degree_ceiling(
@@ -184,26 +195,37 @@ def opt_bound(
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
     respect_granularity: bool = True,
+    capacities: "Sequence[float] | None" = None,
 ) -> float:
-    """Return ``OPTBOUND = max{ l(S)/P, T(CP) }`` for an annotated plan.
+    """Return ``OPTBOUND = max{ l(S)/C, T(CP) }`` for an annotated plan.
 
     With ``respect_granularity=True`` (default) this bounds the optimal
     ``CG_f`` execution under the join-stage degree rule — the space
     TREESCHEDULE searches.  With ``False`` it bounds *any* execution with
     per-operator degrees up to ``P`` (valid for SYNCHRONOUS too).
+
+    On a heterogeneous cluster (``capacities``) the congestion side
+    divides by the total capacity ``C``, and the critical-path side is
+    relaxed by the fastest site class: a chain cannot finish faster than
+    its unit-site time divided by ``max_j c_j``.  Both relaxations keep
+    OPTBOUND a valid lower bound; with ``capacities=None`` the value is
+    bit-identical to the homogeneous bound.
     """
+    cp = critical_path_time(
+        task_tree,
+        op_tree,
+        p=p,
+        f=f,
+        comm=comm,
+        overlap=overlap,
+        policy=policy,
+        respect_granularity=respect_granularity,
+    )
+    if capacities is None:
+        return max(congestion_bound(op_tree, p), cp)
     return max(
-        congestion_bound(op_tree, p),
-        critical_path_time(
-            task_tree,
-            op_tree,
-            p=p,
-            f=f,
-            comm=comm,
-            overlap=overlap,
-            policy=policy,
-            respect_granularity=respect_granularity,
-        ),
+        congestion_bound(op_tree, p, total_capacity=float(sum(capacities))),
+        cp / max(capacities),
     )
 
 
@@ -224,6 +246,7 @@ def _optbound(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleResult
         comm=request.comm,
         overlap=request.overlap,
         policy=request.policy,
+        capacities=request.capacities,
     )
     return ScheduleResult.from_value(
         "optbound", value, wall_clock_seconds=time.perf_counter() - started

@@ -37,6 +37,7 @@ Concretely, per MinShelf phase:
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 
 from repro.exceptions import SchedulingError
 from repro.core.cloning import (
@@ -228,12 +229,17 @@ def synchronous_schedule(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    capacities: Sequence[float] | None = None,
 ) -> ScheduleResult:
     """Schedule a bushy plan with the one-dimensional SYNCHRONOUS method.
 
     Inputs mirror :func:`repro.core.tree_schedule.tree_schedule` except
     that no granularity parameter exists — the baseline "is, of course,
-    not affected by different values of f" (Section 6.2).
+    not affected by different values of f" (Section 6.2).  On a
+    heterogeneous cluster (``capacities``) the minimax block allocation
+    stays capacity-blind — the 1993/94 baselines assumed identical sites
+    and we preserve that behaviour — but the reported makespans account
+    for site speeds.
 
     Returns
     -------
@@ -250,7 +256,7 @@ def synchronous_schedule(
     labels: list[str] = []
 
     for phase_tasks in phases:
-        schedule = Schedule(p, d)
+        schedule = Schedule(p, d, capacities)
         _schedule_phase_tasks(
             schedule, phase_tasks, homes, degrees, op_tree, p, comm, overlap, policy
         )
@@ -285,4 +291,5 @@ def _synchronous(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleRes
         comm=request.comm,
         overlap=request.overlap,
         policy=request.policy,
+        capacities=request.capacities,
     )

@@ -30,6 +30,7 @@ from repro.core.bounds import (
     theorem51_coarse_grain_bound,
     theorem51_fixed_degree_bound,
 )
+from repro.core.cluster import ClusterSpec, SiteClass, parse_cluster_spec
 from repro.core.cloning import (
     DEFAULT_COORDINATOR_POLICY,
     CoordinatorPolicy,
@@ -121,6 +122,10 @@ __all__ = [
     "ZERO_OVERLAP",
     "ResourceUsage",
     "validate_sequential_time",
+    # cluster
+    "ClusterSpec",
+    "SiteClass",
+    "parse_cluster_spec",
     # granularity
     "CommunicationModel",
     "processing_area",

@@ -133,12 +133,18 @@ def lower_bounds_batch(
     h_values: Sequence[float],
     p: int,
     d: int,
+    *,
+    total_capacity: float | None = None,
 ) -> list[float]:
-    """Return ``LB_k = max{ l(S_k)/P, h_k }`` for a family of candidates.
+    """Return ``LB_k = max{ l(S_k)/C, h_k }`` for a family of candidates.
 
     ``groups[k]`` holds candidate ``k``'s total work vectors
     (communication included) and ``h_values[k]`` its slowest operator's
-    parallel time — the two inputs of the Section 7 lower bound.
+    parallel time — the two inputs of the Section 7 lower bound.  ``C``
+    is the total system capacity: ``P`` on a homogeneous cluster (the
+    default), ``sum of site capacities`` on a heterogeneous one.  With
+    ``total_capacity == float(p)`` the division is bit-identical to the
+    historical ``/ p``.
     """
     if p < 1:
         raise SchedulingError(f"number of sites must be >= 1, got {p}")
@@ -146,8 +152,13 @@ def lower_bounds_batch(
         raise SchedulingError(
             f"lower_bounds_batch: {len(groups)} groups vs {len(h_values)} h values"
         )
+    denom = float(p) if total_capacity is None else float(total_capacity)
+    if not denom > 0.0:
+        raise SchedulingError(
+            f"total capacity must be positive, got {total_capacity!r}"
+        )
     lengths = set_length_batch(groups, d)
-    return [max(length / p, h) for length, h in zip(lengths, h_values)]
+    return [max(length / denom, h) for length, h in zip(lengths, h_values)]
 
 
 def eq3_makespans_over_epsilon(
@@ -208,6 +219,7 @@ def pack_least_loaded_batch(
     clone_indices: Sequence[int] | None = None,
     tiebreak_total: bool = False,
     initial_sites: Sequence | None = None,
+    capacities: Sequence[float] | None = None,
 ) -> list[int] | None:
     """Array-shaped least-loaded placement: one site index per clone.
 
@@ -231,6 +243,14 @@ def pack_least_loaded_batch(
     :class:`~repro.core.site.Site` objects (their incremental statistics
     are copied exactly), so rooted placements made before the batch are
     respected.
+
+    ``capacities`` is the optional per-site capacity row of the
+    structure-of-arrays state: selection runs over *normalized* lengths
+    ``raw_length[j] / capacities[j]`` (and, under ``tiebreak_total``,
+    normalized totals), while the load/length bookkeeping itself stays in
+    raw unit-capacity seconds.  Omitted or all-``1.0`` rows divide by
+    exactly ``1.0`` — a bit-exact no-op — so the homogeneous path is
+    byte-identical to the historical kernel.
 
     Bit-stability: loads and lengths are updated with the same scalar
     left-to-right adds and running-max comparisons that
@@ -263,12 +283,25 @@ def pack_least_loaded_batch(
             raise SchedulingError(
                 f"pack_least_loaded_batch: component rows must have d={d}"
             )
-    # The argmin selection runs over a flat numpy length array (C speed,
-    # first occurrence == lowest index), but the O(d) load updates stay
-    # scalar Python floats: that is *exactly* the left-to-right
-    # accumulation Site.place() performs, making bit-identity to the
-    # heap/reference paths self-evident rather than argued.
+    if capacities is not None and len(capacities) != p:
+        raise SchedulingError(
+            f"pack_least_loaded_batch: {len(capacities)} capacities vs P={p}"
+        )
+    caps = [1.0] * p if capacities is None else [float(c) for c in capacities]
+    for j, c in enumerate(caps):
+        if not c > 0.0:
+            raise SchedulingError(
+                f"pack_least_loaded_batch: site {j} capacity must be positive, got {c!r}"
+            )
+    # The argmin selection runs over a flat numpy array of *normalized*
+    # lengths (C speed, first occurrence == lowest index), but the O(d)
+    # load updates stay scalar Python floats: that is *exactly* the
+    # left-to-right accumulation Site.place() performs, making
+    # bit-identity to the heap/reference paths self-evident rather than
+    # argued.  Raw (unit-capacity) lengths live beside the normalized
+    # selection row; with all capacities 1.0 the two are bitwise equal.
     lengths = _np.zeros(p, dtype=_np.float64)
+    raw_lengths = [0.0] * p
     loads = [[0.0] * d for _ in range(p)]
     # Totals likewise accumulate left-to-right like Site.place().
     totals = [0.0] * p
@@ -276,7 +309,8 @@ def pack_least_loaded_batch(
     if initial_sites is not None:
         for site in initial_sites:
             j = site.index
-            lengths[j] = site.length()
+            raw_lengths[j] = site.length()
+            lengths[j] = raw_lengths[j] / caps[j]
             loads[j] = list(site.load_vector().components)
             totals[j] = site.total_load()
             for op in site.operators:
@@ -316,17 +350,18 @@ def pack_least_loaded_batch(
             ties = _np.flatnonzero(lengths == best_len)
             if ties.shape[0] > 1:
                 j = int(ties[0])
-                best_total = totals[j]
+                best_total = totals[j] / caps[j]
                 for cand in ties[1:].tolist():
-                    if totals[cand] < best_total:
+                    cand_total = totals[cand] / caps[cand]
+                    if cand_total < best_total:
                         j = cand
-                        best_total = totals[cand]
+                        best_total = cand_total
         if used:
             lengths[used] = saved
         # Mirror Site.place() exactly: left-to-right component adds with a
         # running max against the *updated* components.
         row = loads[j]
-        length = best_len
+        length = raw_lengths[j]
         if tiebreak_total:
             t = totals[j]
             for k, c in enumerate(components[i]):
@@ -342,7 +377,8 @@ def pack_least_loaded_batch(
                 row[k] = updated
                 if updated > length:
                     length = updated
-        lengths[j] = length
+        raw_lengths[j] = length
+        lengths[j] = length / caps[j]
         if op in multi:
             op_sites.setdefault(op, []).append(j)
         out_append(j)
@@ -357,8 +393,14 @@ def family_congestions(
     delta: Sequence[float],
     steps: int,
     p: int,
+    *,
+    total_capacity: float | None = None,
 ) -> list[float]:
-    """Congestion curve ``l(S(N̄^k))/P`` of the greedy family in one pass.
+    """Congestion curve ``l(S(N̄^k))/C`` of the greedy family in one pass.
+
+    ``C`` is the total system capacity (default: the site count ``P``,
+    the homogeneous case; division by ``float(p)`` is bit-identical to
+    the historical ``/ p``).
 
     The Section 7 family starts from the degree-1 total-work vector
     ``load0`` and every step adds the same startup quantum ``delta``
@@ -381,16 +423,21 @@ def family_congestions(
         raise SchedulingError(
             f"family_congestions: load0 has d={d}, delta has d={len(delta)}"
         )
+    denom = float(p) if total_capacity is None else float(total_capacity)
+    if not denom > 0.0:
+        raise SchedulingError(
+            f"total capacity must be positive, got {total_capacity!r}"
+        )
     if HAVE_NUMPY and steps + 1 >= NUMPY_CUTOVER:
         rows = _np.empty((steps + 1, d), dtype=_np.float64)
         rows[0] = load0
         rows[1:] = delta
         acc = _np.add.accumulate(rows, axis=0)
-        return [float(v) / p for v in acc.max(axis=1)]
+        return [float(v) / denom for v in acc.max(axis=1)]
     load = list(load0)
-    out = [max(load) / p]
+    out = [max(load) / denom]
     for _ in range(steps):
         for i, c in enumerate(delta):
             load[i] += c
-        out.append(max(load) / p)
+        out.append(max(load) / denom)
     return out

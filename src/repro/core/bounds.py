@@ -92,8 +92,10 @@ def lower_bound(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> float:
-    """Return ``LB(N̄) = max{ l(S(N̄))/P, h(N̄) }``.
+    """Return ``LB(N̄) = max{ l(S(N̄))/C, h(N̄) }``.
 
     Parameters
     ----------
@@ -107,17 +109,29 @@ def lower_bound(
         The models in force (communication costs are *included* in the
         total work vectors, matching the Section 7 definition of
         ``S(N̄)``).
+    total_capacity:
+        Total system capacity ``C`` for the congestion side of the bound.
+        Defaults to ``P`` (the homogeneous cluster, where the division is
+        bit-identical to the historical ``/ p``); pass the sum of site
+        capacities for a heterogeneous cluster — no resource can serve
+        more than ``C`` units of work per unit of time system-wide, so
+        ``l(S(N̄))/C`` remains a valid lower bound.
     """
     if p < 1:
         raise SchedulingError(f"number of sites must be >= 1, got {p}")
     if not specs:
         return 0.0
+    denom = float(p) if total_capacity is None else float(total_capacity)
+    if not denom > 0.0:
+        raise SchedulingError(
+            f"total capacity must be positive, got {total_capacity!r}"
+        )
     totals = [
         total_work_vector(spec, degrees[spec.name], comm, policy) for spec in specs
     ]
     # sum_length auto-selects the numpy reduction for large operator sets
     # and the exact sequential sum below the cutover.
-    congestion = sum_length(totals) / p
+    congestion = sum_length(totals) / denom
     return max(congestion, slowest_operator_time(specs, degrees, comm, overlap, policy))
 
 
@@ -128,6 +142,8 @@ def lower_bound_family(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> list[float]:
     """Return ``LB(N̄_k)`` for a whole family of parallelizations.
 
@@ -136,6 +152,8 @@ def lower_bound_family(
     Section 7 greedy family, or a sensitivity grid over degrees): the
     congestion sides are evaluated in one vectorized pass via
     :func:`repro.core.batch.lower_bounds_batch` when numpy is available.
+    ``total_capacity`` generalizes the congestion denominator exactly as
+    in :func:`lower_bound`.
     """
     if not specs:
         return [0.0 for _ in degree_family]
@@ -148,7 +166,7 @@ def lower_bound_family(
         slowest_operator_time(specs, degrees, comm, overlap, policy)
         for degrees in degree_family
     ]
-    return lower_bounds_batch(groups, h_values, p, d)
+    return lower_bounds_batch(groups, h_values, p, d, total_capacity=total_capacity)
 
 
 @dataclass(frozen=True)
@@ -202,15 +220,20 @@ def certify(
     overlap: OverlapModel,
     guarantee: float | None = None,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> BoundCertificate:
     """Build a :class:`BoundCertificate` for a schedule of ``specs``.
 
     ``guarantee`` defaults to Theorem 5.1(a)'s ``2d + 1`` for the
-    operators' dimensionality.
+    operators' dimensionality.  ``total_capacity`` generalizes the
+    congestion denominator as in :func:`lower_bound`.
     """
     if makespan < 0.0:
         raise SchedulingError(f"makespan must be >= 0, got {makespan}")
-    lb = lower_bound(specs, degrees, p, comm, overlap, policy)
+    lb = lower_bound(
+        specs, degrees, p, comm, overlap, policy, total_capacity=total_capacity
+    )
     if guarantee is None:
         d = specs[0].d if specs else 1
         guarantee = theorem51_fixed_degree_bound(d)

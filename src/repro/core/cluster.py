@@ -1,0 +1,213 @@
+"""Cluster topology: named site classes with relative capacities.
+
+The paper's model assumes ``P`` identical sites.  Real clusters drift
+from that ideal — successive hardware generations, partially degraded
+nodes, deliberately tiered tenancy — so the library carries an explicit
+:class:`ClusterSpec`: an ordered list of *site classes*, each a
+``(name, count, capacity)`` triple.  Capacity is a relative speed: a
+site of capacity ``c`` processes every resource dimension ``c`` times
+faster than a unit site, so its time contribution is
+``length / c`` (see :class:`repro.core.site.Site`).
+
+Sites are numbered class by class, in declaration order; the flattened
+:meth:`ClusterSpec.capacities` tuple is what the packing kernels and the
+simulator consume.  The load-bearing invariant of the whole capacity
+model: **a uniform spec (all capacities 1.0) must leave every algorithm
+byte-identical to the historical homogeneous code path.**  To make that
+effortless for callers, :meth:`ClusterSpec.capacities_or_none` returns
+``None`` for uniform specs — the sentinel all kernels interpret as "use
+the homogeneous fast path".
+
+Specs parse from a compact CLI string (``--cluster``)::
+
+    fast:4:2.0,slow:12:0.5      # 4 sites at 2x, 12 sites at 0.5x
+    8                           # shorthand: 8 unit-capacity sites
+
+and round-trip through JSON via :func:`repro.serialization` so they can
+be hashed into result-store keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SiteClass", "ClusterSpec", "parse_cluster_spec"]
+
+
+def _check_capacity(capacity: float, label: str) -> float:
+    capacity = float(capacity)
+    if not capacity > 0.0 or capacity != capacity or capacity == float("inf"):
+        raise ConfigurationError(
+            f"site class {label!r}: capacity must be positive and finite, "
+            f"got {capacity!r}"
+        )
+    return capacity
+
+
+@dataclass(frozen=True)
+class SiteClass:
+    """A homogeneous group of sites within a heterogeneous cluster.
+
+    Attributes
+    ----------
+    name:
+        Human label (``"fast"``, ``"gen2"``); must be non-empty and free
+        of the spec-string delimiters ``:`` and ``,``.
+    count:
+        Number of sites in the class (>= 1).
+    capacity:
+        Relative speed of each site (> 0, finite); 1.0 is the paper's
+        unit site.
+    """
+
+    name: str
+    count: int
+    capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("site class name must be non-empty")
+        if ":" in self.name or "," in self.name:
+            raise ConfigurationError(
+                f"site class name {self.name!r} may not contain ':' or ','"
+            )
+        if self.count < 1:
+            raise ConfigurationError(
+                f"site class {self.name!r}: count must be >= 1, got {self.count}"
+            )
+        _check_capacity(self.capacity, self.name)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An ordered collection of site classes describing the whole cluster.
+
+    Site indices are assigned class by class in declaration order:
+    ``fast:2:2.0,slow:3:0.5`` yields sites 0-1 at capacity 2.0 and sites
+    2-4 at capacity 0.5.
+    """
+
+    classes: tuple[SiteClass, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if not self.classes:
+            raise ConfigurationError("cluster spec needs at least one site class")
+        seen: set[str] = set()
+        for cls in self.classes:
+            if not isinstance(cls, SiteClass):
+                raise ConfigurationError(
+                    f"cluster spec entries must be SiteClass, got {cls!r}"
+                )
+            if cls.name in seen:
+                raise ConfigurationError(
+                    f"duplicate site class name {cls.name!r}"
+                )
+            seen.add(cls.name)
+
+    @staticmethod
+    def uniform(p: int, capacity: float = 1.0, name: str = "site") -> "ClusterSpec":
+        """A single-class cluster of ``p`` sites at ``capacity`` each."""
+        if p < 1:
+            raise ConfigurationError(f"cluster must have >= 1 sites, got {p}")
+        return ClusterSpec((SiteClass(name=name, count=p, capacity=capacity),))
+
+    @property
+    def p(self) -> int:
+        """Total number of sites across all classes."""
+        return sum(cls.count for cls in self.classes)
+
+    def capacities(self) -> tuple[float, ...]:
+        """The per-site capacity vector, in site-index order."""
+        caps: list[float] = []
+        for cls in self.classes:
+            caps.extend([cls.capacity] * cls.count)
+        return tuple(caps)
+
+    def capacities_or_none(self) -> tuple[float, ...] | None:
+        """Capacities, or ``None`` when the spec is uniform at 1.0.
+
+        ``None`` is the sentinel every kernel reads as "homogeneous fast
+        path" — returning it here keeps uniform specs byte-identical to
+        runs that never mention a cluster at all.
+        """
+        return None if self.is_uniform() else self.capacities()
+
+    def total_capacity(self) -> float:
+        """Total system capacity ``C = sum_j c_j``.
+
+        For a uniform spec this is exactly ``float(p)`` (a sum of ``p``
+        ones is exact for any realistic ``p``), so congestion bounds
+        ``l(S)/C`` stay bit-identical to the historical ``l(S)/P``.
+        """
+        return sum(cls.capacity * cls.count for cls in self.classes)
+
+    def is_uniform(self) -> bool:
+        """``True`` when every site has capacity exactly 1.0."""
+        return all(cls.capacity == 1.0 for cls in self.classes)
+
+    def spec_string(self) -> str:
+        """The compact ``name:count:capacity,...`` form (parse inverse)."""
+        return ",".join(
+            f"{cls.name}:{cls.count}:{cls.capacity!r}" for cls in self.classes
+        )
+
+
+def parse_cluster_spec(text: str) -> ClusterSpec:
+    """Parse the ``--cluster`` CLI syntax into a :class:`ClusterSpec`.
+
+    Two forms are accepted:
+
+    * ``"<p>"`` — a bare integer: ``p`` unit-capacity sites;
+    * ``"name:count:capacity[,name:count:capacity...]"`` — explicit site
+      classes (capacity may be omitted per class, defaulting to 1.0).
+
+    Raises
+    ------
+    ConfigurationError
+        On empty input, malformed fields, or duplicate class names.
+    """
+    text = text.strip()
+    if not text:
+        raise ConfigurationError("cluster spec must be non-empty")
+    if ":" not in text and "," not in text:
+        try:
+            p = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"cluster spec {text!r} is neither a site count nor "
+                f"'name:count:capacity' classes"
+            ) from None
+        return ClusterSpec.uniform(p)
+    classes: list[SiteClass] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ConfigurationError(f"empty site class in cluster spec {text!r}")
+        fields = chunk.split(":")
+        if len(fields) == 2:
+            name, count_text = fields
+            capacity_text = "1.0"
+        elif len(fields) == 3:
+            name, count_text, capacity_text = fields
+        else:
+            raise ConfigurationError(
+                f"site class {chunk!r} must be 'name:count[:capacity]'"
+            )
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"site class {chunk!r}: count {count_text!r} is not an integer"
+            ) from None
+        try:
+            capacity = float(capacity_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"site class {chunk!r}: capacity {capacity_text!r} is not a number"
+            ) from None
+        classes.append(SiteClass(name=name.strip(), count=count, capacity=capacity))
+    return ClusterSpec(tuple(classes))

@@ -78,7 +78,9 @@ class ParallelizationCandidate:
     h:
         ``h(N̄) = max_i T_par(op_i, N_i)``, the slowest operator's time.
     congestion:
-        ``l(S(N̄)) / P``, the per-site share of the most loaded resource.
+        ``l(S(N̄)) / C``, the capacity share of the most loaded resource
+        (``C`` is the total system capacity — ``P`` on a homogeneous
+        cluster).
     """
 
     degrees: dict[str, int]
@@ -87,7 +89,7 @@ class ParallelizationCandidate:
 
     @property
     def lower_bound(self) -> float:
-        """``LB(N̄) = max{ l(S(N̄))/P, h(N̄) }``."""
+        """``LB(N̄) = max{ l(S(N̄))/C, h(N̄) }``."""
         return max(self.h, self.congestion)
 
 
@@ -97,6 +99,8 @@ def candidate_parallelizations(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> Iterator[ParallelizationCandidate]:
     """Generate the greedy family of Section 7 lazily, cheapest first.
 
@@ -105,12 +109,19 @@ def candidate_parallelizations(
     ``l(S(N̄))`` is maintained incrementally — increasing one operator's
     degree adds exactly one startup quantum ``alpha`` (split by the
     coordinator policy) to the total-work sum, so each step costs
-    ``O(log M + d)``.
+    ``O(log M + d)``.  ``total_capacity`` sets the congestion
+    denominator ``C`` (default: the site count ``P``; the division is
+    bit-identical in that case).
     """
     if p < 1:
         raise SchedulingError(f"number of sites must be >= 1, got {p}")
     if not specs:
         return
+    denom = float(p) if total_capacity is None else float(total_capacity)
+    if not denom > 0.0:
+        raise SchedulingError(
+            f"total capacity must be positive, got {total_capacity!r}"
+        )
     d = specs[0].d
     degrees = {spec.name: 1 for spec in specs}
     by_name = {spec.name: spec for spec in specs}
@@ -128,7 +139,7 @@ def candidate_parallelizations(
     while True:
         neg_h, slowest = heap[0]
         yield ParallelizationCandidate(
-            degrees=dict(degrees), h=-neg_h, congestion=max(load) / p
+            degrees=dict(degrees), h=-neg_h, congestion=max(load) / denom
         )
         # Step 2/3: increase the slowest operator's degree, or stop when no
         # more sites can be allotted to it.
@@ -151,6 +162,8 @@ def select_parallelization(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> tuple[ParallelizationCandidate, int]:
     """Return the family member minimizing ``LB(N̄)`` and the family size.
 
@@ -161,7 +174,9 @@ def select_parallelization(
     """
     best: ParallelizationCandidate | None = None
     examined = 0
-    for candidate in candidate_parallelizations(specs, p, comm, overlap, policy):
+    for candidate in candidate_parallelizations(
+        specs, p, comm, overlap, policy, total_capacity=total_capacity
+    ):
         examined += 1
         if best is None or candidate.lower_bound < best.lower_bound * (1.0 - 1e-12):
             best = candidate
@@ -192,7 +207,7 @@ class CandidateFamily:
     h_values:
         ``h(N̄^k)`` per member — the slowest operator's parallel time.
     congestions:
-        ``l(S(N̄^k)) / P`` per member.
+        ``l(S(N̄^k)) / C`` per member (``C`` = total system capacity).
     p:
         Number of sites the family was generated for.
     """
@@ -221,7 +236,7 @@ class CandidateFamily:
         return len(self.h_values)
 
     def lower_bounds(self) -> list[float]:
-        """``LB(N̄^k) = max{ l(S(N̄^k))/P, h(N̄^k) }`` for every member."""
+        """``LB(N̄^k) = max{ l(S(N̄^k))/C, h(N̄^k) }`` for every member."""
         return [max(h, c) for h, c in zip(self.h_values, self.congestions)]
 
     def degrees_at(self, k: int) -> dict[str, int]:
@@ -250,6 +265,8 @@ def enumerate_candidate_family(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> CandidateFamily:
     """Enumerate the entire greedy family as one batched pass.
 
@@ -298,7 +315,9 @@ def enumerate_candidate_family(
 
     steps = len(increments)
     startup_delta = policy.startup_vector(d, comm.startup_cost(1)).components
-    congestions = _batch.family_congestions(load0, startup_delta, steps, p)
+    congestions = _batch.family_congestions(
+        load0, startup_delta, steps, p, total_capacity=total_capacity
+    )
     return CandidateFamily(
         operators=tuple(spec.name for spec in specs),
         increments=tuple(increments),
@@ -314,6 +333,8 @@ def select_parallelization_batched(
     comm: CommunicationModel,
     overlap: OverlapModel,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    *,
+    total_capacity: float | None = None,
 ) -> tuple[ParallelizationCandidate, int]:
     """Batched form of :func:`select_parallelization` — same result, O(M + K).
 
@@ -321,7 +342,9 @@ def select_parallelization_batched(
     reference uses (``lb < best_lb * (1 - 1e-12)``, earlier member kept
     on ties) and materializes a degree map only for the winner.
     """
-    family = enumerate_candidate_family(specs, p, comm, overlap, policy)
+    family = enumerate_candidate_family(
+        specs, p, comm, overlap, policy, total_capacity=total_capacity
+    )
     if family.size == 0:
         raise SchedulingError("no operators to parallelize")
     h_values = family.h_values
@@ -379,6 +402,7 @@ def malleable_schedule(
     overlap: OverlapModel,
     selection: str = "lower_bound",
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+    capacities: Sequence[float] | None = None,
 ) -> MalleableResult:
     """Schedule independent floating operators without the CG_f restriction.
 
@@ -407,11 +431,12 @@ def malleable_schedule(
     if not specs:
         raise SchedulingError("malleable_schedule requires at least one operator")
     guarantee = theorem51_fixed_degree_bound(specs[0].d)
+    total_capacity = None if capacities is None else float(sum(capacities))
     if selection == "lower_bound":
         # The batched pass is byte-identical to select_parallelization()
         # (retained as the test oracle) at O(M + K) instead of O(M·K).
         candidate, examined = select_parallelization_batched(
-            specs, p, comm, overlap, policy
+            specs, p, comm, overlap, policy, total_capacity=total_capacity
         )
         result = operator_schedule(
             specs,
@@ -421,6 +446,7 @@ def malleable_schedule(
             overlap=overlap,
             degrees=candidate.degrees,
             policy=policy,
+            capacities=capacities,
         )
         return MalleableResult(
             schedule_result=result,
@@ -431,7 +457,9 @@ def malleable_schedule(
     if selection == "makespan":
         best: tuple[OperatorScheduleResult, ParallelizationCandidate] | None = None
         examined = 0
-        for candidate in candidate_parallelizations(specs, p, comm, overlap, policy):
+        for candidate in candidate_parallelizations(
+            specs, p, comm, overlap, policy, total_capacity=total_capacity
+        ):
             examined += 1
             result = operator_schedule(
                 specs,
@@ -441,6 +469,7 @@ def malleable_schedule(
                 overlap=overlap,
                 degrees=candidate.degrees,
                 policy=policy,
+                capacities=capacities,
             )
             if best is None or result.makespan < best[0].makespan * (1.0 - 1e-12):
                 best = (result, candidate)
@@ -467,6 +496,7 @@ def malleable_tree_schedule(
     shelf: str = "min",
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
     metrics: MetricsRecorder | None = None,
+    capacities: Sequence[float] | None = None,
 ) -> ScheduleResult:
     """Full-plan malleable scheduling via the synchronized-phase driver.
 
@@ -481,7 +511,13 @@ def malleable_tree_schedule(
         del forced  # malleable: degrees are chosen by the greedy family
         if not floating:
             return operator_schedule(
-                (), rooted, p=n_sites, comm=comm, overlap=overlap, policy=policy
+                (),
+                rooted,
+                p=n_sites,
+                comm=comm,
+                overlap=overlap,
+                policy=policy,
+                capacities=capacities,
             )
         return malleable_schedule(
             floating,
@@ -491,6 +527,7 @@ def malleable_tree_schedule(
             overlap=overlap,
             selection=selection,
             policy=policy,
+            capacities=capacities,
         ).schedule_result
 
     return schedule_phases(
@@ -522,4 +559,5 @@ def _malleable(query, request: ScheduleRequest) -> ScheduleResult:
         overlap=request.overlap,
         policy=request.policy,
         metrics=request.metrics,
+        capacities=request.capacities,
     )

@@ -145,6 +145,7 @@ def operator_schedule(
     degrees: Mapping[str, int] | None = None,
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
     metrics=None,
+    capacities: Sequence[float] | None = None,
 ) -> OperatorScheduleResult:
     """Schedule concurrent operators on ``p`` sites (Figure 3).
 
@@ -177,6 +178,11 @@ def operator_schedule(
         given, the kernel records ``placement_scans`` (heap entries
         examined during step 3), ``clones_placed``, and a
         ``list_schedule`` wall-clock timer.
+    capacities:
+        Optional per-site capacities for a heterogeneous cluster; the
+        step 3 rule then minimizes the capacity-normalized length.
+        Omitted (or all ``1.0``), the schedule is byte-identical to the
+        homogeneous kernel.
 
     Returns
     -------
@@ -193,7 +199,7 @@ def operator_schedule(
     """
     _check_unique_names(floating, rooted)
     d = _common_dimensionality(floating, rooted)
-    schedule = Schedule(p, d)
+    schedule = Schedule(p, d, capacities)
     chosen: dict[str, int] = {}
 
     # Step 1: place the work vectors of all rooted operators at their
@@ -256,7 +262,12 @@ def operator_schedule(
     with current_tracer().span("list_placement", clones=len(pending), p=p), timer:
         pending.sort(key=lambda item: (-item[0], item[1], item[2]))
         heap = SiteHeap(
-            schedule.sites, key=lambda s: (s.length(), s.total_load(), s.index)
+            schedule.sites,
+            key=lambda s: (
+                s.normalized_length(),
+                s.normalized_total_load(),
+                s.index,
+            ),
         )
         for _, op_name, k, work in pending:
             best = heap.pick(lambda s: not s.hosts_operator(op_name))

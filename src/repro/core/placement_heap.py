@@ -40,7 +40,21 @@ from collections.abc import Callable, Sequence
 
 from repro.core.site import Site
 
-__all__ = ["SiteHeap"]
+__all__ = ["SiteHeap", "least_loaded_key"]
+
+
+def least_loaded_key(site: Site) -> tuple[float, int]:
+    """The canonical Figure 3 heap key: ``(l(work(s))/capacity, index)``.
+
+    Capacity-normalized so a fast site absorbs proportionally more work
+    on a heterogeneous cluster; on a homogeneous one the division by
+    ``1.0`` is bit-exact and the key equals the historical
+    ``(length, index)`` tuple.  Lazy-deletion semantics are unaffected:
+    capacities are fixed during a packing pass, so keys still only grow
+    as clones are placed (callers that *do* resize a site mid-session —
+    the rescheduling layer — re-key it via :meth:`SiteHeap.update`).
+    """
+    return (site.normalized_length(), site.index)
 
 
 class SiteHeap:

@@ -78,6 +78,14 @@ class ScheduleDelta:
         clones are dropped, not re-placed.
     add_items:
         New clone items appended to the phase.
+    set_capacities:
+        ``(site_index, new_capacity)`` pairs — the elasticity primitive.
+        A capacity change is *in-place*: resident clones stay where they
+        are (their raw loads are capacity-independent), only the site's
+        time contribution and its attractiveness to subsequent
+        placements change.  Mid-serve scale-up/down therefore costs
+        O(moved · log p) for whatever the same delta displaces, never a
+        cold re-pack.
     phase_index:
         Which phase of a :class:`~repro.core.schedule.PhasedSchedule`
         the delta applies to (0 for single-phase schedules).
@@ -87,6 +95,7 @@ class ScheduleDelta:
     restore_sites: tuple[int, ...] = ()
     remove_operators: tuple[str, ...] = ()
     add_items: tuple[CloneItem, ...] = ()
+    set_capacities: tuple[tuple[int, float], ...] = ()
     phase_index: int = 0
 
     def __post_init__(self) -> None:
@@ -94,6 +103,22 @@ class ScheduleDelta:
         object.__setattr__(self, "restore_sites", tuple(self.restore_sites))
         object.__setattr__(self, "remove_operators", tuple(self.remove_operators))
         object.__setattr__(self, "add_items", tuple(self.add_items))
+        object.__setattr__(
+            self,
+            "set_capacities",
+            tuple((int(j), float(c)) for j, c in self.set_capacities),
+        )
+        resized = [j for j, _ in self.set_capacities]
+        if len(set(resized)) != len(resized):
+            raise SchedulingError(
+                f"delta resizes a site twice: {resized}"
+            )
+        for j, c in self.set_capacities:
+            if not c > 0.0 or c != c or c == float("inf"):
+                raise SchedulingError(
+                    f"delta sets site {j} capacity to {c!r}; must be "
+                    "positive and finite"
+                )
         if self.phase_index < 0:
             raise SchedulingError(
                 f"phase index must be >= 0, got {self.phase_index}"
@@ -128,6 +153,7 @@ class ScheduleDelta:
             or self.restore_sites
             or self.remove_operators
             or self.add_items
+            or self.set_capacities
         )
 
 
@@ -146,6 +172,8 @@ class RescheduleStats:
         Operators fully withdrawn from the schedule.
     sites_drained, sites_restored:
         Sites taken out of / returned to service.
+    sites_resized:
+        Sites whose capacity the delta changed in place.
     placement_scans:
         Heap entries (or linear probes) examined while re-placing —
         the repair-cost analogue of the packing ``placement_scans``
@@ -158,6 +186,7 @@ class RescheduleStats:
     operators_removed: int = 0
     sites_drained: int = 0
     sites_restored: int = 0
+    sites_resized: int = 0
     placement_scans: int = 0
 
     @property
@@ -182,6 +211,11 @@ def _validate_delta_against(schedule: Schedule, delta: ScheduleDelta) -> None:
             )
         if j not in disabled:
             raise SchedulingError(f"delta restores site {j}, which is in service")
+    for j, _ in delta.set_capacities:
+        if not 0 <= j < schedule.p:
+            raise SchedulingError(
+                f"delta resizes site {j}, outside 0..{schedule.p - 1}"
+            )
     d = schedule.d
     for item in delta.add_items:
         if item.work.d != d:
@@ -209,6 +243,10 @@ def _drain_and_mutate(
         drained_ops.update(c.operator for c in clones)
     for j in delta.restore_sites:
         schedule.enable_site(j)
+    # Capacity changes are applied before the re-placement pass below, so
+    # the displaced clones already see the new speeds when choosing sites.
+    for j, capacity in delta.set_capacities:
+        schedule.set_site_capacity(j, capacity)
     removed_ops = set(delta.remove_operators)
     operators_removed = 0
     for op in delta.remove_operators:
@@ -240,7 +278,8 @@ def _place_pending(
     """Place re-sorted pending clones on the enabled sites; return scans."""
     if rule is PlacementRule.LEAST_LOADED_LENGTH:
         heap = SiteHeap(
-            schedule.enabled_sites(), key=lambda s: (s.length(), s.index)
+            schedule.enabled_sites(),
+            key=lambda s: (s.normalized_length(), s.index),
         )
         for item in ordered:
             op = item.operator
@@ -272,7 +311,7 @@ def _place_pending(
                 if rule is PlacementRule.FIRST_FIT:
                     best = site.index
                     break
-                resulting = site.resulting_length(item.work)
+                resulting = site.normalized_resulting_length(item.work)
                 if best < 0 or resulting < best_len:
                     best = site.index
                     best_len = resulting
@@ -337,6 +376,7 @@ def reschedule_schedule(
         phase=delta.phase_index,
         removed=len(delta.remove_sites),
         restored=len(delta.restore_sites),
+        resized=len(delta.set_capacities),
         added=len(delta.add_items),
     ), timer:
         pending, operators_removed, moved = _drain_and_mutate(schedule, delta)
@@ -350,6 +390,7 @@ def reschedule_schedule(
             operators_removed=operators_removed,
             sites_drained=len(delta.remove_sites),
             sites_restored=len(delta.restore_sites),
+            sites_resized=len(delta.set_capacities),
             placement_scans=scans,
         )
         if metrics is not None:
@@ -357,6 +398,8 @@ def reschedule_schedule(
             metrics.count("clones_moved", stats.clones_moved)
             metrics.count("sites_drained", stats.sites_drained)
             metrics.count("sites_restored", stats.sites_restored)
+            if stats.sites_resized:
+                metrics.count("sites_resized", stats.sites_resized)
             metrics.count("placement_scans", scans)
     return stats
 
@@ -384,7 +427,12 @@ def reschedule_reference(
     _validate_delta_against(schedule, delta)
     removed_sites = set(delta.remove_sites)
     removed_ops = set(delta.remove_operators)
-    fresh = Schedule(schedule.p, schedule.d)
+    capacities = (
+        None if schedule.is_uniform_capacity() else schedule.capacities()
+    )
+    fresh = Schedule(schedule.p, schedule.d, capacities)
+    for j, capacity in delta.set_capacities:
+        fresh.set_site_capacity(j, capacity)
     displaced: list[CloneItem] = []
     for site in schedule.sites:
         for clone in site.clones:
@@ -417,7 +465,8 @@ def reschedule_reference(
             raise _no_allowable_site(item)
         if rule is PlacementRule.LEAST_LOADED_LENGTH:
             j = min(
-                allowable, key=lambda s: (_reference_site_length(s), s.index)
+                allowable,
+                key=lambda s: (_reference_site_length(s) / s.capacity, s.index),
             ).index
         elif rule is PlacementRule.FIRST_FIT:
             j = min(allowable, key=lambda s: s.index).index
@@ -426,7 +475,7 @@ def reschedule_reference(
                 load = site.load_vector()
                 return max(
                     a + b for a, b in zip(load.components, item.work.components)
-                )
+                ) / site.capacity
             j = min(allowable, key=lambda s: (resulting(s), s.index)).index
         else:
             raise SchedulingError(

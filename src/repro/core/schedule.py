@@ -73,10 +73,17 @@ class Schedule:
     or adopt pre-built sites with :meth:`from_sites`.
     """
 
-    def __init__(self, p: int, d: int):
+    def __init__(self, p: int, d: int, capacities: "tuple[float, ...] | list[float] | None" = None):
         if p < 1:
             raise SchedulingError(f"number of sites must be >= 1, got {p}")
-        self._sites = [Site(j, d) for j in range(p)]
+        if capacities is None:
+            self._sites = [Site(j, d) for j in range(p)]
+        else:
+            if len(capacities) != p:
+                raise SchedulingError(
+                    f"capacities has {len(capacities)} entries; expected P={p}"
+                )
+            self._sites = [Site(j, d, capacities[j]) for j in range(p)]
         self._d = d
         self._homes: dict[str, list[tuple[int, int]]] = {}
         # Running totals maintained on every place() so the aggregate
@@ -154,6 +161,23 @@ class Schedule:
             return tuple(self._sites)
         return tuple(s for s in self._sites if s.index not in self._disabled)
 
+    def capacities(self) -> tuple[float, ...]:
+        """Per-site capacities, by index (all ``1.0`` on a homogeneous cluster)."""
+        return tuple(s.capacity for s in self._sites)
+
+    def is_uniform_capacity(self) -> bool:
+        """True when every site runs at the default unit capacity."""
+        return all(s.capacity == 1.0 for s in self._sites)
+
+    def total_capacity(self) -> float:
+        """Sum of site capacities (``P`` exactly on a homogeneous cluster)."""
+        return sum(s.capacity for s in self._sites)
+
+    def set_site_capacity(self, site_index: int, capacity: float) -> None:
+        """Resize one site in place (see :meth:`Site.set_capacity`)."""
+        self._check_site_index(site_index)
+        self._sites[site_index].set_capacity(capacity)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -228,7 +252,7 @@ class Schedule:
         self._check_site_index(site_index)
         site = self._sites[site_index]
         clones = site.clones
-        self._sites[site_index] = Site(site_index, self._d)
+        self._sites[site_index] = Site(site_index, self._d, site.capacity)
         total = self._total_work
         for clone in clones:
             self._drop_home(clone.operator, clone.clone_index, site_index)
@@ -251,7 +275,7 @@ class Schedule:
         total = self._total_work
         for _, site_index in pairs:
             old = self._sites[site_index]
-            fresh = Site(site_index, self._d)
+            fresh = Site(site_index, self._d, old.capacity)
             keep: list[PlacedClone] = []
             for clone in old.clones:
                 if clone.operator == operator:

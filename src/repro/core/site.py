@@ -12,6 +12,15 @@ different operators:
 — either some single clone's stand-alone time dominates (its idle resource
 capacity absorbs everyone else's work), or some resource is congested and
 the total effective time demanded of it, ``l(work(s_j))``, dominates.
+
+Sites optionally carry a *capacity* (relative speed, default ``1.0``): a
+site of capacity ``c`` processes every resource ``c`` times faster, so
+its execution time is ``T_site / c`` and placement decisions compare
+*capacity-normalized* loads (``length() / capacity``).  Work vectors and
+raw load statistics stay in unit-capacity seconds, so all incremental
+bookkeeping is untouched; dividing by a capacity of exactly ``1.0`` is a
+bit-exact no-op in IEEE-754, which makes the homogeneous paths
+byte-identical to the pre-capacity code.
 """
 
 from __future__ import annotations
@@ -23,6 +32,14 @@ from repro.core.resource_model import OverlapModel
 from repro.core.work_vector import WorkVector
 
 __all__ = ["PlacedClone", "Site"]
+
+
+def _check_capacity(capacity: float, index: int) -> None:
+    if not capacity > 0.0 or capacity != capacity or capacity == float("inf"):
+        raise SchedulingError(
+            f"site {index}: capacity must be a positive finite number, "
+            f"got {capacity!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -68,13 +85,15 @@ class Site:
         "_total_load",
         "_operators",
         "_max_t_seq",
+        "_capacity",
     )
 
-    def __init__(self, index: int, d: int):
+    def __init__(self, index: int, d: int, capacity: float = 1.0):
         if index < 0:
             raise SchedulingError(f"site index must be >= 0, got {index}")
         if d < 1:
             raise SchedulingError(f"site dimensionality must be >= 1, got {d}")
+        _check_capacity(capacity, index)
         self.index = index
         self._d = d
         self._clones: list[PlacedClone] = []
@@ -83,6 +102,7 @@ class Site:
         self._total_load = 0.0
         self._operators: set[str] = set()
         self._max_t_seq = 0.0
+        self._capacity = float(capacity)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -91,6 +111,23 @@ class Site:
     def d(self) -> int:
         """Number of resources at this site."""
         return self._d
+
+    @property
+    def capacity(self) -> float:
+        """Relative speed of this site (``1.0`` = the paper's unit site)."""
+        return self._capacity
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change this site's capacity in place (the elasticity primitive).
+
+        Resident clones are untouched — only the rate at which the site
+        processes them changes, so a capacity change never forces a
+        migration by itself.  Callers holding derived state keyed on the
+        normalized length (e.g. a :class:`~repro.core.placement_heap.SiteHeap`)
+        must re-key the site afterwards.
+        """
+        _check_capacity(capacity, self.index)
+        self._capacity = float(capacity)
 
     @property
     def clones(self) -> tuple[PlacedClone, ...]:
@@ -208,7 +245,7 @@ class Site:
         re-folded in the original placement order, so they match the
         source site's exactly.
         """
-        fresh = Site(self.index, self._d)
+        fresh = Site(self.index, self._d, self._capacity)
         if self._clones:
             fresh.place_batch(self._clones)
         return fresh
@@ -234,6 +271,20 @@ class Site:
         """
         return self._length
 
+    def normalized_length(self) -> float:
+        """Return ``l(work(s_j)) / capacity``: the placement cost.
+
+        This is what the Figure 3 rule minimizes on a heterogeneous
+        cluster — the *time* the most congested resource needs at this
+        site's speed.  With capacity ``1.0`` the division is a bit-exact
+        no-op, so homogeneous placement keys are unchanged.
+        """
+        return self._length / self._capacity
+
+    def normalized_total_load(self) -> float:
+        """Return ``total_load() / capacity`` (the scalar-load placement cost)."""
+        return self._total_load / self._capacity
+
     def resulting_length(self, work: WorkVector) -> float:
         """Return ``l(work(s_j) ∪ {work})``: length after a tentative placement.
 
@@ -246,6 +297,10 @@ class Site:
                 f"site {self.index}: tentative vector has d={work.d}, site has d={self._d}"
             )
         return max(a + b for a, b in zip(self._load, work.components))
+
+    def normalized_resulting_length(self, work: WorkVector) -> float:
+        """Return :meth:`resulting_length` divided by this site's capacity."""
+        return self.resulting_length(work) / self._capacity
 
     def total_load(self) -> float:
         """Return the sum of all load components (scalar total work).
@@ -262,20 +317,33 @@ class Site:
     def t_site(self) -> float:
         """Equation (2): execution time for all clones at this site.
 
-        ``T_site = max{ max T_seq, l(work(s_j)) }`` — the larger of the
-        slowest resident clone's stand-alone time and the most congested
-        resource's total demand.
+        ``T_site = max{ max T_seq, l(work(s_j)) } / capacity`` — the
+        larger of the slowest resident clone's stand-alone time and the
+        most congested resource's total demand, scaled by the site's
+        speed.  Dividing by the default capacity ``1.0`` is bit-exact,
+        so homogeneous makespans are unchanged.
+        """
+        if not self._clones:
+            return 0.0
+        return max(self._max_t_seq, self.length()) / self._capacity
+
+    def unit_t_site(self) -> float:
+        """Equation (2) at unit capacity: ``max{ max T_seq, l(work) }``.
+
+        The capacity-independent site time — what :meth:`t_site` returns
+        on a unit site.  The simulator runs its fault-free event loops in
+        this raw time base and scales the result by ``1 / capacity``.
         """
         if not self._clones:
             return 0.0
         return max(self._max_t_seq, self.length())
 
     def utilization(self) -> tuple[float, ...]:
-        """Per-resource utilization ``load[i] / T_site`` (zeros when idle)."""
+        """Per-resource utilization ``(load[i] / capacity) / T_site`` (zeros when idle)."""
         t = self.t_site()
         if t <= 0.0:
             return (0.0,) * self._d
-        return tuple(c / t for c in self._load)
+        return tuple((c / self._capacity) / t for c in self._load)
 
     def recompute_t_seq(self, overlap: OverlapModel) -> "Site":
         """Return a copy of this site with clone times re-derived.
@@ -283,7 +351,7 @@ class Site:
         Useful for sensitivity analysis: re-evaluate an existing placement
         under a different overlap model without re-running the scheduler.
         """
-        fresh = Site(self.index, self._d)
+        fresh = Site(self.index, self._d, self._capacity)
         for clone in self._clones:
             fresh.place(
                 PlacedClone(

@@ -33,6 +33,8 @@ TREESCHEDULE runs in ``O(J P (J + log P))`` time for a ``J``-node plan.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.core.cloning import DEFAULT_COORDINATOR_POLICY, CoordinatorPolicy
 from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import OverlapModel
@@ -62,6 +64,7 @@ def tree_schedule(
     shelf: str = "min",
     policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
     metrics: MetricsRecorder | None = None,
+    capacities: "Sequence[float] | None" = None,
 ) -> ScheduleResult:
     """Schedule a bushy plan's operator tree in synchronized phases.
 
@@ -90,6 +93,9 @@ def tree_schedule(
     metrics:
         Optional :class:`~repro.engine.metrics.MetricsRecorder` for
         construction-time instrumentation.
+    capacities:
+        Optional per-site capacities for a heterogeneous cluster
+        (``None`` or all 1.0 keeps the byte-identical homogeneous path).
 
     Returns
     -------
@@ -113,6 +119,7 @@ def tree_schedule(
             policy=policy,
             algorithm="treeschedule",
             metrics=metrics,
+            capacities=capacities,
         )
 
 
@@ -132,4 +139,5 @@ def _treeschedule(query: GeneratedQuery, request: ScheduleRequest) -> ScheduleRe
         f=request.f,
         policy=request.policy,
         metrics=request.metrics,
+        capacities=request.capacities,
     )

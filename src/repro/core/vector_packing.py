@@ -29,9 +29,10 @@ placement step is engineered to avoid rescans:
   chosen assignment is committed in one
   :meth:`~repro.core.schedule.Schedule.place_batch` call.  Below the
   cutover (or without numpy) it consults a lazy min-heap
-  (:class:`~repro.core.placement_heap.SiteHeap`) keyed on
-  ``(l(work(s)), index)``, giving O(log p) amortized placement instead
-  of an O(p) scan per clone;
+  (:class:`~repro.core.placement_heap.SiteHeap`) keyed on the
+  capacity-normalized length ``(l(work(s))/capacity, index)`` — equal to
+  ``(l(work(s)), index)`` bit-for-bit on a homogeneous cluster — giving
+  O(log p) amortized placement instead of an O(p) scan per clone;
 * ``FIRST_FIT`` early-exits at the lowest-indexed allowable site and —
   like every other non-heap rule — never constructs or maintains a
   :class:`SiteHeap` (heap construction is gated on the rule, so linear
@@ -57,7 +58,7 @@ from enum import Enum
 
 from repro.exceptions import InfeasibleScheduleError, SchedulingError
 from repro.core import batch as _batch
-from repro.core.placement_heap import SiteHeap
+from repro.core.placement_heap import SiteHeap, least_loaded_key
 from repro.core.resource_model import OverlapModel
 from repro.core.schedule import Schedule
 from repro.obs.tracer import current_tracer
@@ -168,7 +169,7 @@ def _choose_site_linear(
             scanned += 1
             if site.hosts_operator(item.operator):
                 continue
-            resulting = site.resulting_length(item.work)
+            resulting = site.normalized_resulting_length(item.work)
             if best < 0 or resulting < best_len:
                 best = site.index
                 best_len = resulting
@@ -225,6 +226,7 @@ def pack_vectors(
     rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH,
     rng: random.Random | None = None,
     metrics=None,
+    capacities: Sequence[float] | None = None,
 ) -> Schedule:
     """Pack clone work vectors into ``p`` sites under the chosen heuristic.
 
@@ -232,6 +234,11 @@ def pack_vectors(
     packing step of OPERATORSCHEDULE exactly (given the same clone
     vectors); other combinations populate the ablation grid of the
     ``abl-pack`` benchmark.
+
+    ``capacities`` optionally makes the cluster heterogeneous: load-aware
+    rules then compare *capacity-normalized* lengths
+    (``l(work(s)) / capacity``).  Omitted (or all ``1.0``) the packing is
+    byte-identical to the homogeneous kernel.
 
     ``metrics`` optionally takes a
     :class:`~repro.engine.metrics.MetricsRecorder`; the kernel then
@@ -242,7 +249,7 @@ def pack_vectors(
     is the Equation (3) response time of the packing.
     """
     d = _validate_items(items)
-    schedule = Schedule(p, d)
+    schedule = Schedule(p, d, capacities)
     timer = metrics.timer("pack_vectors") if metrics is not None else nullcontext()
     with current_tracer().span(
         "pack_vectors", items=len(items), p=p, sort=sort.value, rule=rule.value
@@ -297,6 +304,9 @@ def _pack_least_loaded(
         schedule.d,
         clone_indices=[item.clone_index for item in ordered],
         initial_sites=schedule.sites if schedule.clone_count() else None,
+        capacities=(
+            None if schedule.is_uniform_capacity() else schedule.capacities()
+        ),
     )
     if assignment is not None:
         t_seqs = overlap.t_seq_batch([item.work for item in ordered])
@@ -315,7 +325,7 @@ def _pack_least_loaded(
             ]
         )
         return len(ordered)
-    heap = SiteHeap(schedule.sites, key=lambda s: (s.length(), s.index))
+    heap = SiteHeap(schedule.sites, key=least_loaded_key)
     for item in ordered:
         op = item.operator
         site = heap.pick(lambda s: not s.hosts_operator(op))
@@ -368,14 +378,15 @@ def _choose_site_reference(
         raise _no_allowable_site(item)
     if rule is PlacementRule.LEAST_LOADED_LENGTH:
         return min(
-            allowable, key=lambda s: (_reference_site_length(s), s.index)
+            allowable,
+            key=lambda s: (_reference_site_length(s) / s.capacity, s.index),
         ).index
     if rule is PlacementRule.MIN_RESULTING_LENGTH:
         def resulting(site) -> float:
             load = site.load_vector()
             return max(
                 a + b for a, b in zip(load.components, item.work.components)
-            )
+            ) / site.capacity
         return min(allowable, key=lambda s: (resulting(s), s.index)).index
     if rule is PlacementRule.ROUND_ROBIN:
         p = schedule.p
@@ -402,17 +413,18 @@ def pack_vectors_reference(
     sort: SortKey = SortKey.MAX_COMPONENT,
     rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH,
     rng: random.Random | None = None,
+    capacities: Sequence[float] | None = None,
 ) -> Schedule:
     """Naive rescanning variant of :func:`pack_vectors`.
 
     Kept as the semantic oracle: same signature, same deterministic
     tie-breaking, no heap, no cached site statistics.  The golden tests
     assert ``schedule_to_dict`` equality against :func:`pack_vectors` for
-    every sort × rule combination; benchmarks use it as the "before"
-    kernel when recording speedups.
+    every sort × rule combination (homogeneous and heterogeneous);
+    benchmarks use it as the "before" kernel when recording speedups.
     """
     d = _validate_items(items)
-    schedule = Schedule(p, d)
+    schedule = Schedule(p, d, capacities)
     rr_state = [0]
     for item in _sorted_items(items, sort, rng):
         j = _choose_site_reference(schedule, item, rule, rng, rr_state)

@@ -79,6 +79,7 @@ def schedule_phases(
     pack_phase: PhasePacker | None = None,
     algorithm: str = "",
     metrics: MetricsRecorder | None = None,
+    capacities: Sequence[float] | None = None,
 ) -> ScheduleResult:
     """Schedule a bushy plan shelf by shelf with a pluggable packer.
 
@@ -87,6 +88,10 @@ def schedule_phases(
     placements, and the forced join-stage degrees, and returns an
     :class:`~repro.core.operator_schedule.OperatorScheduleResult` over
     ``p`` sites.  The default packer is the Figure 3 list rule.
+
+    ``capacities`` (heterogeneous clusters) is forwarded to the default
+    packer; algorithms supplying their own ``pack_phase`` thread it into
+    their closure themselves.
 
     Raises
     ------
@@ -117,6 +122,7 @@ def schedule_phases(
                 degrees=forced,
                 policy=policy,
                 metrics=metrics,
+                capacities=capacities,
             )
 
     tracer = current_tracer()

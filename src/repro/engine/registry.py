@@ -31,6 +31,7 @@ from repro.engine.result import ScheduleResult
 
 if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
     from repro.core.cloning import CoordinatorPolicy
+    from repro.core.cluster import ClusterSpec
     from repro.core.granularity import CommunicationModel
     from repro.core.resource_model import OverlapModel
     from repro.cost.annotate import PlanAnnotation
@@ -77,6 +78,12 @@ class ScheduleRequest:
         (:func:`repro.plans.physical_ops.use_annotation`), so a shared,
         unattached operator tree can be scheduled under any parameter
         variant without being rewritten.
+    cluster:
+        Optional :class:`~repro.core.cluster.ClusterSpec` describing a
+        heterogeneous cluster.  When set, its site count must equal
+        ``p``; its capacity vector reaches the algorithms through
+        :attr:`capacities`.  ``None`` (or a uniform spec) keeps every
+        algorithm on the byte-identical homogeneous path.
     """
 
     p: int
@@ -86,6 +93,7 @@ class ScheduleRequest:
     policy: "CoordinatorPolicy | None" = None
     metrics: MetricsRecorder | None = None
     annotation: "PlanAnnotation | None" = None
+    cluster: "ClusterSpec | None" = None
     _comm: "CommunicationModel | None" = field(
         default=None, repr=False, compare=False
     )
@@ -100,6 +108,28 @@ class ScheduleRequest:
             from repro.core.cloning import DEFAULT_COORDINATOR_POLICY
 
             self.policy = DEFAULT_COORDINATOR_POLICY
+        if self.cluster is not None and self.cluster.p != self.p:
+            raise ConfigurationError(
+                f"cluster spec has {self.cluster.p} sites but request has "
+                f"p={self.p}"
+            )
+
+    @property
+    def capacities(self) -> "tuple[float, ...] | None":
+        """Per-site capacities, or ``None`` on the homogeneous path.
+
+        Uniform clusters (all capacities 1.0) also return ``None`` so
+        algorithms keep the byte-identical homogeneous code path.
+        """
+        if self.cluster is None:
+            return None
+        return self.cluster.capacities_or_none()
+
+    @property
+    def total_capacity(self) -> "float | None":
+        """Total capacity ``C``, or ``None`` on the homogeneous path."""
+        caps = self.capacities
+        return None if caps is None else float(sum(caps))
 
     @property
     def comm(self) -> "CommunicationModel":

@@ -37,6 +37,7 @@ from repro.engine.metrics import (
     COUNTER_CLONES_MOVED,
     COUNTER_RESCHEDULES,
     COUNTER_SITES_DRAINED,
+    COUNTER_SITES_RESIZED,
     COUNTER_SITES_RESTORED,
     MetricsRecorder,
     TIMER_RESCHEDULE,
@@ -144,6 +145,10 @@ def reschedule(
     inst.counters.setdefault(COUNTER_CLONES_MOVED, float(stats.clones_moved))
     inst.counters.setdefault(COUNTER_SITES_DRAINED, float(stats.sites_drained))
     inst.counters.setdefault(COUNTER_SITES_RESTORED, float(stats.sites_restored))
+    # Only when the delta actually resized sites: keeps instrumentation of
+    # capacity-free repairs byte-identical to the pre-capacity engine.
+    if stats.sites_resized:
+        inst.counters.setdefault(COUNTER_SITES_RESIZED, float(stats.sites_resized))
     inst.timers.setdefault(TIMER_RESCHEDULE, wall)
 
     result = ScheduleResult(

@@ -39,7 +39,9 @@ import sys
 import time
 from collections.abc import Sequence
 
+from repro.core.cluster import parse_cluster_spec
 from repro.engine.registry import describe_algorithms
+from repro.exceptions import ConfigurationError
 from repro.experiments.config import PAPER_CONFIG, quick_config
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import render_figure, render_parameters
@@ -110,6 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="P",
         help="override the swept site counts",
+    )
+    parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "heterogeneous cluster for fig/serve/plansearch targets: "
+            "'name:count[:capacity],...' (e.g. 'fast:4:2.0,slow:12:1.0') "
+            "or a bare site count for a uniform pool; pins the site axis "
+            "to the spec's total site count"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -237,6 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="F",
         help="serve: granularity parameter f (default 0.1)",
     )
+    serve.add_argument(
+        "--resize",
+        action="append",
+        default=None,
+        metavar="AT:SITE:CAP",
+        help=(
+            "serve: apply an elastic capacity change at virtual time AT, "
+            "setting site SITE's capacity to CAP (repeatable)"
+        ),
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,
@@ -301,6 +324,7 @@ def _run_plansearch(args, config, store) -> int:
         store=store,
         pareto=args.pareto,
         pareto_eps=args.pareto_eps,
+        cluster=config.cluster,
     )
     elapsed = time.perf_counter() - start
     stats = result.stats
@@ -321,6 +345,13 @@ def _run_plansearch(args, config, store) -> int:
             "relations": args.relations,
             "p": p,
             "seed": config.seed,
+            # Emitted only for heterogeneous runs so homogeneous stdout
+            # stays byte-identical.
+            **(
+                {"cluster": config.cluster.spec_string()}
+                if config.cluster is not None
+                else {}
+            ),
             "exhaustive": stats.exhaustive,
             "enumerated": stats.enumerated,
             "unique": stats.unique,
@@ -337,6 +368,8 @@ def _run_plansearch(args, config, store) -> int:
             f"Schedule-aware plan search: {args.relations} relations, "
             f"p={p}, seed={config.seed}"
         )
+        if config.cluster is not None:
+            print(f"cluster: {config.cluster.spec_string()}")
         print(
             f"regime: {regime}; enumerated {stats.enumerated}, "
             f"unique {stats.unique}, pruned {stats.pruned} "
@@ -390,6 +423,16 @@ def _run_serve(args, config, store) -> int:
     )
 
     p = args.sites[0] if args.sites else 20
+    events = []
+    for text in args.resize or ():
+        try:
+            at, site, capacity = text.split(":")
+            events.append((float(at), int(site), float(capacity)))
+        except ValueError:
+            print(
+                f"--resize wants AT:SITE:CAP, got {text!r}", file=sys.stderr
+            )
+            return 2
     spec = WorkloadSpec(
         duration=args.duration,
         arrival=args.arrival,
@@ -409,6 +452,8 @@ def _run_serve(args, config, store) -> int:
             policy=GovernorPolicy(args.governor), max_degree=args.max_degree
         ),
         max_coresident=args.max_coresident,
+        cluster=config.cluster,
+        capacity_events=tuple(events),
     )
     service = SchedulerService(serve_config, store=store)
     report = service.run()
@@ -421,6 +466,11 @@ def _run_serve(args, config, store) -> int:
             "arrival": args.arrival,
             "governor": args.governor,
             "seed": config.seed,
+            **(
+                {"cluster": config.cluster.spec_string()}
+                if config.cluster is not None
+                else {}
+            ),
             "summary": summary,
         }
         print(json.dumps(payload, indent=2))
@@ -430,6 +480,8 @@ def _run_serve(args, config, store) -> int:
             f"Online scheduler service: p={p}, {args.arrival} arrivals, "
             f"{args.governor} governor, seed={config.seed}"
         )
+        if config.cluster is not None:
+            print(f"cluster: {config.cluster.spec_string()}")
         print(
             f"offered {summary['offered']}, outcomes {summary['outcomes']}, "
             f"deferred-then-run {summary['deferred_then_run']}"
@@ -453,6 +505,8 @@ def _run_serve(args, config, store) -> int:
             f"concurrency {pool['mean_concurrency']:.6g}, "
             f"placement scans {pool['placement_scans']}"
         )
+        if "sites_resized" in pool:
+            print(f"elastic capacity changes {pool['sites_resized']}")
     print(f"[serve] ran in {report.wall_seconds:.2f}s wall", file=sys.stderr)
     return 0
 
@@ -463,6 +517,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.no_cache and args.cache_dir:
         print("--no-cache and --cache-dir are mutually exclusive", file=sys.stderr)
         return 2
+    cluster_spec = None
+    if args.cluster is not None:
+        if args.sites is not None:
+            print(
+                "--cluster and --sites are mutually exclusive "
+                "(the cluster spec pins the site count)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            cluster_spec = parse_cluster_spec(args.cluster)
+        except ConfigurationError as exc:
+            print(f"--cluster: {exc}", file=sys.stderr)
+            return 2
+        # The spec pins the site axis for every target; a uniform spec
+        # is normalized away by ExperimentConfig, so '--cluster 20'
+        # behaves (and caches) exactly like '--sites 20'.
+        args.sites = [cluster_spec.p]
     # The store travels two ways: as an object for inline evaluation and
     # through the environment for forked sweep workers.  Stats and the
     # summary go to stderr only — stdout (figures, JSON) must stay
@@ -495,6 +567,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides["seed"] = args.seed
     if args.sites is not None:
         overrides["site_counts"] = tuple(args.sites)
+    if cluster_spec is not None:
+        overrides["cluster"] = cluster_spec
     if overrides:
         config = config.with_overrides(**overrides)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ConfigurationError
+from repro.core.cluster import ClusterSpec
 from repro.cost.params import PAPER_PARAMETERS, SystemParameters
 
 __all__ = ["ExperimentConfig", "PAPER_CONFIG", "quick_config"]
@@ -43,6 +44,12 @@ class ExperimentConfig:
         Granularity used when f is held constant (paper: 0.7).
     default_epsilon:
         Overlap used when epsilon is held constant (paper: 0.5).
+    cluster:
+        Optional heterogeneous cluster (the CLI's ``--cluster``).  When
+        set, it pins the site axis: every swept site count must equal
+        ``cluster.p``.  A *uniform* spec is normalized away to ``None``
+        so homogeneous runs stay byte- and cache-identical regardless of
+        how the site count was spelled.
     """
 
     site_counts: tuple[int, ...] = (10, 20, 40, 60, 80, 100, 120, 140)
@@ -54,10 +61,19 @@ class ExperimentConfig:
     epsilon_values: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7)
     default_f: float = 0.7
     default_epsilon: float = 0.5
+    cluster: ClusterSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.site_counts or any(p < 1 for p in self.site_counts):
             raise ConfigurationError("site_counts must be non-empty positive ints")
+        if self.cluster is not None:
+            if self.cluster.is_uniform():
+                object.__setattr__(self, "cluster", None)
+            elif any(p != self.cluster.p for p in self.site_counts):
+                raise ConfigurationError(
+                    f"cluster spec describes {self.cluster.p} sites but the "
+                    f"sweep visits site counts {self.site_counts}"
+                )
         if not self.query_sizes or any(j < 1 for j in self.query_sizes):
             raise ConfigurationError("query_sizes must be non-empty positive ints")
         if self.n_queries < 1:

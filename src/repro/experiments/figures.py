@@ -85,7 +85,7 @@ def figure5a(
     points = [
         SweepPoint(
             "treeschedule", n_joins, config.n_queries, config.seed,
-            p, f, epsilon, config.params,
+            p, f, epsilon, config.params, config.cluster,
         )
         for f in config.f_values
         for p in sites
@@ -93,7 +93,7 @@ def figure5a(
     points += [
         SweepPoint(
             "synchronous", n_joins, config.n_queries, config.seed,
-            p, config.default_f, epsilon, config.params,
+            p, config.default_f, epsilon, config.params, config.cluster,
         )
         for p in sites
     ]
@@ -131,7 +131,7 @@ def figure5b(
     points = [
         SweepPoint(
             algorithm, n_joins, config.n_queries, config.seed,
-            p, f, eps, config.params,
+            p, f, eps, config.params, config.cluster,
         )
         for eps in config.epsilon_values
         for algorithm in ("treeschedule", "synchronous")
@@ -172,11 +172,13 @@ def figure6a(
     """Figure 6(a): effect of query size at two system sizes."""
     epsilon = config.default_epsilon if epsilon is None else epsilon
     f = config.default_f if f is None else f
+    if config.cluster is not None:
+        p_values = (config.cluster.p,)
     sizes = tuple(config.query_sizes)
     points = [
         SweepPoint(
             algorithm, size, config.n_queries, config.seed,
-            p, f, epsilon, config.params,
+            p, f, epsilon, config.params, config.cluster,
         )
         for p in p_values
         for algorithm in ("treeschedule", "synchronous")
@@ -218,7 +220,7 @@ def figure6b(
     points = [
         SweepPoint(
             algorithm, size, config.n_queries, config.seed,
-            p, f, epsilon, config.params,
+            p, f, epsilon, config.params, config.cluster,
         )
         for size in query_sizes
         for algorithm in ("treeschedule", "optbound")

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import ConfigurationError
+from repro.core.cluster import ClusterSpec
 from repro.engine.metrics import (
     COUNTER_POINT_STORE_HITS,
     COUNTER_POINT_STORE_MISSES,
@@ -101,6 +102,11 @@ class SweepPoint:
     params:
         Table 2 system parameters (annotation *and* scheduling use these,
         so sensitivity sweeps vary them per point).
+    cluster:
+        Optional heterogeneous cluster (``cluster.p`` must equal ``p``).
+        ``None`` — the homogeneous default — keys and evaluates exactly
+        as before; callers should pass ``None`` rather than a uniform
+        spec so uniform runs share cache entries with capacity-free ones.
     """
 
     algorithm: str
@@ -111,6 +117,7 @@ class SweepPoint:
     f: float
     epsilon: float
     params: SystemParameters = PAPER_PARAMETERS
+    cluster: "ClusterSpec | None" = None
 
 
 def evaluate_point(point: SweepPoint) -> float:
@@ -130,6 +137,7 @@ def evaluate_point(point: SweepPoint) -> float:
         f=point.f,
         epsilon=point.epsilon,
         params=point.params,
+        cluster=point.cluster,
     )
 
 

@@ -36,6 +36,7 @@ from repro.engine.metrics import (
     COUNTER_STORE_MISSES,
     MetricsRecorder,
 )
+from repro.core.cluster import ClusterSpec
 from repro.engine.registry import ScheduleRequest, available_algorithms, get_algorithm
 from repro.engine.result import ScheduleResult
 from repro.cost.annotate import AnnotatedQuery, PlanAnnotation, compute_plan_annotation
@@ -288,10 +289,11 @@ def _result_store_payload(
     f: float,
     epsilon: float,
     params: SystemParameters,
+    cluster: "ClusterSpec | None" = None,
 ) -> dict:
-    from repro.serialization import system_parameters_to_dict
+    from repro.serialization import cluster_spec_to_dict, system_parameters_to_dict
 
-    return {
+    payload = {
         "algorithm": algorithm,
         "query": cache_key,
         "p": p,
@@ -299,6 +301,12 @@ def _result_store_payload(
         "epsilon": epsilon,
         "params": system_parameters_to_dict(params),
     }
+    # A uniform cluster is the homogeneous cluster: omitting it keeps the
+    # key — and therefore the warm cache — identical to runs that never
+    # mentioned a cluster at all.
+    if cluster is not None and not cluster.is_uniform():
+        payload["cluster"] = cluster_spec_to_dict(cluster)
+    return payload
 
 
 def schedule_query(
@@ -312,6 +320,7 @@ def schedule_query(
     metrics: MetricsRecorder | None = None,
     store: ArtifactStore | None = None,
     cache_key: dict | None = None,
+    cluster: "ClusterSpec | None" = None,
 ) -> ScheduleResult:
     """Run one registered algorithm on one annotated query.
 
@@ -346,6 +355,11 @@ def schedule_query(
         identifying the query, e.g. workload coordinates plus index);
         hits skip the scheduler entirely and are tagged in the result's
         instrumentation counters (``store_hits`` / ``store_misses``).
+    cluster:
+        Optional :class:`~repro.core.cluster.ClusterSpec` for a
+        heterogeneous cluster; its site count must equal ``p``.  A
+        non-uniform spec is folded into the store key, so heterogeneous
+        results never alias homogeneous ones.
 
     Raises
     ------
@@ -364,7 +378,8 @@ def schedule_query(
         from repro.serialization import schedule_result_from_dict
 
         payload = _result_store_payload(
-            algorithm, cache_key, p=p, f=f, epsilon=epsilon, params=params
+            algorithm, cache_key, p=p, f=f, epsilon=epsilon, params=params,
+            cluster=cluster,
         )
         key = store.key(KIND_RESULT, payload)
         cached = store.get(KIND_RESULT, key)
@@ -383,7 +398,7 @@ def schedule_query(
 
     request = ScheduleRequest(
         p=p, f=f, epsilon=epsilon, params=params, metrics=metrics,
-        annotation=annotation,
+        annotation=annotation, cluster=cluster,
     )
     result = scheduler(query, request)
     if store is not None and key is not None:
@@ -406,10 +421,12 @@ def response_time(
     f: float,
     epsilon: float,
     params: SystemParameters = PAPER_PARAMETERS,
+    cluster: "ClusterSpec | None" = None,
 ) -> float:
     """Evaluate one algorithm on one annotated query (headline number)."""
     result = schedule_query(
-        algorithm, query, p=p, f=f, epsilon=epsilon, params=params
+        algorithm, query, p=p, f=f, epsilon=epsilon, params=params,
+        cluster=cluster,
     )
     return result.makespan
 
@@ -422,12 +439,16 @@ def average_response_time(
     f: float,
     epsilon: float,
     params: SystemParameters = PAPER_PARAMETERS,
+    cluster: "ClusterSpec | None" = None,
 ) -> float:
     """Average :func:`response_time` over a query cohort."""
     if not queries:
         raise ConfigurationError("query cohort is empty")
     times = [
-        response_time(algorithm, q, p=p, f=f, epsilon=epsilon, params=params)
+        response_time(
+            algorithm, q, p=p, f=f, epsilon=epsilon, params=params,
+            cluster=cluster,
+        )
         for q in queries
     ]
     return math.fsum(times) / len(times)

@@ -75,6 +75,8 @@ KNOWN_SPAN_NAMES = frozenset(
         # incremental repair
         "reschedule",
         "reschedule_repair",
+        # elastic capacity change applied to a serve pool or schedule
+        "capacity_change",
         # schedule-aware plan search
         "plan_search",
         "plan_enumerate",

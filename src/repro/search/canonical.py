@@ -6,9 +6,8 @@ orientation, join method and materialization flags — the ``join_id``
 labels are bookkeeping, not structure.  :func:`plan_payload` maps a plan
 to a nested plain-data form that deliberately omits the labels, and
 :func:`plan_key` hashes that form through the artifact store's
-canonical-JSON keying (:func:`repro.store.content_key`), so the dedupe
-hash, the candidate-score cache key, and the on-disk winner-schedule key
-are all the same bytes for the same plan.
+canonical-JSON text, so the dedupe hash is the same bytes for the same
+plan in any process, under any hash seed, on any machine.
 
 :func:`plan_from_payload` rebuilds a :class:`~repro.plans.join_tree.PlanNode`
 tree from a payload, assigning fresh ``join_id`` labels in post-order
@@ -20,12 +19,21 @@ whatever process, hash seed, or search move produced it.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 from repro.exceptions import PlanStructureError
 from repro.plans.join_tree import BaseRelationNode, JoinMethod, JoinNode, PlanNode
 from repro.plans.relations import Catalog, Relation
-from repro.store import KIND_PLAN, content_key
+from repro.store import KIND_PLAN, canonical_json
+
+#: Envelope version of the *plan identity* hash.  A plan key is a stable
+#: name printed in reports and compared across runs, not a cache
+#: address, so it deliberately pins its own version instead of tracking
+#: :data:`repro.store.STORE_SCHEMA` — store-schema bumps must not
+#: renumber plans.  (The candidate-score and winner-schedule cache keys
+#: are derived separately and *do* follow the store schema.)
+_PLAN_KEY_SCHEMA = "repro-store/1"
 
 __all__ = [
     "plan_payload",
@@ -97,11 +105,18 @@ def plan_from_payload(payload: dict[str, Any]) -> PlanNode:
 def plan_key(plan: PlanNode) -> str:
     """Content key of the plan's structure (labels excluded).
 
-    Reuses the store's canonical-JSON SHA-256 keying under the
-    :data:`~repro.store.KIND_PLAN` kind, so equal structures hash equal
-    in any process, under any ``PYTHONHASHSEED``, on any machine.
+    Reuses the store's canonical-JSON text under the
+    :data:`~repro.store.KIND_PLAN` kind with the pinned
+    :data:`_PLAN_KEY_SCHEMA` envelope, so equal structures hash equal in
+    any process, under any ``PYTHONHASHSEED``, on any machine — and keep
+    hashing equal across store-schema bumps.
     """
-    return content_key(KIND_PLAN, plan_payload(plan))
+    envelope = {
+        "schema": _PLAN_KEY_SCHEMA,
+        "kind": KIND_PLAN,
+        "payload": plan_payload(plan),
+    }
+    return hashlib.sha256(canonical_json(envelope).encode("utf-8")).hexdigest()
 
 
 def canonical_plan(plan: PlanNode) -> PlanNode:

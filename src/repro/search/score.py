@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.cluster import ClusterSpec
 from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import OverlapModel
 from repro.core.tree_schedule import tree_schedule
@@ -67,6 +68,9 @@ class CandidatePoint:
     params: SystemParameters
     comm: CommunicationModel
     overlap: OverlapModel
+    #: ``None`` for homogeneous searches (uniform specs are normalized
+    #: away upstream so their scores share cache entries).
+    cluster: ClusterSpec | None = None
 
 
 def candidate_point(
@@ -78,6 +82,7 @@ def candidate_point(
     params: SystemParameters,
     comm: CommunicationModel,
     overlap: OverlapModel,
+    cluster: ClusterSpec | None = None,
 ) -> CandidatePoint:
     """Build the sweep point for one candidate plan."""
     return CandidatePoint(
@@ -88,6 +93,7 @@ def candidate_point(
         params=params,
         comm=comm,
         overlap=overlap,
+        cluster=cluster,
     )
 
 
@@ -126,6 +132,11 @@ def _schedule_point(point: CandidatePoint) -> ScheduleResult:
         overlap=point.overlap,
         f=point.f,
         shelf=point.shelf,
+        capacities=(
+            point.cluster.capacities_or_none()
+            if point.cluster is not None
+            else None
+        ),
     )
 
 
@@ -189,7 +200,7 @@ def schedule_candidate(
 
 def _plan_store_payload(point: CandidatePoint) -> dict[str, Any]:
     """Content-key payload of a winner-schedule artifact."""
-    return {
+    payload = {
         "plan": json.loads(point.plan_json),
         "p": point.p,
         "f": point.f,
@@ -198,3 +209,7 @@ def _plan_store_payload(point: CandidatePoint) -> dict[str, Any]:
         "comm": point.comm,
         "overlap": point.overlap,
     }
+    # Emitted only when heterogeneous, so homogeneous keys are unchanged.
+    if point.cluster is not None:
+        payload["cluster"] = point.cluster
+    return payload

@@ -69,12 +69,21 @@ class ScreenContext:
         comm: CommunicationModel,
         overlap: OverlapModel,
         policy: CoordinatorPolicy = DEFAULT_COORDINATOR_POLICY,
+        capacities: "Sequence[float] | None" = None,
     ) -> None:
         self.p = p
         self.params = params
         self.comm = comm
         self.overlap = overlap
         self.policy = policy
+        #: heterogeneous relaxation terms (``None`` keeps the historical
+        #: homogeneous bound byte-for-byte): congestion divides by the
+        #: total capacity instead of ``p``, the critical path by the
+        #: fastest site's speed — both sides stay valid lower bounds.
+        self.total_capacity = (
+            None if capacities is None else float(sum(capacities))
+        )
+        self.max_capacity = None if capacities is None else max(capacities)
         self._t_min: dict[tuple, float] = {}
 
     def t_min(self, spec) -> float:
@@ -145,6 +154,11 @@ def candidate_lower_bounds(
         if d is None:
             d = totals[0].d
         groups.append(totals)
-        h_values.append(_critical_path(op_tree, specs, ctx))
+        h = _critical_path(op_tree, specs, ctx)
+        if ctx.max_capacity is not None:
+            h /= ctx.max_capacity
+        h_values.append(h)
     assert d is not None
-    return lower_bounds_batch(groups, h_values, ctx.p, d)
+    return lower_bounds_batch(
+        groups, h_values, ctx.p, d, total_capacity=ctx.total_capacity
+    )

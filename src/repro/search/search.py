@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.cloning import DEFAULT_COORDINATOR_POLICY, CoordinatorPolicy
+from repro.core.cluster import ClusterSpec
 from repro.core.granularity import CommunicationModel
 from repro.core.resource_model import ConvexCombinationOverlap, OverlapModel
 from repro.cost.params import PAPER_PARAMETERS, SystemParameters
@@ -187,6 +188,7 @@ def search_plans(
     prune: bool = True,
     pareto: bool = False,
     pareto_eps: float = 0.05,
+    cluster: ClusterSpec | None = None,
 ) -> PlanSearchResult:
     """Search the bushy-plan space of one tree query, scheduler-scored.
 
@@ -222,11 +224,25 @@ def search_plans(
         an incumbent screen on response time would discard low-work
         plans) and return the ε-approximate Pareto frontier over
         (response time, total work, max per-site load).
+    cluster:
+        Optional heterogeneous cluster (``cluster.p`` must equal ``p``).
+        Candidates are scored on the capacity-aware TREESCHEDULE and the
+        prune screen relaxes its bounds by the total / fastest capacity
+        so pruning stays winner-invariant.  Uniform specs normalize to
+        ``None`` — homogeneous searches are byte- and cache-identical
+        however the site count was spelled.
     """
     if p < 1:
         raise ConfigurationError(f"number of sites must be >= 1, got {p}")
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if cluster is not None:
+        if cluster.p != p:
+            raise ConfigurationError(
+                f"cluster spec describes {cluster.p} sites but p={p}"
+            )
+        if cluster.is_uniform():
+            cluster = None
     if params is None:
         params = PAPER_PARAMETERS
     if comm is None:
@@ -240,7 +256,14 @@ def search_plans(
     runner_rec = MetricsRecorder()
     runner = ParallelRunner(workers, metrics=runner_rec, store=store)
     resolved_store = resolve_store(store)
-    ctx = ScreenContext(p=p, params=params, comm=comm, overlap=overlap, policy=policy)
+    ctx = ScreenContext(
+        p=p,
+        params=params,
+        comm=comm,
+        overlap=overlap,
+        policy=policy,
+        capacities=None if cluster is None else cluster.capacities(),
+    )
     rng = random.Random(seed)
 
     scored: dict[str, ScoredPlan] = {}
@@ -249,7 +272,8 @@ def search_plans(
 
     def point_of(plan: PlanNode) -> CandidatePoint:
         return candidate_point(
-            plan, p=p, f=f, shelf=shelf, params=params, comm=comm, overlap=overlap
+            plan, p=p, f=f, shelf=shelf, params=params, comm=comm,
+            overlap=overlap, cluster=cluster,
         )
 
     def dedupe(plans: list[PlanNode]) -> list[tuple[str, PlanNode]]:

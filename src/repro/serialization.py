@@ -19,6 +19,7 @@ import dataclasses
 
 from repro.exceptions import ConfigurationError
 from repro.core.cloning import OperatorSpec
+from repro.core.cluster import ClusterSpec, SiteClass
 from repro.core.reschedule import ScheduleDelta
 from repro.core.schedule import OperatorHome, PhasedSchedule, Schedule
 from repro.core.vector_packing import CloneItem
@@ -36,6 +37,8 @@ __all__ = [
     "operator_spec_from_dict",
     "system_parameters_to_dict",
     "system_parameters_from_dict",
+    "cluster_spec_to_dict",
+    "cluster_spec_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
     "schedule_delta_to_dict",
@@ -130,6 +133,36 @@ def system_parameters_from_dict(payload: dict[str, Any]) -> SystemParameters:
     return SystemParameters(**kwargs)
 
 
+def cluster_spec_to_dict(spec: ClusterSpec) -> dict[str, Any]:
+    """Serialize a cluster spec, class by class in declaration order.
+
+    Deterministic (field order fixed, classes ordered), so canonical JSON
+    of this payload is what :func:`repro.experiments.runner` hashes into
+    store keys for heterogeneous sweep points.
+    """
+    return {
+        "classes": [
+            {"name": cls.name, "count": cls.count, "capacity": cls.capacity}
+            for cls in spec.classes
+        ]
+    }
+
+
+def cluster_spec_from_dict(payload: dict[str, Any]) -> ClusterSpec:
+    """Deserialize a cluster spec (re-validates its invariants)."""
+    _check_schema(payload)
+    return ClusterSpec(
+        tuple(
+            SiteClass(
+                name=_expect(item, "name"),
+                count=int(_expect(item, "count")),
+                capacity=float(item.get("capacity", 1.0)),
+            )
+            for item in _expect(payload, "classes")
+        )
+    )
+
+
 def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
     """Serialize a schedule: dimensions plus every clone placement."""
     placements = []
@@ -154,13 +187,22 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
     # a repair delta stay byte-identical to pre-rescheduling payloads.
     if schedule.disabled_sites:
         payload["disabled_sites"] = sorted(schedule.disabled_sites)
+    # Same conditional rule for capacities: uniform (all 1.0) schedules
+    # serialize byte-identically to pre-capacity payloads.
+    if not schedule.is_uniform_capacity():
+        payload["capacities"] = list(schedule.capacities())
     return payload
 
 
 def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
     """Deserialize a schedule (re-validates constraint (A) on the way)."""
     _check_schema(payload)
-    schedule = Schedule(int(_expect(payload, "p")), int(_expect(payload, "d")))
+    capacities = payload.get("capacities")
+    schedule = Schedule(
+        int(_expect(payload, "p")),
+        int(_expect(payload, "d")),
+        None if capacities is None else [float(c) for c in capacities],
+    )
     for item in _expect(payload, "placements"):
         schedule.place(
             int(_expect(item, "site")),
@@ -178,7 +220,7 @@ def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
 
 def schedule_delta_to_dict(delta: ScheduleDelta) -> dict[str, Any]:
     """Serialize a repair delta (also the store-key payload for repairs)."""
-    return {
+    payload = {
         "schema": _SCHEMA,
         "remove_sites": list(delta.remove_sites),
         "restore_sites": list(delta.restore_sites),
@@ -193,6 +235,11 @@ def schedule_delta_to_dict(delta: ScheduleDelta) -> dict[str, Any]:
         ],
         "phase_index": delta.phase_index,
     }
+    # Conditional emission keeps capacity-free deltas — and therefore
+    # their store keys — byte-identical to the pre-capacity codec.
+    if delta.set_capacities:
+        payload["set_capacities"] = [[j, c] for j, c in delta.set_capacities]
+    return payload
 
 
 def schedule_delta_from_dict(payload: dict[str, Any]) -> ScheduleDelta:
@@ -209,6 +256,9 @@ def schedule_delta_from_dict(payload: dict[str, Any]) -> ScheduleDelta:
                 work=work_vector_from_dict(_expect(item, "work")),
             )
             for item in payload.get("add_items", [])
+        ),
+        set_capacities=tuple(
+            (int(j), float(c)) for j, c in payload.get("set_capacities", [])
         ),
         phase_index=int(payload.get("phase_index", 0)),
     )

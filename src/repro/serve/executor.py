@@ -7,15 +7,19 @@ running query ``q`` has remaining work ``R_q`` (initialized to its
 stand-alone response time ``T0`` at the scheduled degree) and progresses
 at rate
 
-    ``r_q = 1 / max over hosts(q) of residents(site)``
+    ``r_q = min over hosts(q) of capacity(site) / residents(site)``
 
 — the fair share of its most contended site, since a query proceeds at
-the pace of its slowest clone.  Rates are piecewise constant between
-*events* (a launch, a retirement), so the executor simply computes the
-next completion time analytically, sleeps the virtual clock to whichever
-comes first — that completion or a membership change — and integrates
-progress over the elapsed interval.  No polling, no tolerance-tuned
-time steps, and byte-deterministic on the virtual loop.
+the pace of its slowest clone.  On the homogeneous unit pool
+(``capacity_of`` omitted) this reduces exactly to the classic
+``1 / max residents``: correctly-rounded division is monotone, so the
+two forms are bitwise equal.  Rates are piecewise constant between
+*events* (a launch, a retirement, an elastic capacity change signalled
+via :meth:`FluidExecutor.notify_rates_changed`), so the executor simply
+computes the next completion time analytically, sleeps the virtual
+clock to whichever comes first — that completion or a membership change
+— and integrates progress over the elapsed interval.  No polling, no
+tolerance-tuned time steps, and byte-deterministic on the virtual loop.
 """
 
 from __future__ import annotations
@@ -56,10 +60,14 @@ class FluidExecutor:
         retire the pool entry, resolve the client future, and record the
         job — all before the next rate recomputation, so retirement
         immediately speeds up the survivors.
+    capacity_of:
+        Site index -> relative speed (the pool's heterogeneity view).
+        ``None`` means every site is the paper's unit site.
     """
 
     residents_of: Callable[[int], int]
     on_complete: Callable[[str, float], None]
+    capacity_of: "Callable[[int], float] | None" = None
 
     _running: dict[str, _Running] = field(default_factory=dict, init=False)
     _changed: asyncio.Event = field(default_factory=asyncio.Event, init=False)
@@ -95,14 +103,29 @@ class FluidExecutor:
         self._draining = True
         self._changed.set()
 
+    def notify_rates_changed(self) -> None:
+        """Wake the run loop to recompute rates (e.g. a capacity change).
+
+        The current interval is integrated at the rates that were in
+        force, then the next interval picks up the new per-site
+        capacities — exactly how launches and retirements propagate.
+        """
+        self._changed.set()
+
     def _rate(self, query: _Running) -> float:
-        residents = max(self.residents_of(site) for site in query.hosts)
-        if residents < 1:
-            raise ServiceError(
-                f"query {query.name!r} runs on a site with no residents "
-                "(pool and executor disagree)"
-            )
-        return 1.0 / residents
+        best = None
+        for site in query.hosts:
+            residents = self.residents_of(site)
+            if residents < 1:
+                raise ServiceError(
+                    f"query {query.name!r} runs on a site with no residents "
+                    "(pool and executor disagree)"
+                )
+            capacity = 1.0 if self.capacity_of is None else self.capacity_of(site)
+            share = capacity / residents
+            if best is None or share < best:
+                best = share
+        return best
 
     def _advance(self, rates: dict[str, float], elapsed: float, now: float) -> None:
         """Integrate ``elapsed`` seconds of progress and fire completions."""

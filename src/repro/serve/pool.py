@@ -8,12 +8,16 @@ goes through the rescheduler registry — the same
 fault recovery — so admitting query number 10\\ :sup:`3` costs
 O(k · log p), never a cold re-pack of everything resident.
 
-The pool is also the service's contention model: a site hosting ``m``
-query-operators runs each at rate ``1/m`` (fair share, matching the
-fluid simulator's stance in :mod:`repro.sim`), so
-:meth:`residents_of` feeds the executor's progress rates and
-:meth:`has_capacity` gates placement on a co-residency limit rather than
-raw site count.
+The pool is also the service's contention model: a site of capacity
+``c`` hosting ``m`` query-operators runs each at rate ``c/m`` (fair
+share, matching the fluid simulator's stance in :mod:`repro.sim`), so
+:meth:`residents_of` and :meth:`capacity_of` feed the executor's
+progress rates and :meth:`has_capacity` gates placement on a
+co-residency limit rather than raw site count.  :meth:`set_capacity` is
+the elasticity primitive: it resizes one site *in place* through a
+:class:`~repro.core.reschedule.ScheduleDelta` — residents stay put, no
+cold re-pack — and the executor picks the new rates up at its next
+event.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.core.schedule import Schedule
 from repro.core.vector_packing import CloneItem, PlacementRule, SortKey
 from repro.core.work_vector import WorkVector
 from repro.engine.registry import get_rescheduler
+from repro.obs.tracer import current_tracer
 
 __all__ = ["SitePool"]
 
@@ -47,6 +52,10 @@ class SitePool:
         fair-share slowdown any single query can suffer.
     strategy:
         Rescheduler registry name used for install/retire repairs.
+    capacities:
+        Optional per-site relative speeds (length ``p``); ``None`` means
+        the homogeneous unit pool.  Mutated in place by
+        :meth:`set_capacity`.
     """
 
     p: int
@@ -55,12 +64,15 @@ class SitePool:
     strategy: str = "repair"
     sort: SortKey = SortKey.MAX_COMPONENT
     rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH
+    capacities: "tuple[float, ...] | None" = None
 
     _schedule: Schedule | None = field(default=None, init=False)
     #: cumulative repair placement scans, for the service report.
     placement_scans: int = field(default=0, init=False)
     installs: int = field(default=0, init=False)
     retires: int = field(default=0, init=False)
+    #: elastic capacity changes applied (see :meth:`set_capacity`).
+    resizes: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -69,6 +81,19 @@ class SitePool:
             raise ConfigurationError(
                 f"max_coresident must be >= 1, got {self.max_coresident}"
             )
+        if self.capacities is not None:
+            if len(self.capacities) != self.p:
+                raise ConfigurationError(
+                    f"pool has p={self.p} sites but got "
+                    f"{len(self.capacities)} capacities"
+                )
+            for capacity in self.capacities:
+                if not capacity > 0.0 or capacity != capacity or capacity == float("inf"):
+                    raise ConfigurationError(
+                        f"site capacities must be positive finite numbers, "
+                        f"got {capacity!r}"
+                    )
+            self.capacities = tuple(float(c) for c in self.capacities)
 
     @property
     def schedule(self) -> Schedule | None:
@@ -109,7 +134,7 @@ class SitePool:
                 f"query {name!r} wants {len(loads)} sites; pool has {self.p}"
             )
         if self._schedule is None:
-            self._schedule = Schedule(self.p, loads[0].d)
+            self._schedule = Schedule(self.p, loads[0].d, self.capacities)
         if name in self._schedule.operators:
             raise ServiceError(f"query {name!r} is already installed")
         items = tuple(
@@ -132,6 +157,41 @@ class SitePool:
         if self._schedule is None:
             return 0
         return len(self._schedule.site(site_index).operators)
+
+    def capacity_of(self, site_index: int) -> float:
+        """Relative speed of one site (``1.0`` on the homogeneous pool)."""
+        if self._schedule is not None:
+            return self._schedule.site(site_index).capacity
+        if self.capacities is not None:
+            return self.capacities[site_index]
+        return 1.0
+
+    def set_capacity(self, site_index: int, capacity: float) -> None:
+        """Elastically resize one site in place (residents stay put).
+
+        Routed through the rescheduler as a pure
+        ``ScheduleDelta(set_capacities=...)`` — an O(1) mutation of the
+        live ledger, never a re-pack — so a mid-serve scale-up/-down
+        only changes the *rates* the executor observes, not any query's
+        placement.  Before the first install the change lands in the
+        stored :attr:`capacities` snapshot instead.
+        """
+        if not 0 <= site_index < self.p:
+            raise ServiceError(
+                f"cannot resize site {site_index}: pool has p={self.p}"
+            )
+        # Delta construction validates the capacity value itself.
+        delta = ScheduleDelta(set_capacities=((site_index, float(capacity)),))
+        with current_tracer().span(
+            "capacity_change", site=site_index, capacity=float(capacity)
+        ):
+            if self._schedule is None:
+                caps = list(self.capacities or (1.0,) * self.p)
+                caps[site_index] = float(capacity)
+                self.capacities = tuple(caps)
+            else:
+                self._repair(delta)
+        self.resizes += 1
 
     def has_capacity(self, k: int) -> bool:
         """Can a degree-``k`` query join without breaching co-residency?

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
+from repro.core.cluster import ClusterSpec
 from repro.core.resource_model import ConvexCombinationOverlap
 from repro.core.work_vector import WorkVector
 from repro.cost.params import PAPER_PARAMETERS, SystemParameters
@@ -45,6 +46,7 @@ from repro.engine.metrics import (
     COUNTER_QUERIES_DEFERRED,
     COUNTER_QUERIES_OFFERED,
     COUNTER_QUERIES_SHED,
+    COUNTER_SITES_RESIZED,
     TIMER_SERVE,
     MetricsRecorder,
 )
@@ -93,6 +95,14 @@ class ServeConfig:
         budget each query is scheduled against).
     max_coresident:
         Pool co-residency cap gating placement.
+    cluster:
+        Optional heterogeneous pool description; must agree with ``p``.
+        ``None`` keeps the homogeneous unit pool.
+    capacity_events:
+        Elastic scaling script: ``(at, site, capacity)`` triples applied
+        to the live pool at virtual time ``at`` via
+        :meth:`~repro.serve.pool.SitePool.set_capacity` — residents stay
+        put, only rates change.
     """
 
     p: int = 16
@@ -104,6 +114,8 @@ class ServeConfig:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     governor: GovernorConfig = field(default_factory=GovernorConfig)
     max_coresident: int = 4
+    cluster: ClusterSpec | None = None
+    capacity_events: tuple[tuple[float, int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -117,6 +129,35 @@ class ServeConfig:
             raise ConfigurationError(
                 f"max_coresident must be >= 1, got {self.max_coresident}"
             )
+        if self.cluster is not None and self.cluster.p != self.p:
+            raise ConfigurationError(
+                f"cluster spec describes {self.cluster.p} sites but p={self.p}"
+            )
+        events = []
+        for event in self.capacity_events:
+            try:
+                at, site, capacity = event
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"capacity events must be (at, site, capacity) triples, "
+                    f"got {event!r}"
+                ) from None
+            at, site, capacity = float(at), int(site), float(capacity)
+            if at < 0.0:
+                raise ConfigurationError(
+                    f"capacity event time must be >= 0, got {at}"
+                )
+            if not 0 <= site < self.p:
+                raise ConfigurationError(
+                    f"capacity event site {site} out of range for p={self.p}"
+                )
+            if not capacity > 0.0 or capacity != capacity or capacity == float("inf"):
+                raise ConfigurationError(
+                    f"capacity event capacity must be a positive finite "
+                    f"number, got {capacity!r}"
+                )
+            events.append((at, site, capacity))
+        object.__setattr__(self, "capacity_events", tuple(events))
 
 
 @dataclass
@@ -180,6 +221,7 @@ class ServiceReport:
     query_seconds: float
     finished_at: float
     wall_seconds: float
+    sites_resized: int = 0
 
     def _latency_block(self, records: list[JobRecord]) -> dict:
         latencies = sorted(r.latency for r in records if r.latency is not None)
@@ -236,19 +278,27 @@ class ServiceReport:
             )
             if completed
             else 0.0,
-            "pool": {
-                "placement_scans": self.placement_scans,
-                "promoted": self.promoted,
-                "site_utilization": _round(
-                    self.busy_site_seconds / (self.config.p * elapsed)
-                )
-                if elapsed
-                else 0.0,
-                "mean_concurrency": _round(self.query_seconds / elapsed)
-                if elapsed
-                else 0.0,
-            },
+            "pool": self._pool_block(elapsed),
         }
+
+    def _pool_block(self, elapsed: float) -> dict:
+        block = {
+            "placement_scans": self.placement_scans,
+            "promoted": self.promoted,
+            "site_utilization": _round(
+                self.busy_site_seconds / (self.config.p * elapsed)
+            )
+            if elapsed
+            else 0.0,
+            "mean_concurrency": _round(self.query_seconds / elapsed)
+            if elapsed
+            else 0.0,
+        }
+        # Only elastic runs grow the extra key, keeping the classic
+        # summary byte-identical.
+        if self.sites_resized:
+            block["sites_resized"] = self.sites_resized
+        return block
 
 
 class SchedulerService:
@@ -265,12 +315,21 @@ class SchedulerService:
         self.metrics = MetricsRecorder()
         overlap = ConvexCombinationOverlap(config.epsilon)
         self.pool = SitePool(
-            p=config.p, overlap=overlap, max_coresident=config.max_coresident
+            p=config.p,
+            overlap=overlap,
+            max_coresident=config.max_coresident,
+            capacities=(
+                config.cluster.capacities_or_none()
+                if config.cluster is not None
+                else None
+            ),
         )
         self.admission = AdmissionController(config.admission)
         self.governor = DegreeGovernor(config.governor)
         self.executor = FluidExecutor(
-            residents_of=self.pool.residents_of, on_complete=self._on_complete
+            residents_of=self.pool.residents_of,
+            on_complete=self._on_complete,
+            capacity_of=self.pool.capacity_of,
         )
         self.records: dict[int, JobRecord] = {}
         self._futures: dict[int, asyncio.Future] = {}
@@ -448,6 +507,22 @@ class SchedulerService:
         self._capacity_event.set()
 
     # ------------------------------------------------------------------
+    # Elastic scaling (the config's capacity-event script)
+    # ------------------------------------------------------------------
+    async def _apply_capacity_events(self) -> None:
+        loop = asyncio.get_running_loop()
+        for at, site, capacity in sorted(self.config.capacity_events):
+            delay = at - loop.time()
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            self.pool.set_capacity(site, capacity)
+            self.metrics.count(COUNTER_SITES_RESIZED)
+            # A capacity change is a rate event, exactly like a launch or
+            # a retirement: wake the fluid race so the next interval runs
+            # at the new speeds.
+            self.executor.notify_rates_changed()
+
+    # ------------------------------------------------------------------
     # Load generation
     # ------------------------------------------------------------------
     async def _generate_open(self, factory: JobFactory) -> None:
@@ -503,11 +578,18 @@ class SchedulerService:
         ):
             placer = asyncio.ensure_future(self._place_loop())
             runner = asyncio.ensure_future(self.executor.run())
+            resizer = (
+                asyncio.ensure_future(self._apply_capacity_events())
+                if self.config.capacity_events
+                else None
+            )
             await self._generate()
             self._intake_closed = True
             self.admission.drain_intake()
             self._queue_event.set()
             await placer
+            if resizer is not None:
+                await resizer
             self.executor.stop_when_idle()
             await runner
 
@@ -529,4 +611,5 @@ class SchedulerService:
             query_seconds=self.executor.query_seconds,
             finished_at=self._finished_at,
             wall_seconds=wall,
+            sites_resized=self.pool.resizes,
         )

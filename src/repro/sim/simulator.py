@@ -13,6 +13,15 @@ reproduces the analytic model *exactly* (this is asserted by the
 validation tests); under :attr:`FAIR_SHARE` and :attr:`SERIAL` it bounds
 the model from above, quantifying the optimism of assumptions A2/A3.
 
+Heterogeneous clusters: a site of capacity ``c``
+(:attr:`~repro.core.site.Site.capacity`) executes every resource ``c``
+times faster.  The fault-free per-policy simulators run in unit-capacity
+time and :func:`simulate_site` rescales their events by ``1/c``; the
+fault event loop composes ``c`` directly with the fault slowdown factor.
+Recorded rate intervals stay in utilization units (fraction of the
+site's own budget).  At ``c = 1.0`` every path is byte-identical to the
+homogeneous simulator.
+
 Fault injection: every entry point accepts an optional
 :class:`~repro.sim.faults.FaultPlan` (or per-site
 :class:`~repro.sim.faults.SiteFaults`).  Sites untouched by the plan run
@@ -149,17 +158,24 @@ def _clone_states(site: Site) -> list[dict]:
     return states
 
 
-def _check_feasible(resource_rates: tuple[float, ...], site_index: int) -> None:
+def _check_feasible(
+    resource_rates: tuple[float, ...], site_index: int, limit: float = 1.0
+) -> None:
     for i, r in enumerate(resource_rates):
-        if r > 1.0 + 1e-6:
+        if r > limit * (1.0 + 1e-6):
             raise SimulationError(
-                f"site {site_index}: resource {i} driven at rate {r:.6f} > 1"
+                f"site {site_index}: resource {i} driven at rate {r:.6f} > "
+                f"{limit:g}"
             )
 
 
 def _simulate_stretch(site: Site) -> SiteSimulation:
-    """OPTIMAL_STRETCH: every clone finishes exactly at T* (Equation 2)."""
-    analytic = site.t_site()
+    """OPTIMAL_STRETCH: every clone finishes exactly at T* (Equation 2).
+
+    Runs in unit-capacity time; :func:`simulate_site` rescales for
+    heterogeneous sites.
+    """
+    analytic = site.unit_t_site()
     states = _clone_states(site)
     t_star = analytic
     traces = []
@@ -204,8 +220,12 @@ def _simulate_stretch(site: Site) -> SiteSimulation:
 
 
 def _simulate_fair_share(site: Site) -> SiteSimulation:
-    """FAIR_SHARE: equal throttle for all active clones, event-driven."""
-    analytic = site.t_site()
+    """FAIR_SHARE: equal throttle for all active clones, event-driven.
+
+    Runs in unit-capacity time; :func:`simulate_site` rescales for
+    heterogeneous sites.
+    """
+    analytic = site.unit_t_site()
     states = _clone_states(site)
     active = [s for s in states if s["t_seq"] > 0]
     traces = [
@@ -280,8 +300,12 @@ def _simulate_fair_share(site: Site) -> SiteSimulation:
 
 
 def _simulate_serial(site: Site) -> SiteSimulation:
-    """SERIAL: clones run one after another, longest first."""
-    analytic = site.t_site()
+    """SERIAL: clones run one after another, longest first.
+
+    Runs in unit-capacity time; :func:`simulate_site` rescales for
+    heterogeneous sites.
+    """
+    analytic = site.unit_t_site()
     states = sorted(
         _clone_states(site), key=lambda s: (-s["t_seq"], s["label"])
     )
@@ -324,6 +348,42 @@ _POLICY_DISPATCH = {
     SharingPolicy.FAIR_SHARE: _simulate_fair_share,
     SharingPolicy.SERIAL: _simulate_serial,
 }
+
+
+def _scale_site_sim(sim: SiteSimulation, capacity: float) -> SiteSimulation:
+    """Rescale a unit-capacity simulation to a site of speed ``capacity``.
+
+    A capacity-``c`` site drives every resource ``c`` times faster, so
+    every event lands at ``t / c``.  Recorded ``resource_rates`` stay in
+    *utilization* units (fraction of the site's own budget) — running
+    ``c``× faster on a ``c``× budget leaves utilization unchanged, so
+    :meth:`RateInterval.is_feasible`'s ``<= 1`` audit remains the right
+    check.  Callers skip this entirely at ``c == 1.0``, keeping the
+    homogeneous simulation byte-identical.
+    """
+    sim.completion_time /= capacity
+    sim.analytic_time /= capacity
+    sim.traces = [
+        CloneTrace(
+            operator=t.operator,
+            clone_index=t.clone_index,
+            start=t.start / capacity,
+            finish=t.finish / capacity,
+            nominal_t_seq=t.nominal_t_seq,
+        )
+        for t in sim.traces
+    ]
+    sim.intervals = [
+        RateInterval(
+            start=iv.start / capacity,
+            end=iv.end / capacity,
+            active=iv.active,
+            throttle=iv.throttle,
+            resource_rates=iv.resource_rates,
+        )
+        for iv in sim.intervals
+    ]
+    return sim
 
 
 # ----------------------------------------------------------------------
@@ -440,9 +500,14 @@ def _run_site_with_faults(
     """
     analytic = site.t_site()
     states = _faulty_clone_states(site, faults)
-    capacity = faults.slowdown if faults.slowdown is not None else 1.0
-    if capacity <= 0.0:
+    slowdown = faults.slowdown if faults.slowdown is not None else 1.0
+    if slowdown <= 0.0:
         raise SimulationError(f"site {site.index}: slowdown factor must be > 0")
+    # The site's own speed composes with the fault slowdown: a capacity-2
+    # site degraded to half speed progresses at factor 1.0.  Multiplying
+    # by the default capacity 1.0 is bit-exact, so homogeneous fault runs
+    # are unchanged.
+    capacity = site.capacity * slowdown
     fail_at = faults.fail_at
     restart_delay = faults.restart_delay
     serial_rank = {
@@ -532,7 +597,13 @@ def _run_site_with_faults(
             for i, r in enumerate(s["rates"]):
                 agg[i] += r * v
         rates = tuple(agg)
-        _check_feasible(rates, site.index)
+        # Budget is the site's own capacity (the fault slowdown wastes
+        # part of it; it does not shrink what feasibility allows).
+        _check_feasible(rates, site.index, site.capacity)
+        if site.capacity != 1.0:
+            # Record utilization (fraction of this site's budget) so the
+            # RateInterval <= 1 audit stays meaningful on fast sites.
+            rates = tuple(r / site.capacity for r in rates)
         running = tuple(s["label"] for s, v in zip(active, speeds) if v > 0.0)
         if running:
             intervals.append(
@@ -634,6 +705,8 @@ def simulate_site(
             raise SimulationError(f"site {site.index}: negative completion time")
         return result
     result = _POLICY_DISPATCH[policy](site)
+    if site.capacity != 1.0:
+        result = _scale_site_sim(result, site.capacity)
     # Work conservation: each finished clone ran for >= its nominal time
     # scaled by the throttles it received — guaranteed by construction for
     # these policies; assert the cheap invariant finish >= 0 and

@@ -57,7 +57,9 @@ __all__ = [
 #: Bump it whenever the *meaning* of an artifact changes (cost model,
 #: workload generator, result serialization, ...): old entries become
 #: unreachable orphans instead of wrong answers.
-STORE_SCHEMA = "repro-store/1"
+#: ``/2``: schedule payloads gained optional site capacities and result
+#: keys may carry a cluster spec — pre-capacity entries are orphaned.
+STORE_SCHEMA = "repro-store/2"
 
 #: Environment variable naming the default cache directory.  Set by the
 #: CLI's ``--cache-dir`` so forked sweep workers inherit the store.

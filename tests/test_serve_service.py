@@ -189,3 +189,79 @@ class TestServeCLI:
         summary = payload["summary"]
         assert summary["offered"] == sum(summary["outcomes"].values())
         assert summary["qps"] > 0
+
+
+class TestElasticCapacity:
+    """Mid-serve capacity deltas: the PR-9 elasticity primitive."""
+
+    def test_elastic_run_is_deterministic(self):
+        events = ((50.0, 0, 2.0), (150.0, 1, 0.5))
+        first = SchedulerService(
+            _config(capacity_events=events)
+        ).run().summary()
+        second = SchedulerService(
+            _config(capacity_events=events)
+        ).run().summary()
+        assert first == second
+        assert first["pool"]["sites_resized"] == 2
+
+    def test_sites_resized_key_only_when_elastic(self):
+        # Byte-identity leg: a run that never resizes must not even
+        # carry the key, so historical summaries hash unchanged.
+        static = SchedulerService(_config()).run().summary()
+        assert "sites_resized" not in static["pool"]
+        elastic = SchedulerService(
+            _config(capacity_events=((50.0, 0, 2.0),))
+        ).run().summary()
+        assert elastic["pool"]["sites_resized"] == 1
+
+    def test_heterogeneous_pool_from_cluster(self):
+        from repro import parse_cluster_spec
+
+        spec = parse_cluster_spec("fast:4:4.0,slow:16:1.0")
+        hetero = SchedulerService(_config(cluster=spec)).run().summary()
+        uniform = SchedulerService(_config()).run().summary()
+        assert hetero != uniform  # capacities really reach the fluid rates
+        assert hetero["outcomes"].get("completed", 0) > 0
+
+    def test_scale_up_beats_scale_down(self):
+        # Same workload; quadrupling site 0..3 early beats throttling
+        # them to a tenth of a unit — capacity changes must reach the
+        # fluid rates, not just the counters.
+        def run(capacity):
+            events = tuple((10.0, j, capacity) for j in range(4))
+            return SchedulerService(
+                _config(capacity_events=events)
+            ).run().summary()
+
+        up, down = run(4.0), run(0.1)
+        assert up["pool"]["sites_resized"] == 4
+        assert up["mean_slowdown"] <= down["mean_slowdown"]
+
+    def test_cli_resize_and_cluster(self, capsys):
+        args = [*TestServeCLI.ARGS, "--cluster", "fast:4:2.0,slow:16:1.0",
+                "--resize", "30:0:0.5", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["p"] == 20
+        assert payload["cluster"] == "fast:4:2.0,slow:16:1.0"
+        assert payload["summary"]["pool"]["sites_resized"] == 1
+
+    def test_cli_rejects_malformed_resize(self, capsys):
+        assert main([*TestServeCLI.ARGS, "--resize", "30:0"]) == 2
+        capsys.readouterr()
+
+    def test_cli_uniform_cluster_matches_sites(self, capsys):
+        # `--cluster 20` is the same run, cache keys included, as the
+        # bare default pool of 20 sites.
+        assert main([*TestServeCLI.ARGS]) == 0
+        baseline = capsys.readouterr().out
+        assert main([*TestServeCLI.ARGS, "--cluster", "20"]) == 0
+        uniform = capsys.readouterr().out
+        assert uniform == baseline
+
+    def test_cli_cluster_and_sites_are_exclusive(self, capsys):
+        assert main(
+            [*TestServeCLI.ARGS, "--cluster", "20", "--sites", "20"]
+        ) == 2
+        capsys.readouterr()

@@ -287,3 +287,63 @@ class TestPointKeyPayload:
             ),
         )
         assert len({a, b, c}) == 3
+
+
+class TestCapacitySchemaBump:
+    """PR-9 regression: the capacity-aware key schema orphans old entries.
+
+    ``STORE_SCHEMA`` moved to ``repro-store/2`` when cluster specs
+    started flowing into content keys; an entry written under the old
+    schema must read as a (counted) corrupt miss, never as a hit, and
+    heterogeneous clusters must never alias homogeneous keys.
+    """
+
+    def test_schema_is_bumped(self):
+        assert STORE_SCHEMA == "repro-store/2"
+
+    def test_pre_capacity_entry_is_a_counted_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key(KIND_POINT, {"p": 4})
+        path = store.put(KIND_POINT, key, {"value": 1.0})
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["schema"] = "repro-store/1"  # what PR 1-8 stores wrote
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.get(KIND_POINT, key) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+        # get_or_compute recovers by recomputing and rewriting in place.
+        assert store.get_or_compute(
+            KIND_POINT, {"p": 4}, lambda: {"value": 2.0}
+        ) == {"value": 2.0}
+        assert store.get(KIND_POINT, key) == {"value": 2.0}
+
+    def test_cluster_coordinate_changes_point_key(self):
+        from repro import parse_cluster_spec
+        from repro.experiments.parallel import SweepPoint
+
+        def coords(cluster):
+            return point_key_payload(
+                SweepPoint(
+                    algorithm="treeschedule",
+                    n_joins=10,
+                    p=8,
+                    f=0.7,
+                    epsilon=0.5,
+                    seed=1,
+                    n_queries=2,
+                    params=PAPER_PARAMETERS,
+                    cluster=cluster,
+                ),
+                _fake_evaluate,
+            )
+
+        homogeneous = content_key(KIND_POINT, coords(None))
+        heterogeneous = content_key(
+            KIND_POINT, coords(parse_cluster_spec("fast:4:2.0,slow:4:1.0"))
+        )
+        assert homogeneous != heterogeneous
+        # Same heterogeneous spec ⇒ same key (specs are value types).
+        again = content_key(
+            KIND_POINT, coords(parse_cluster_spec("fast:4:2.0,slow:4:1.0"))
+        )
+        assert heterogeneous == again
