@@ -13,7 +13,12 @@ wide.  A fifth run repeats the high-load level with a mid-run elastic
 capacity script (quadruple four sites a quarter in, drop them back at
 three quarters) — the PR 9 elasticity primitive driven end-to-end
 through :class:`~repro.serve.pool.SitePool.set_capacity` repair deltas,
-recorded with the same exact virtual-time fields.
+recorded with the same exact virtual-time fields.  A sixth run repeats
+the high-load level with the PR 10 telemetry plane attached (sampler
+task, SLO monitor, fleet accumulators) — its virtual-time fields must
+be *byte-identical* to the plain high-load run, because telemetry is
+read-only observation, and its wall time must stay within a loose
+multiple of the uninstrumented run (the overhead gate).
 
 Everything executes in virtual time on a single event loop, so the
 recorded throughput/latency figures are deterministic functions of the
@@ -33,7 +38,10 @@ Usage::
         #       script (mid-run resizes stopped reaching the pool),
         #   (d) qps/percentiles diverge from the committed baseline
         #       (the virtual-time results are exact, not timing-based),
-        #   (e) total bench wall time exceeds --wall-budget seconds.
+        #   (e) total bench wall time exceeds --wall-budget seconds,
+        #   (f) the telemetry run's virtual-time fields differ from the
+        #       plain high-load run (observation perturbed the service)
+        #       or its wall time blows past the overhead multiple.
 """
 
 from __future__ import annotations
@@ -52,11 +60,12 @@ from repro.serve import (  # noqa: E402
     GovernorPolicy,
     SchedulerService,
     ServeConfig,
+    TelemetryConfig,
     WorkloadSpec,
 )
 
 BENCH_PATH = REPO_ROOT / "BENCH_serve.json"
-SCHEMA = "repro-bench-serve/2"
+SCHEMA = "repro-bench-serve/3"
 
 P = 20
 MAX_CORESIDENT = 3
@@ -73,11 +82,17 @@ ELASTIC_EVENTS = tuple(
     (DURATION * 0.25, site, 4.0) for site in range(4)
 ) + tuple((DURATION * 0.75, site, 1.0) for site in range(4))
 
+#: Loose wall-overhead gate for the telemetry run: sampling every 5
+#: virtual seconds must not multiply the simulation's wall cost.
+TELEMETRY_WALL_FACTOR = 2.5
+TELEMETRY_WALL_SLACK_S = 1.0
+
 
 def _service(
     rate: float,
     policy: GovernorPolicy,
     capacity_events: tuple = (),
+    telemetry: bool = False,
 ) -> SchedulerService:
     return SchedulerService(
         ServeConfig(
@@ -96,6 +111,7 @@ def _service(
                 policy=policy, max_degree=8, min_degree=1, pressure_step=4
             ),
             capacity_events=capacity_events,
+            telemetry=TelemetryConfig() if telemetry else None,
         )
     )
 
@@ -104,13 +120,15 @@ def run_level(
     rate: float,
     policy: GovernorPolicy,
     capacity_events: tuple = (),
+    telemetry: bool = False,
 ) -> dict:
     """One service run; virtual-time results plus host wall time."""
     start = time.perf_counter()
-    summary = _service(rate, policy, capacity_events).run().summary()
+    service = _service(rate, policy, capacity_events, telemetry)
+    summary = service.run().summary()
     wall = time.perf_counter() - start
     lat = summary["latency"]["all"]
-    return {
+    entry = {
         "rate": rate,
         "offered": summary["offered"],
         "completed": lat["completed"],
@@ -125,6 +143,12 @@ def run_level(
         "sites_resized": summary["pool"].get("sites_resized", 0),
         "wall_s": round(wall, 4),
     }
+    if telemetry:
+        entry["telemetry_samples"] = int(
+            service.metrics.counters.get("telemetry_samples", 0)
+        )
+        entry["slo_breaches"] = len(service.telemetry.breaches)
+    return entry
 
 
 def run_bench() -> dict:
@@ -135,6 +159,9 @@ def run_bench() -> dict:
     fixed_high = run_level(LOAD_LEVELS["high"], GovernorPolicy.FIXED)
     elastic_high = run_level(
         LOAD_LEVELS["high"], GovernorPolicy.ADAPTIVE, ELASTIC_EVENTS
+    )
+    telemetry_high = run_level(
+        LOAD_LEVELS["high"], GovernorPolicy.ADAPTIVE, telemetry=True
     )
     return {
         "schema": SCHEMA,
@@ -151,6 +178,7 @@ def run_bench() -> dict:
         "levels": levels,
         "fixed_baseline_high": fixed_high,
         "elastic_high": elastic_high,
+        "telemetry_high": telemetry_high,
         "governor_speedup_high": round(
             levels["high"]["qps"] / fixed_high["qps"], 4
         ),
@@ -221,7 +249,7 @@ def check_regression(
     )
 
     # (d) virtual-time results match the committed file exactly.
-    for name in (*LOAD_LEVELS, "fixed_baseline_high", "elastic_high"):
+    for name in (*LOAD_LEVELS, "fixed_baseline_high", "elastic_high", "telemetry_high"):
         fresh_entry = (
             fresh[name] if name in fresh else fresh["levels"][name]
         )
@@ -235,6 +263,38 @@ def check_regression(
             f"p95={fresh_entry['p95']:.6g} "
             f"{'matches baseline' if match else 'DIVERGES from baseline'}"
         )
+
+    # (f) telemetry is a pure observer: the instrumented high-load run
+    # reports the exact same virtual-time results as the plain one, its
+    # deterministic sample/breach counts match the committed file, and
+    # the sampler's wall overhead stays inside the loose multiple.
+    telemetry = fresh["telemetry_high"]
+    plain = fresh["levels"]["high"]
+    readonly = _virtual(telemetry) == _virtual(plain)
+    ok &= readonly
+    lines.append(
+        "telemetry high load: virtual-time fields "
+        + ("identical to plain run" if readonly else "DIVERGE from plain run")
+    )
+    committed_telemetry = committed["telemetry_high"]
+    counts_match = (
+        telemetry["telemetry_samples"] == committed_telemetry["telemetry_samples"]
+        and telemetry["slo_breaches"] == committed_telemetry["slo_breaches"]
+    )
+    ok &= counts_match
+    lines.append(
+        f"telemetry high load: {telemetry['telemetry_samples']} samples, "
+        f"{telemetry['slo_breaches']} breaches "
+        f"{'match baseline' if counts_match else 'DIVERGE from baseline'}"
+    )
+    wall_cap = plain["wall_s"] * TELEMETRY_WALL_FACTOR + TELEMETRY_WALL_SLACK_S
+    overhead_ok = telemetry["wall_s"] <= wall_cap
+    ok &= overhead_ok
+    lines.append(
+        f"telemetry overhead: {telemetry['wall_s']:.2f}s vs plain "
+        f"{plain['wall_s']:.2f}s (cap {wall_cap:.2f}s)"
+        + ("" if overhead_ok else " EXCEEDED")
+    )
 
     # (e) the whole bench stays inside the wall budget.
     wall = time.perf_counter() - start
@@ -289,6 +349,13 @@ def main(argv: list[str] | None = None) -> int:
             f"elastic high load: qps={elastic['qps']:.6g} "
             f"p95={elastic['p95']:.6g} "
             f"({elastic['sites_resized']} capacity changes)"
+        )
+        telemetry = payload["telemetry_high"]
+        print(
+            f"telemetry high load: qps={telemetry['qps']:.6g} "
+            f"({telemetry['telemetry_samples']} samples, "
+            f"{telemetry['slo_breaches']} breaches, "
+            f"{telemetry['wall_s']:.2f}s wall)"
         )
         print(f"wrote {BENCH_PATH}")
     if args.check:

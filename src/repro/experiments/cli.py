@@ -260,6 +260,35 @@ def build_parser() -> argparse.ArgumentParser:
             "setting site SITE's capacity to CAP (repeatable)"
         ),
     )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "serve: sample live metrics (queue depths, utilization, "
+            "pressure, SLO attainment) on the virtual clock; stdout "
+            "stays byte-identical"
+        ),
+    )
+    serve.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=None,
+        metavar="T",
+        help=(
+            "serve: virtual seconds between telemetry samples "
+            "(implies --telemetry; default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve: write the Prometheus snapshot (metrics.prom) and the "
+            "JSONL sample stream (metrics.jsonl) into DIR (implies "
+            "--telemetry)"
+        ),
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,
@@ -405,20 +434,22 @@ def _run_plansearch(args, config, store) -> int:
     return 0
 
 
-def _run_serve(args, config, store) -> int:
+def _run_serve(args, config, store, session=None) -> int:
     """The ``serve`` target: one online multi-query scheduling run.
 
     Stdout carries the deterministic run summary only — identical for
     identical seeds at any ``--workers`` count (the service is
-    single-loop virtual-time code; worker processes do not exist in it)
-    and with the cache disabled, cold, or warm.  Wall-clock goes to
-    stderr.
+    single-loop virtual-time code; worker processes do not exist in it),
+    with the cache disabled, cold, or warm, and with telemetry on or
+    off.  Wall-clock, telemetry accounting, and metric artifacts go to
+    stderr and files.
     """
     from repro.serve import (
         GovernorConfig,
         GovernorPolicy,
         SchedulerService,
         ServeConfig,
+        TelemetryConfig,
         WorkloadSpec,
     )
 
@@ -433,6 +464,19 @@ def _run_serve(args, config, store) -> int:
                 f"--resize wants AT:SITE:CAP, got {text!r}", file=sys.stderr
             )
             return 2
+    telemetry_config = None
+    if (
+        args.telemetry
+        or args.telemetry_interval is not None
+        or args.metrics_out is not None
+    ):
+        telemetry_config = TelemetryConfig(
+            interval=(
+                args.telemetry_interval
+                if args.telemetry_interval is not None
+                else 5.0
+            )
+        )
     spec = WorkloadSpec(
         duration=args.duration,
         arrival=args.arrival,
@@ -454,6 +498,7 @@ def _run_serve(args, config, store) -> int:
         max_coresident=args.max_coresident,
         cluster=config.cluster,
         capacity_events=tuple(events),
+        telemetry=telemetry_config,
     )
     service = SchedulerService(serve_config, store=store)
     report = service.run()
@@ -507,6 +552,26 @@ def _run_serve(args, config, store) -> int:
         )
         if "sites_resized" in pool:
             print(f"elastic capacity changes {pool['sites_resized']}")
+    # Telemetry output rides the tracing/caching rule: files and stderr
+    # only, never stdout.
+    if service.telemetry is not None:
+        telemetry = service.telemetry
+        if args.metrics_out:
+            os.makedirs(args.metrics_out, exist_ok=True)
+            telemetry.registry.write_prometheus(
+                os.path.join(args.metrics_out, "metrics.prom")
+            )
+            telemetry.registry.write_jsonl(
+                os.path.join(args.metrics_out, "metrics.jsonl")
+            )
+        if session is not None:
+            session.add_events(telemetry.timeline_events())
+        wrote = f", wrote {args.metrics_out}" if args.metrics_out else ""
+        print(
+            f"[telemetry] {len(telemetry.registry.samples)} samples, "
+            f"{len(telemetry.breaches)} SLO breaches{wrote}",
+            file=sys.stderr,
+        )
     print(f"[serve] ran in {report.wall_seconds:.2f}s wall", file=sys.stderr)
     return 0
 
@@ -649,7 +714,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return code
 
         if args.target == "serve":
-            code = _run_serve(args, config, store)
+            code = _run_serve(args, config, store, session)
             cache_summary()
             return code
 

@@ -13,9 +13,13 @@ vocabulary and the trace-format mapping):
     Chrome trace-event / Perfetto JSON export of span forests, and the
     :func:`validate_trace_events` schema check.
 :mod:`repro.obs.timeline`
-    Simulated-execution and analytic-schedule timelines rendered into
-    the same trace format (site lanes, utilization counters, fault
-    instants).
+    Simulated-execution, analytic-schedule, and serve-fleet timelines
+    rendered into the same trace format (site lanes, utilization
+    counters, fault/SLO instants).
+:mod:`repro.obs.metrics_stream`
+    Zero-dependency time-series instruments (counter/gauge/log-bucket
+    histogram) with Prometheus-text and JSONL exposition and the
+    :func:`validate_metrics_payload` schema check.
 :mod:`repro.obs.session`
     :class:`TraceSession` — the CLI bundle writing ``trace.json``,
     ``events.jsonl`` and a :class:`RunManifest` per run.
@@ -27,14 +31,22 @@ engine/sim/core types appear solely behind ``TYPE_CHECKING``.
 """
 
 from repro.obs.export import (
+    KNOWN_INSTANT_NAMES,
     KNOWN_SPAN_NAMES,
     TRACE_EVENT_PHASES,
     span_events,
     trace_payload,
     tracer_events,
+    unknown_instant_names,
     unknown_span_names,
     validate_trace_events,
     write_trace,
+)
+from repro.obs.metrics_stream import (
+    METRICS_SCHEMA,
+    LogBucketSketch,
+    TimeSeriesRegistry,
+    validate_metrics_payload,
 )
 from repro.obs.session import (
     EVENTS_FILE,
@@ -47,7 +59,11 @@ from repro.obs.session import (
     collect_point_keys,
     git_describe,
 )
-from repro.obs.timeline import schedule_result_events, simulation_events
+from repro.obs.timeline import (
+    fleet_events,
+    schedule_result_events,
+    simulation_events,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     Span,
@@ -68,7 +84,9 @@ __all__ = [
     "span_from_dict",
     "TRACE_EVENT_PHASES",
     "KNOWN_SPAN_NAMES",
+    "KNOWN_INSTANT_NAMES",
     "unknown_span_names",
+    "unknown_instant_names",
     "span_events",
     "tracer_events",
     "trace_payload",
@@ -76,6 +94,11 @@ __all__ = [
     "validate_trace_events",
     "simulation_events",
     "schedule_result_events",
+    "fleet_events",
+    "METRICS_SCHEMA",
+    "LogBucketSketch",
+    "TimeSeriesRegistry",
+    "validate_metrics_payload",
     "TraceSession",
     "RunManifest",
     "RunLog",

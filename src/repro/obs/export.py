@@ -34,7 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "TRACE_EVENT_PHASES",
     "KNOWN_SPAN_NAMES",
+    "KNOWN_INSTANT_NAMES",
     "unknown_span_names",
+    "unknown_instant_names",
     "duration_event",
     "instant_event",
     "counter_event",
@@ -82,8 +84,53 @@ KNOWN_SPAN_NAMES = frozenset(
         "plan_enumerate",
         "plan_screen",
         "plan_score",
+        # online scheduler service
+        "serve",
+        "serve_admit",
+        "serve_place",
+        "serve_complete",
     }
 )
+
+#: The instant-event (``ph:"i"``) name vocabulary: fault injections from
+#: the simulator timeline and SLO breaches from the serve telemetry.
+#: Per-clone fault instants are parameterized ("straggler q0#2",
+#: "skew q1#0"); :func:`unknown_instant_names` matches those by prefix.
+KNOWN_INSTANT_NAMES = frozenset(
+    {
+        "slowdown",
+        "site failure",
+        "slo_breach",
+    }
+)
+
+#: Prefixes of parameterized instant names (clone label appended).
+_INSTANT_NAME_PREFIXES = ("straggler ", "skew ")
+
+
+def unknown_instant_names(events: Any) -> set[str]:
+    """Instant-event names outside the known vocabulary.
+
+    Accepts an iterable of trace events (or a ``{"traceEvents": ...}``
+    payload) and checks every ``ph:"i"`` event's name against
+    :data:`KNOWN_INSTANT_NAMES` plus the parameterized fault prefixes —
+    the same typo-catching check :func:`unknown_span_names` gives spans.
+    """
+    if isinstance(events, dict):
+        events = events.get("traceEvents", ())
+    unknown: set[str] = set()
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "i":
+            continue
+        name = event.get("name")
+        if not isinstance(name, str):
+            continue
+        if name in KNOWN_INSTANT_NAMES:
+            continue
+        if name.startswith(_INSTANT_NAME_PREFIXES):
+            continue
+        unknown.add(name)
+    return unknown
 
 
 def unknown_span_names(spans: Any) -> set[str]:

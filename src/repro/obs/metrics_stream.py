@@ -1,0 +1,510 @@
+"""Zero-dependency time-series metrics: instruments, sketches, exposition.
+
+The tracing subsystem (PR 5) captures *spans* — one timed region per
+event.  The serve layer additionally needs *continuous* signals: queue
+depths, pool utilization, governor pressure, per-class latency
+percentiles, each sampled on the service's **virtual** clock so the
+stream is a deterministic function of the run config.  This module is
+the storage and exposition layer for those signals; the sampling policy
+itself lives in :mod:`repro.serve.telemetry`.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+:class:`CounterInstrument`
+    Monotone non-decreasing total (completions, sheds).  Attempting to
+    move one backwards raises — the validator re-checks monotonicity on
+    the exported stream.
+:class:`GaugeInstrument`
+    A value that goes both ways (queue depth, pressure, utilization).
+:class:`HistogramInstrument`
+    A deterministic fixed-boundary **log-bucket sketch**
+    (:class:`LogBucketSketch`): bucket ``i`` covers
+    ``(lo·growth^(i-1), lo·growth^i]``, so a quantile query returns the
+    upper boundary of the bucket holding the exact nearest-rank order
+    statistic — never more than one ``growth`` factor above the true
+    value.  No stored samples, no randomness, O(buckets) memory.
+    Supports both cumulative and *windowed* quantiles (observations
+    since the previous sample tick).
+
+A :class:`TimeSeriesRegistry` owns the instruments and the sample
+stream: :meth:`TimeSeriesRegistry.sample` appends one plain-dict record
+per instrument at an explicit timestamp (the caller's virtual clock).
+Two exposition formats are built in:
+
+* :meth:`TimeSeriesRegistry.prometheus_text` — the Prometheus text
+  snapshot of final instrument states (``# HELP``/``# TYPE``,
+  cumulative ``_bucket{le=...}`` lines for histograms);
+* :meth:`TimeSeriesRegistry.jsonl` — the full sample stream, one JSON
+  object per line, schema-checked by :func:`validate_metrics_payload`
+  exactly as :func:`repro.obs.export.validate_trace_events` checks
+  trace files.
+
+Import-weight contract: stdlib only (this module is reachable from
+``import repro.obs``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "INSTRUMENT_TYPES",
+    "LogBucketSketch",
+    "CounterInstrument",
+    "GaugeInstrument",
+    "HistogramInstrument",
+    "TimeSeriesRegistry",
+    "validate_metrics_payload",
+]
+
+#: Schema tag stamped on every exported sample record.
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Instrument kinds the registry (and the validator) know.
+INSTRUMENT_TYPES = ("counter", "gauge", "histogram")
+
+#: Quantiles recorded per histogram sample (cumulative and windowed).
+SKETCH_QUANTILES = (50.0, 95.0, 99.0)
+
+
+def _finite_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and math.isfinite(value)
+
+
+def _fmt(value: float) -> str:
+    """Deterministic Prometheus-text number rendering."""
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class LogBucketSketch:
+    """Deterministic log-bucket histogram sketch.
+
+    Finite bucket ``i`` (``0 <= i < buckets``) has upper boundary
+    ``lo * growth**i``; bucket 0 additionally absorbs everything in
+    ``(0, lo]`` (and any non-positive observation), and one overflow
+    bucket catches values past the largest finite boundary.  With the
+    defaults (``lo=1e-3``, ``growth=2**0.25``, 96 buckets) the finite
+    range tops out at ``1e-3 * 2**23.75`` ≈ 1.4e4 seconds with a
+    guaranteed relative quantile error of at most ``growth - 1`` ≈ 19%.
+
+    :meth:`quantile` uses the same nearest-rank rule as
+    ``ServiceReport`` (``rank = max(1, ceil(q/100 · count))``), so the
+    exact order statistic lands in the bucket whose upper boundary the
+    sketch returns: ``exact <= sketch <= exact * growth`` for any
+    observation above ``lo``.
+    """
+
+    __slots__ = ("lo", "growth", "boundaries", "counts", "window_counts", "count", "total")
+
+    def __init__(self, *, lo: float = 1e-3, growth: float = 2.0 ** 0.25, buckets: int = 96) -> None:
+        if not lo > 0.0 or not math.isfinite(lo):
+            raise ValueError(f"lo must be a positive finite number, got {lo!r}")
+        if not growth > 1.0 or not math.isfinite(growth):
+            raise ValueError(f"growth must be > 1, got {growth!r}")
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        self.lo = float(lo)
+        self.growth = float(growth)
+        #: Upper boundaries of the finite buckets, strictly increasing.
+        self.boundaries: tuple[float, ...] = tuple(
+            self.lo * self.growth ** i for i in range(buckets)
+        )
+        # One extra slot is the overflow (+Inf) bucket.
+        self.counts = [0] * (buckets + 1)
+        self.window_counts = [0] * (buckets + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        if value > self.boundaries[-1]:
+            return len(self.boundaries)
+        # ceil(log_growth(value / lo)), nudged so exact boundaries map to
+        # their own bucket; the linear confirm step keeps float log noise
+        # from ever crossing a boundary.
+        i = int(math.ceil(math.log(value / self.lo) / math.log(self.growth) - 1e-12))
+        i = max(0, min(i, len(self.boundaries) - 1))
+        while i > 0 and value <= self.boundaries[i - 1]:
+            i -= 1
+        while value > self.boundaries[i]:
+            i += 1
+        return i
+
+    def observe(self, value: float) -> None:
+        """Record one observation (cumulative and current window)."""
+        i = self._bucket_index(float(value))
+        self.counts[i] += 1
+        self.window_counts[i] += 1
+        self.count += 1
+        self.total += float(value)
+
+    def mark_window(self) -> None:
+        """Close the current window (called at each sample tick)."""
+        for i in range(len(self.window_counts)):
+            self.window_counts[i] = 0
+
+    def _quantile_over(self, counts: list[int], q: float) -> float:
+        population = sum(counts)
+        if population == 0:
+            return 0.0
+        rank = min(population, max(1, math.ceil(q / 100.0 * population)))
+        seen = 0
+        for i, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                # The overflow bucket has no finite upper boundary;
+                # report the largest finite one (documented saturation).
+                return self.boundaries[min(i, len(self.boundaries) - 1)]
+        return self.boundaries[-1]  # pragma: no cover - defensive
+
+    def quantile(self, q: float) -> float:
+        """Cumulative nearest-rank quantile (``q`` in percent)."""
+        return self._quantile_over(self.counts, q)
+
+    def window_quantile(self, q: float) -> float:
+        """Quantile over the observations since the last window mark."""
+        return self._quantile_over(self.window_counts, q)
+
+    @property
+    def window_count(self) -> int:
+        """Observations recorded since the last window mark."""
+        return sum(self.window_counts)
+
+    def bucket_pairs(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_boundary, count)`` pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for boundary, bucket_count in zip(self.boundaries, self.counts):
+            running += bucket_count
+            pairs.append((boundary, running))
+        pairs.append((math.inf, running + self.counts[-1]))
+        return pairs
+
+
+class _Instrument:
+    """Shared naming/help plumbing of the three instrument kinds."""
+
+    kind = ""
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+
+    def sample_record(self, at: float) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def prometheus_lines(self) -> list[str]:
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class CounterInstrument(_Instrument):
+    """Monotone non-decreasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the total (negative amounts are a caller bug)."""
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (add {amount})")
+        self.value += float(amount)
+
+    def set_total(self, total: float) -> None:
+        """Jump to an externally tracked total (mirroring a recorder).
+
+        Still monotone: totals below the current value raise.
+        """
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name!r} cannot go from {self.value} back to {total}"
+            )
+        self.value = float(total)
+
+    def sample_record(self, at: float) -> dict[str, Any]:
+        return {"t": at, "name": self.name, "type": self.kind, "value": self.value}
+
+    def prometheus_lines(self) -> list[str]:
+        return [*self._header(), f"{self.name} {_fmt(self.value)}"]
+
+
+class GaugeInstrument(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def sample_record(self, at: float) -> dict[str, Any]:
+        return {"t": at, "name": self.name, "type": self.kind, "value": self.value}
+
+    def prometheus_lines(self) -> list[str]:
+        return [*self._header(), f"{self.name} {_fmt(self.value)}"]
+
+
+class HistogramInstrument(_Instrument):
+    """A :class:`LogBucketSketch` with instrument naming on top."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        lo: float = 1e-3,
+        growth: float = 2.0 ** 0.25,
+        buckets: int = 96,
+    ) -> None:
+        super().__init__(name, help_text)
+        self.sketch = LogBucketSketch(lo=lo, growth=growth, buckets=buckets)
+
+    def observe(self, value: float) -> None:
+        self.sketch.observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+    def sample_record(self, at: float) -> dict[str, Any]:
+        sketch = self.sketch
+        record: dict[str, Any] = {
+            "t": at,
+            "name": self.name,
+            "type": self.kind,
+            "count": sketch.count,
+            "sum": sketch.total,
+            "quantiles": {
+                f"p{q:g}": sketch.quantile(q) for q in SKETCH_QUANTILES
+            },
+            "window_count": sketch.window_count,
+            "window_quantiles": {
+                f"p{q:g}": sketch.window_quantile(q) for q in SKETCH_QUANTILES
+            },
+        }
+        sketch.mark_window()
+        return record
+
+    def prometheus_lines(self) -> list[str]:
+        lines = self._header()
+        for boundary, cumulative in self.sketch.bucket_pairs():
+            le = "+Inf" if math.isinf(boundary) else _fmt(boundary)
+            lines.append(f'{self.name}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_fmt(self.sketch.total)}")
+        lines.append(f"{self.name}_count {self.sketch.count}")
+        return lines
+
+
+class TimeSeriesRegistry:
+    """Named instruments plus the timestamped sample stream they feed.
+
+    Instruments register on first use (``counter``/``gauge``/
+    ``histogram`` are get-or-create; re-registering a name as a
+    different kind raises).  :meth:`sample` appends one record per
+    instrument, in registration order, at the caller-supplied timestamp
+    — virtual seconds in the serve layer, so two identical runs produce
+    byte-identical streams.  Timestamps must be non-decreasing.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+        self.samples: list[dict[str, Any]] = []
+        self._last_at: float | None = None
+
+    def _get(self, name: str, factory, kind: str, help_text: str, **kwargs) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            if not name:
+                raise ValueError("instrument name must be non-empty")
+            instrument = factory(name, help_text, **kwargs)
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise ValueError(
+                f"instrument {name!r} is a {instrument.kind}, not a {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help_text: str = "") -> CounterInstrument:
+        return self._get(name, CounterInstrument, "counter", help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> GaugeInstrument:
+        return self._get(name, GaugeInstrument, "gauge", help_text)
+
+    def histogram(self, name: str, help_text: str = "", **kwargs) -> HistogramInstrument:
+        return self._get(name, HistogramInstrument, "histogram", help_text, **kwargs)
+
+    @property
+    def instruments(self) -> tuple[_Instrument, ...]:
+        """Registered instruments, in registration order."""
+        return tuple(self._instruments.values())
+
+    @property
+    def last_sample_at(self) -> float | None:
+        """Timestamp of the most recent sample (``None`` before any)."""
+        return self._last_at
+
+    def sample(self, at: float) -> int:
+        """Record one sample per instrument at time ``at``; returns count.
+
+        Histogram windows close at each call, so the next sample's
+        ``window_*`` fields cover exactly the observations in between.
+        """
+        at = float(at)
+        if self._last_at is not None and at < self._last_at:
+            raise ValueError(
+                f"sample times must be non-decreasing ({at} after {self._last_at})"
+            )
+        self._last_at = at
+        for instrument in self._instruments.values():
+            self.samples.append(instrument.sample_record(at))
+        return len(self._instruments)
+
+    def series(self, name: str) -> list[dict[str, Any]]:
+        """All recorded samples of one instrument, in time order."""
+        return [record for record in self.samples if record["name"] == name]
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def prometheus_text(self) -> str:
+        """Prometheus text snapshot of the final instrument states."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            lines.extend(self._instruments[name].prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def jsonl(self) -> str:
+        """The whole sample stream, one schema-tagged JSON object per line."""
+        return "".join(
+            json.dumps({"schema": METRICS_SCHEMA, **record}, sort_keys=True) + "\n"
+            for record in self.samples
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.jsonl())
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.prometheus_text())
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesRegistry({len(self._instruments)} instruments, "
+            f"{len(self.samples)} samples)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Schema validation (the metrics analogue of validate_trace_events)
+# ----------------------------------------------------------------------
+def _problem(problems: list[str], index: int, message: str) -> None:
+    problems.append(f"sample[{index}]: {message}")
+
+
+def validate_metrics_payload(payload: Any) -> list[str]:
+    """Check an exported metrics stream against the sample schema.
+
+    Accepts either a list of sample records (parsed JSONL lines) or a
+    ``{"samples": [...]}`` container.  Returns human-readable problems
+    (empty when valid).  Per record: schema tag (when present), a
+    non-negative numeric ``t``, a non-empty ``name``, a known ``type``,
+    a finite ``value`` for counters/gauges, and ``count``/``sum``/
+    ``quantiles`` for histograms.  Across the stream: timestamps are
+    non-decreasing and every counter series is monotone — the two
+    invariants the virtual-clock sampler guarantees by construction.
+    """
+    problems: list[str] = []
+    if isinstance(payload, dict):
+        samples = payload.get("samples")
+        if not isinstance(samples, list):
+            return ["metrics payload has no 'samples' array"]
+    elif isinstance(payload, list):
+        samples = payload
+    else:
+        return ["metrics payload is neither a list nor a {'samples': ...} object"]
+
+    last_t: float | None = None
+    counter_totals: dict[str, float] = {}
+    declared_types: dict[str, str] = {}
+    for i, record in enumerate(samples):
+        if not isinstance(record, dict):
+            _problem(problems, i, "not an object")
+            continue
+        schema = record.get("schema")
+        if schema is not None and schema != METRICS_SCHEMA:
+            _problem(problems, i, f"unknown schema tag {schema!r}")
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            _problem(problems, i, "missing or empty 'name'")
+            continue
+        t = record.get("t")
+        if not _finite_number(t) or t < 0:
+            _problem(problems, i, "missing non-negative numeric 't'")
+        else:
+            if last_t is not None and t < last_t:
+                _problem(problems, i, f"timestamp {t} decreases (was {last_t})")
+            last_t = float(t)
+        kind = record.get("type")
+        if kind not in INSTRUMENT_TYPES:
+            _problem(problems, i, f"unknown instrument type {kind!r}")
+            continue
+        previous_kind = declared_types.setdefault(name, kind)
+        if previous_kind != kind:
+            _problem(
+                problems, i, f"{name!r} changes type {previous_kind} -> {kind}"
+            )
+            continue
+        if kind in ("counter", "gauge"):
+            value = record.get("value")
+            if not _finite_number(value):
+                _problem(problems, i, f"{kind} missing finite numeric 'value'")
+            elif kind == "counter":
+                previous = counter_totals.get(name)
+                if previous is not None and value < previous:
+                    _problem(
+                        problems,
+                        i,
+                        f"counter {name!r} decreases {previous} -> {value}",
+                    )
+                counter_totals[name] = float(value)
+        else:  # histogram
+            count = record.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+                _problem(problems, i, "histogram missing integer 'count' >= 0")
+            if not _finite_number(record.get("sum")):
+                _problem(problems, i, "histogram missing finite numeric 'sum'")
+            quantiles = record.get("quantiles")
+            if not isinstance(quantiles, dict) or not quantiles:
+                _problem(problems, i, "histogram missing 'quantiles' object")
+            else:
+                for key, value in quantiles.items():
+                    if not _finite_number(value):
+                        _problem(
+                            problems, i, f"quantile {key!r} is not a finite number"
+                        )
+    return problems
+
+
+def parse_metrics_jsonl(lines: "Iterable[str]") -> list[dict[str, Any]]:
+    """Parse JSONL text lines back into sample records (blank-safe)."""
+    return [json.loads(line) for line in lines if line.strip()]

@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.faults import FaultPlan
     from repro.sim.simulator import SimulationResult
 
-__all__ = ["simulation_events", "schedule_result_events"]
+__all__ = ["simulation_events", "schedule_result_events", "fleet_events"]
 
 #: Lane 0 of a timeline process is the phase barrier lane; site ``j``
 #: occupies lane ``j + 1``.
@@ -206,6 +206,70 @@ def simulation_events(
                     _fault_instants(plan, k, site.site_index, phase_start, pid)
                 )
         phase_start += phase.makespan
+    return events
+
+
+def fleet_events(
+    residencies: "list[tuple[str, int, float, float, dict[str, Any]]]",
+    tracks: "dict[str, list[tuple[float, dict[str, float]]]]",
+    instants: "list[tuple[str, float, dict[str, Any]]]" = (),
+    *,
+    pid: int = 3,
+    process_name: str = "fleet",
+) -> list[dict[str, Any]]:
+    """Render a serve run's fleet view: site lanes + counter tracks.
+
+    Takes plain data so the serve layer stays the only importer of serve
+    types (``obs`` must not import ``serve``):
+
+    ``residencies``
+        ``(query, site_index, start, seconds, args)`` intervals — one
+        per (query, host site), drawn as ``ph:"X"`` events on the site's
+        lane (site ``j`` is lane ``j + 1``, matching the simulator
+        timeline convention).
+    ``tracks``
+        Counter-track samples, ``name -> [(at, values), ...]`` — each
+        becomes one stacked ``ph:"C"`` track (queue depth, utilization,
+        governor pressure in the serve exporter).
+    ``instants``
+        ``(name, at, args)`` point happenings (SLO breaches), emitted as
+        process-scoped ``ph:"i"`` events.
+    """
+    events: list[dict[str, Any]] = [process_name_event(pid, process_name)]
+    named_sites: set[int] = set()
+    for query, site_index, start, seconds, args in residencies:
+        tid = _site_lane(site_index)
+        if site_index not in named_sites:
+            named_sites.add(site_index)
+            events.append(thread_name_event(pid, tid, f"site {site_index}"))
+        events.append(
+            duration_event(
+                query,
+                start=start,
+                seconds=seconds,
+                pid=pid,
+                tid=tid,
+                cat="resident",
+                args=dict(args) if args else None,
+            )
+        )
+    for track_name, samples in tracks.items():
+        for at, values in samples:
+            events.append(
+                counter_event(track_name, at=at, pid=pid, values=values, cat="serve")
+            )
+    for name, at, args in instants:
+        events.append(
+            instant_event(
+                name,
+                at=at,
+                pid=pid,
+                tid=PHASE_LANE,
+                cat="slo",
+                scope="p",
+                args=dict(args) if args else None,
+            )
+        )
     return events
 
 

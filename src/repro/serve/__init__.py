@@ -5,8 +5,10 @@ queries is admitted (:mod:`repro.serve.admission`), degree-governed
 (:mod:`repro.serve.governor`), placed onto a shared site pool through
 incremental reschedule deltas (:mod:`repro.serve.pool`), and executed
 under fluid fair-share contention (:mod:`repro.serve.executor`) — all
-on a deterministic virtual clock (:mod:`repro.serve.clock`).  See
-DESIGN.md §2.8 and the ``serve`` CLI target.
+on a deterministic virtual clock (:mod:`repro.serve.clock`), with an
+optional read-only telemetry plane (:mod:`repro.serve.telemetry`)
+sampling metrics and SLO attainment in virtual time.  See DESIGN.md
+§2.8/§2.10 and the ``serve`` CLI target.
 """
 
 from repro.serve.admission import (
@@ -23,6 +25,11 @@ from repro.serve.service import (
     SchedulerService,
     ServeConfig,
     ServiceReport,
+)
+from repro.serve.telemetry import (
+    ServiceTelemetry,
+    SLOTarget,
+    TelemetryConfig,
 )
 from repro.serve.workload import (
     ArrivalMode,
@@ -49,10 +56,13 @@ __all__ = [
     "QueryJob",
     "QueryTemplate",
     "SLOClass",
+    "SLOTarget",
     "SchedulerService",
     "ServeConfig",
     "ServiceReport",
+    "ServiceTelemetry",
     "SitePool",
+    "TelemetryConfig",
     "VirtualTimeEventLoop",
     "WorkloadSpec",
     "diurnal_factor",

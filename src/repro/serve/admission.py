@@ -105,6 +105,16 @@ class AdmissionController:
         return len(self._latency) + len(self._batch)
 
     @property
+    def queued_latency(self) -> int:
+        """Runnable latency-class jobs (served before any batch job)."""
+        return len(self._latency)
+
+    @property
+    def queued_batch(self) -> int:
+        """Runnable batch-class jobs."""
+        return len(self._batch)
+
+    @property
     def parked(self) -> int:
         """Jobs currently deferred (parked past the high-water mark)."""
         return len(self._deferred)

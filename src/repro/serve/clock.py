@@ -52,6 +52,9 @@ class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
     def __init__(self) -> None:
         super().__init__()
         self._virtual_now = 0.0
+        #: Clock jumps taken (one per idle-to-timer skip); telemetry
+        #: exposes it as the ``serve_clock_advances`` gauge.
+        self.advances = 0
 
     def time(self) -> float:
         """The current virtual time, in seconds since loop creation."""
@@ -68,6 +71,7 @@ class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
                 when = self._scheduled[0]._when
                 if when > self._virtual_now:
                     self._virtual_now = when
+                    self.advances += 1
             elif not self._stopping:
                 raise ServiceError(
                     "virtual-time deadlock: every task is blocked and no "

@@ -81,6 +81,11 @@ class FluidExecutor:
         """Queries currently executing."""
         return len(self._running)
 
+    @property
+    def backlog_seconds(self) -> float:
+        """Total remaining stand-alone work of the running set."""
+        return sum(q.remaining for q in self._running.values())
+
     def launch(self, name: str, demand: float, hosts: tuple[int, ...], now: float) -> None:
         """Admit a placed query into the fluid race."""
         if name in self._running:

@@ -82,6 +82,10 @@ class DegreeGovernor:
     config: GovernorConfig = field(default_factory=GovernorConfig)
     #: degree -> number of placements made at that degree.
     chosen: dict[int, int] = field(default_factory=dict, init=False)
+    #: pressure seen at the most recent :meth:`degree` call (telemetry).
+    last_pressure: int = field(default=0, init=False)
+    #: degree returned by the most recent :meth:`degree` call (telemetry).
+    last_degree: int = field(default=0, init=False)
 
     def degree(self, pressure: int) -> int:
         """The clone-degree cap for a placement under ``pressure``.
@@ -97,4 +101,6 @@ class DegreeGovernor:
             halvings = max(0, pressure) // cfg.pressure_step
             k = max(cfg.min_degree, cfg.max_degree >> halvings)
         self.chosen[k] = self.chosen.get(k, 0) + 1
+        self.last_pressure = pressure
+        self.last_degree = k
         return k

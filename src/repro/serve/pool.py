@@ -23,6 +23,7 @@ event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError, ServiceError
 from repro.core.reschedule import ScheduleDelta
@@ -32,6 +33,9 @@ from repro.core.vector_packing import CloneItem, PlacementRule, SortKey
 from repro.core.work_vector import WorkVector
 from repro.engine.registry import get_rescheduler
 from repro.obs.tracer import current_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.metrics import MetricsRecorder
 
 __all__ = ["SitePool"]
 
@@ -56,6 +60,11 @@ class SitePool:
         Optional per-site relative speeds (length ``p``); ``None`` means
         the homogeneous unit pool.  Mutated in place by
         :meth:`set_capacity`.
+    metrics:
+        Optional :class:`~repro.engine.metrics.MetricsRecorder` threaded
+        through every repair call, so install/retire/resize deltas count
+        their ``reschedules``/``clones_moved``/``sites_drained``/
+        ``sites_resized`` work into the owning service's recorder.
     """
 
     p: int
@@ -65,6 +74,7 @@ class SitePool:
     sort: SortKey = SortKey.MAX_COMPONENT
     rule: PlacementRule = PlacementRule.LEAST_LOADED_LENGTH
     capacities: "tuple[float, ...] | None" = None
+    metrics: "MetricsRecorder | None" = None
 
     _schedule: Schedule | None = field(default=None, init=False)
     #: cumulative repair placement scans, for the service report.
@@ -114,7 +124,7 @@ class SitePool:
             overlap=self.overlap,
             sort=self.sort,
             rule=self.rule,
-            metrics=None,
+            metrics=self.metrics,
         )
         self.placement_scans += stats.placement_scans
 
@@ -189,6 +199,10 @@ class SitePool:
                 caps = list(self.capacities or (1.0,) * self.p)
                 caps[site_index] = float(capacity)
                 self.capacities = tuple(caps)
+                # The repair path counts resizes itself; this pre-install
+                # branch never reaches it, so keep the counter whole here.
+                if self.metrics is not None:
+                    self.metrics.count("sites_resized")
             else:
                 self._repair(delta)
         self.resizes += 1

@@ -46,7 +46,6 @@ from repro.engine.metrics import (
     COUNTER_QUERIES_DEFERRED,
     COUNTER_QUERIES_OFFERED,
     COUNTER_QUERIES_SHED,
-    COUNTER_SITES_RESIZED,
     TIMER_SERVE,
     MetricsRecorder,
 )
@@ -61,6 +60,7 @@ from repro.serve.clock import run_virtual
 from repro.serve.executor import FluidExecutor
 from repro.serve.governor import DegreeGovernor, GovernorConfig
 from repro.serve.pool import SitePool
+from repro.serve.telemetry import ServiceTelemetry, TelemetryConfig
 from repro.serve.workload import (
     ArrivalMode,
     JobFactory,
@@ -103,6 +103,13 @@ class ServeConfig:
         to the live pool at virtual time ``at`` via
         :meth:`~repro.serve.pool.SitePool.set_capacity` — residents stay
         put, only rates change.
+    telemetry:
+        Optional :class:`~repro.serve.telemetry.TelemetryConfig`
+        enabling the read-only metrics/SLO sampling plane.  Telemetry
+        never changes virtual-time results or the summary; one caveat:
+        its always-pending sampler timer means a genuine service
+        deadlock loops in virtual time instead of tripping the clock's
+        deadlock guard, so leave it off for liveness tests.
     """
 
     p: int = 16
@@ -116,6 +123,7 @@ class ServeConfig:
     max_coresident: int = 4
     cluster: ClusterSpec | None = None
     capacity_events: tuple[tuple[float, int, float], ...] = ()
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -195,10 +203,18 @@ class JobRecord:
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Edge behavior, relied on by the summary and its tests: an empty list
+    returns the sentinel ``0.0`` (there is no order statistic to report,
+    and the summary's other empty-case fields are zero too); a single
+    element is every percentile of itself; the rank is clamped into
+    ``[1, len]`` so no ``q`` — including float-noise values just above
+    100 — can index out of range.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    rank = min(len(sorted_values), max(1, math.ceil(q / 100.0 * len(sorted_values))))
     return sorted_values[rank - 1]
 
 
@@ -323,6 +339,7 @@ class SchedulerService:
                 if config.cluster is not None
                 else None
             ),
+            metrics=self.metrics,
         )
         self.admission = AdmissionController(config.admission)
         self.governor = DegreeGovernor(config.governor)
@@ -330,6 +347,19 @@ class SchedulerService:
             residents_of=self.pool.residents_of,
             on_complete=self._on_complete,
             capacity_of=self.pool.capacity_of,
+        )
+        self.telemetry = (
+            ServiceTelemetry(
+                config.telemetry,
+                p=config.p,
+                admission=self.admission,
+                pool=self.pool,
+                governor=self.governor,
+                executor=self.executor,
+                metrics=self.metrics,
+            )
+            if config.telemetry is not None
+            else None
         )
         self.records: dict[int, JobRecord] = {}
         self._futures: dict[int, asyncio.Future] = {}
@@ -488,6 +518,8 @@ class SchedulerService:
             record.degree = degree
             record.sites = len(loads)
             record.base_response = result.response_time
+            if self.telemetry is not None:
+                self.telemetry.on_placed(name, record.slo, hosts, now, degree)
 
     # ------------------------------------------------------------------
     # Completion path (called synchronously by the executor)
@@ -501,6 +533,10 @@ class SchedulerService:
         record.finished = finished_at
         record.outcome = "completed"
         self._finished_at = max(self._finished_at, finished_at)
+        if self.telemetry is not None:
+            self.telemetry.on_completed(
+                name, record.slo, finished_at - record.submitted, finished_at
+            )
         future = self._futures.get(job_id)
         if future is not None and not future.done():
             future.set_result("completed")
@@ -515,8 +551,9 @@ class SchedulerService:
             delay = at - loop.time()
             if delay > 0.0:
                 await asyncio.sleep(delay)
+            # The pool's repair path counts sites_resized into the
+            # recorder, so no extra count here.
             self.pool.set_capacity(site, capacity)
-            self.metrics.count(COUNTER_SITES_RESIZED)
             # A capacity change is a rate event, exactly like a launch or
             # a retirement: wake the fluid race so the next interval runs
             # at the new speeds.
@@ -583,6 +620,13 @@ class SchedulerService:
                 if self.config.capacity_events
                 else None
             )
+            # The sampler is strictly read-only, so starting (and later
+            # cancelling) it cannot change any virtual-time result.
+            sampler = (
+                asyncio.ensure_future(self.telemetry.run())
+                if self.telemetry is not None
+                else None
+            )
             await self._generate()
             self._intake_closed = True
             self.admission.drain_intake()
@@ -592,6 +636,12 @@ class SchedulerService:
                 await resizer
             self.executor.stop_when_idle()
             await runner
+            if sampler is not None:
+                sampler.cancel()
+                try:
+                    await sampler
+                except asyncio.CancelledError:
+                    pass
 
     def run(self) -> ServiceReport:
         """Execute the whole workload; returns the finished report."""
@@ -599,6 +649,12 @@ class SchedulerService:
         with self.metrics.timer(TIMER_SERVE):
             run_virtual(self._main())
         wall = time.perf_counter() - started
+        if self.telemetry is not None:
+            completed = sum(
+                1 for r in self.records.values() if r.outcome == "completed"
+            )
+            elapsed = max(self.config.workload.duration, self._finished_at)
+            self.telemetry.finish(elapsed=elapsed, completed=completed)
         return ServiceReport(
             config=self.config,
             records=[self.records[k] for k in sorted(self.records)],

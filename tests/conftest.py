@@ -36,6 +36,7 @@ if np is None:
         "test_robustness.py",
         "test_sensitivity.py",
         "test_serve_service.py",
+        "test_serve_telemetry.py",
         "test_generator.py",
         "test_hong.py",
         "test_join_tree.py",

@@ -393,3 +393,88 @@ class TestSpanVocabulary:
         from repro.obs.export import unknown_span_names
 
         assert unknown_span_names([{"name": "schedule", "children": [{"name": "shelf"}]}]) == set()
+
+
+class TestCounterTrackValidation:
+    """Satellite coverage: the ph:"C" paths of validate_trace_events."""
+
+    def test_mixed_numeric_and_string_keys_flag_only_the_bad_one(self):
+        event = counter_event("depth", at=1.0, pid=0, values={"a": 1.0})
+        event["args"] = {"a": 1.0, "b": "busy", "c": 2}
+        problems = validate_trace_events({"traceEvents": [event]})
+        assert len(problems) == 1
+        assert "counter track 'b' is not numeric" in problems[0]
+
+    def test_boolean_track_values_pass_as_ints(self):
+        # bool is an int subclass; the validator follows Python's model.
+        event = counter_event("flag", at=0.0, pid=0, values={"on": 1.0})
+        event["args"] = {"on": True}
+        assert validate_trace_events({"traceEvents": [event]}) == []
+
+    def test_counter_without_args_object_is_flagged_once(self):
+        event = counter_event("c", at=0.0, pid=0, values={"v": 1.0})
+        del event["args"]
+        problems = validate_trace_events({"traceEvents": [event]})
+        assert problems == ["event[0]: 'C' event missing 'args' object"]
+
+    def test_empty_args_counter_is_valid(self):
+        event = counter_event("c", at=0.0, pid=0, values={})
+        assert validate_trace_events({"traceEvents": [event]}) == []
+
+
+class TestInstantVocabulary:
+    def test_known_instants_cover_fault_and_slo_names(self):
+        from repro.obs.export import KNOWN_INSTANT_NAMES
+
+        assert {"slowdown", "site failure", "slo_breach"} <= KNOWN_INSTANT_NAMES
+
+    def test_unknown_instant_names_accepts_both_containers(self):
+        from repro.obs.export import unknown_instant_names
+
+        events = [
+            instant_event("slo_breach", at=0.0, pid=0, tid=0),
+            instant_event("straggler site 3", at=1.0, pid=0, tid=0),
+            instant_event("skew burst", at=2.0, pid=0, tid=0),
+            instant_event("totally bogus", at=3.0, pid=0, tid=0),
+            duration_event("not an instant", start=0.0, seconds=1.0, pid=0, tid=0),
+            "not-an-event",
+        ]
+        assert unknown_instant_names(events) == {"totally bogus"}
+        assert unknown_instant_names({"traceEvents": events}) == {"totally bogus"}
+
+    def test_clean_payload_has_no_unknown_instants(self):
+        from repro.obs.export import unknown_instant_names
+
+        assert unknown_instant_names([]) == set()
+
+
+class TestFleetEvents:
+    def test_lanes_tracks_and_instants_render_and_validate(self):
+        from repro.obs.timeline import fleet_events
+
+        events = fleet_events(
+            residencies=[
+                ("q1", 0, 0.0, 5.0, {"slo": "latency", "degree": 2}),
+                ("q1", 3, 0.0, 5.0, {"slo": "latency", "degree": 2}),
+                ("q2", 0, 2.0, 1.5, {}),
+            ],
+            tracks={"queue depth": [(0.0, {"latency": 1.0}), (5.0, {"latency": 0.0})]},
+            instants=[("slo_breach", 5.0, {"job": "q1"})],
+        )
+        assert validate_trace_events({"traceEvents": events}) == []
+        # Site j draws on lane j + 1; each site is thread-named once.
+        lanes = {e["tid"] for e in events if e.get("cat") == "resident"}
+        assert lanes == {1, 4}
+        names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(names) == 2
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 2 and all(e["cat"] == "serve" for e in counters)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1 and instants[0]["args"] == {"job": "q1"}
+
+    def test_empty_inputs_export_only_process_metadata(self):
+        from repro.obs.timeline import fleet_events
+
+        events = fleet_events([], {})
+        assert [e["ph"] for e in events] == ["M"]
+        assert events[0]["name"] == "process_name"
